@@ -1,0 +1,90 @@
+// Ablation: allocation-time determinism.
+//
+// §2.3.2 sells the SoCDMMU as "a fast and *deterministic* way to
+// dynamically allocate/deallocate" memory — the real-time argument is
+// about worst-case jitter, not just the mean. This bench drives a
+// fragmentation-heavy allocation pattern through both backends and
+// reports the per-call distribution.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "rtos/memory_manager.h"
+#include "sim/random.h"
+#include "sim/stats.h"
+
+using namespace delta;
+using namespace delta::rtos;
+
+namespace {
+
+struct Dist {
+  double min = 0, mean = 0, p99 = 0, max = 0;
+};
+
+Dist drive(MemoryBackend& be) {
+  sim::SampleSet per_call;
+  sim::Rng rng(77);
+  std::vector<std::pair<std::size_t, std::uint64_t>> live;  // (pe, addr)
+  sim::Cycles now = 0;
+  for (int i = 0; i < 3000; ++i) {
+    now += 5000;  // calls spaced out: measure the body, not lock queueing
+    // A realistic embedded working set: up to ~150 live allocations.
+    if (!live.empty() && (live.size() > 150 || rng.chance(0.48))) {
+      const std::size_t idx = rng.below(live.size());
+      const MemResult r = be.free(live[idx].first, live[idx].second, now);
+      if (r.ok) per_call.add(static_cast<double>(r.pe_cycles));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      const std::size_t pe = rng.below(4);
+      const MemResult r = be.alloc(pe, 64 + rng.below(60000), now);
+      if (!r.ok) continue;
+      per_call.add(static_cast<double>(r.pe_cycles));
+      live.emplace_back(pe, r.addr);
+    }
+  }
+  Dist d;
+  d.min = per_call.min();
+  d.mean = per_call.mean();
+  d.p99 = per_call.percentile(0.99);
+  d.max = per_call.max();
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation — allocation-time determinism",
+                "Lee & Mooney, DATE 2003, §2.3.2 (SoCDMMU is 'fast and "
+                "deterministic')");
+
+  ServiceCosts costs;
+  SoftwareHeapBackend sw(0x10000, 32ULL * 1024 * 1024, costs);
+  hw::SocdmmuConfig dc;
+  dc.total_blocks = 512;
+  SocdmmuBackend hwb(dc, costs, nullptr);
+
+  const Dist sw_d = drive(sw);
+  const Dist hw_d = drive(hwb);
+
+  std::printf("\nper-call cycles over a fragmentation-heavy pattern "
+              "(3000 calls):\n");
+  std::printf("%-14s %8s %8s %8s %8s %10s\n", "", "min", "mean", "p99",
+              "max", "max/min");
+  std::printf("%-14s %8.0f %8.0f %8.0f %8.0f %9.1fx\n", "malloc/free",
+              sw_d.min, sw_d.mean, sw_d.p99, sw_d.max,
+              sw_d.max / sw_d.min);
+  std::printf("%-14s %8.0f %8.0f %8.0f %8.0f %9.1fx\n", "SoCDMMU",
+              hw_d.min, hw_d.mean, hw_d.p99, hw_d.max,
+              hw_d.max / hw_d.min);
+
+  std::printf("\nthe software heap's worst case stretches with the free\n"
+              "list (list walks under the heap lock); the SoCDMMU's port\n"
+              "command takes the same few cycles no matter the heap "
+              "state.\n");
+  const bool ok = hw_d.max / hw_d.min < 2.5 && sw_d.max / sw_d.min > 3.0 &&
+                  hw_d.p99 < sw_d.p99;
+  std::printf("determinism contrast holds: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

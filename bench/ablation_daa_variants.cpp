@@ -1,0 +1,167 @@
+// Ablation: Algorithm 3 vs the two rejected avoidance policies.
+//
+// §4.3.1: "We initially considered two other deadlock avoidance
+// approaches but found Algorithm 3 to be better because it resolves
+// livelock more actively and efficiently." This bench drives the three
+// policies over a dining-philosophers-style workload (process i needs
+// resources {i, i+1 mod k}) and reports throughput, give-up cost and
+// livelock pressure (denied-retry streaks).
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "deadlock/daa.h"
+#include "rag/oracle.h"
+#include "rag/reduction.h"
+
+using namespace delta;
+using deadlock::DaaEngine;
+using deadlock::DaaPolicy;
+using deadlock::ReleaseOutcome;
+using deadlock::RequestOutcome;
+using deadlock::RequestResult;
+using rag::ProcId;
+using rag::ResId;
+
+namespace {
+
+struct PolicyStats {
+  const char* name;
+  std::uint64_t rounds = 0;       ///< acquire-use-release cycles completed
+  std::uint64_t give_ups = 0;     ///< resources surrendered
+  std::uint64_t denials = 0;      ///< rejected requests (retries needed)
+  std::uint64_t max_retry_streak = 0;  ///< livelock pressure
+  bool safe = true;               ///< never entered a deadlocked state
+};
+
+PolicyStats drive(DaaPolicy policy, const char* name, std::size_t k,
+                  int steps) {
+  PolicyStats st;
+  st.name = name;
+  DaaEngine engine(k, k, [](const rag::StateMatrix& s) {
+    return rag::has_deadlock(s);
+  }, policy);
+
+  // Per-process progress: which of its two resources it holds.
+  struct Proc {
+    int phase = 0;           // 0: wants first, 1: wants second, 2: using
+    int use_left = 0;
+    std::uint64_t retry_streak = 0;
+    bool waiting = false;    // a pending request is registered
+  };
+  std::vector<Proc> procs(k);
+  const auto first_res = [k](ProcId p) { return static_cast<ResId>(p); };
+  const auto second_res = [k](ProcId p) {
+    return static_cast<ResId>((p + 1) % k);
+  };
+
+  const auto handle_ask = [&](rag::ProcId asked,
+                              const std::vector<ResId>& give) {
+    // Comply: release the named resources; the engine re-grants safely.
+    for (ResId r : give) {
+      if (engine.state().at(r, asked) != rag::Edge::kGrant) continue;
+      engine.release(asked, r);
+      ++st.give_ups;
+      // The victim falls back to re-acquiring from the start.
+      Proc& v = procs[asked];
+      if (second_res(asked) == r || first_res(asked) == r) {
+        v.phase = engine.state().at(first_res(asked), asked) ==
+                          rag::Edge::kGrant
+                      ? 1
+                      : 0;
+      }
+    }
+  };
+
+  for (int step = 0; step < steps; ++step) {
+    for (ProcId p = 0; p < k; ++p) {
+      Proc& me = procs[p];
+      if (me.phase == 2) {  // using both resources
+        if (--me.use_left > 0) continue;
+        engine.release(p, first_res(p));
+        const auto rel = engine.release(p, second_res(p));
+        if (rel.asked != rag::kNoProc)
+          handle_ask(rel.asked, rel.asked_resources);
+        ++st.rounds;
+        me.phase = 0;
+        continue;
+      }
+      const ResId want = me.phase == 0 ? first_res(p) : second_res(p);
+      if (engine.state().at(want, p) == rag::Edge::kGrant) {
+        // A queued grant arrived.
+        me.waiting = false;
+        me.retry_streak = 0;
+        if (++me.phase == 2) me.use_left = 3;
+        continue;
+      }
+      if (me.waiting) continue;  // pending in the engine's queue
+      const RequestResult r = engine.request(p, want);
+      switch (r.outcome) {
+        case RequestOutcome::kGranted:
+          me.retry_streak = 0;
+          if (++me.phase == 2) me.use_left = 3;
+          break;
+        case RequestOutcome::kDenied:
+          ++st.denials;
+          ++me.retry_streak;
+          st.max_retry_streak =
+              std::max(st.max_retry_streak, me.retry_streak);
+          break;
+        case RequestOutcome::kPending:
+          me.waiting = true;
+          break;
+        case RequestOutcome::kOwnerAsked:
+          me.waiting = true;
+          handle_ask(r.asked, r.asked_resources);
+          break;
+        case RequestOutcome::kGiveUpAsked:
+          me.waiting = true;
+          handle_ask(r.asked, r.asked_resources);
+          break;
+        case RequestOutcome::kError:
+          break;
+      }
+      st.safe &= !rag::oracle_has_cycle(engine.state());
+    }
+  }
+  return st;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation — Algorithm 3 vs rejected avoidance policies",
+                "Lee & Mooney, DATE 2003, §4.3.1 (design-choice rationale)");
+
+  const std::size_t k = 5;
+  const int steps = 4000;
+  const PolicyStats results[3] = {
+      drive(DaaPolicy::kAlgorithm3, "Algorithm 3 (DAA)", k, steps),
+      drive(DaaPolicy::kDenyOnRdl, "deny-on-R-dl", k, steps),
+      drive(DaaPolicy::kRequesterYields, "requester-always-yields", k,
+            steps),
+  };
+
+  std::printf("\nworkload: %zu processes, each cycling through its two\n"
+              "neighbouring resources (maximal R-dl pressure), %d steps\n\n",
+              k, steps);
+  std::printf("%-26s %10s %10s %10s %14s %6s\n", "policy", "rounds",
+              "give-ups", "denials", "retry-streak", "safe");
+  for (const PolicyStats& r : results)
+    std::printf("%-26s %10llu %10llu %10llu %14llu %6s\n", r.name,
+                static_cast<unsigned long long>(r.rounds),
+                static_cast<unsigned long long>(r.give_ups),
+                static_cast<unsigned long long>(r.denials),
+                static_cast<unsigned long long>(r.max_retry_streak),
+                r.safe ? "yes" : "NO");
+
+  std::printf(
+      "\nexpected shape: Algorithm 3 completes the most rounds with few\n"
+      "give-ups; deny-on-R-dl burns steps in retries (livelock pressure);\n"
+      "requester-always-yields is safe but discards held work.\n");
+  const bool ok = results[0].safe && results[1].safe && results[2].safe &&
+                  results[0].rounds >= results[1].rounds &&
+                  results[0].rounds >= results[2].rounds;
+  std::printf("Algorithm 3 dominates: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+// Substrate ablation: L1 cache behaviour under the PE access patterns
+// the calibration assumes.
+//
+// The software cost model (sim/cost_model.h) charges ~2-3 cycles per
+// load as a blend of L1 hits and 3-cycle bus accesses. This bench checks
+// that blend against the modeled 32 KB / 32 B direct-mapped L1 (§5.1)
+// for the access shapes the kernels actually produce: sequential sweeps
+// (SPLASH arrays), strided walks (matrix columns), small hot sets
+// (kernel structures) and uniform random traffic.
+#include <cstdio>
+#include <functional>
+
+#include "bench/bench_util.h"
+#include "mem/l1_cache.h"
+#include "sim/random.h"
+
+using namespace delta;
+
+namespace {
+
+struct Pattern {
+  const char* name;
+  double hit_rate;
+  double effective_load_cycles;  ///< 1-cycle hit, 3-cycle bus miss
+};
+
+Pattern run_pattern(const char* name,
+                    const std::function<std::uint64_t(int)>& addr_of,
+                    int accesses) {
+  mem::L1Cache cache;  // 32 KB, 32 B lines
+  for (int i = 0; i < accesses; ++i) cache.access(addr_of(i));
+  Pattern p;
+  p.name = name;
+  p.hit_rate = cache.hit_rate();
+  p.effective_load_cycles = 1.0 * p.hit_rate + 3.0 * (1.0 - p.hit_rate);
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation — L1 behaviour under kernel access patterns",
+                "Lee & Mooney, DATE 2003, §5.1 (32 KB L1s) / cost-model "
+                "calibration");
+
+  sim::Rng rng(5);
+  const int n = 200'000;
+  const Pattern patterns[] = {
+      run_pattern("sequential sweep (SPLASH rows)",
+                  [](int i) { return static_cast<std::uint64_t>(i) * 8; },
+                  n),
+      run_pattern("strided walk (matrix columns)",
+                  [](int i) { return static_cast<std::uint64_t>(i) * 512; },
+                  n),
+      run_pattern("hot kernel structures (4 KB set)",
+                  [&rng](int) { return rng.below(4096); }, n),
+      run_pattern("uniform over 1 MB (shared state)",
+                  [&rng](int) { return rng.below(1 << 20); }, n),
+  };
+
+  std::printf("\n%-36s %10s %16s\n", "pattern", "hit rate",
+              "eff. load (cyc)");
+  for (const Pattern& p : patterns)
+    std::printf("%-36s %9.1f%% %16.2f\n", p.name, p.hit_rate * 100.0,
+                p.effective_load_cycles);
+
+  std::printf("\nthe calibrated 2.4-3.3 cycles/load of the software cost\n"
+              "model sits between the hot-set and shared-state extremes —\n"
+              "kernel code touching shared RTOS structures mostly misses,\n"
+              "local loop state mostly hits.\n");
+  // Shape assertions: hot set >> uniform; sequential amortizes the line.
+  const bool ok = patterns[2].hit_rate > 0.95 &&
+                  patterns[3].hit_rate < 0.10 &&
+                  patterns[0].hit_rate > 0.7;
+  std::printf("shape holds: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

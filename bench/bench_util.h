@@ -1,0 +1,20 @@
+// Shared formatting helpers for the table benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace delta::bench {
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("  %s\n", text.c_str());
+}
+
+}  // namespace delta::bench

@@ -1,0 +1,115 @@
+// Scaling projection: hardware avoidance advantage as the MPSoC grows.
+//
+// §1 predicts "future MPSoC designs will have hundreds of processors and
+// resources … which may result in deadlock more often than designers
+// might realize". This bench generates comparable random workloads on
+// growing system geometries and measures the full application-level cost
+// of software DAA vs the DAU, showing the software path's share of
+// execution exploding with system size while the DAU's stays flat.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "rtos/kernel.h"
+#include "sim/random.h"
+#include "sim/stats.h"
+
+using namespace delta;
+using namespace delta::rtos;
+
+namespace {
+
+struct Run {
+  sim::Cycles makespan = 0;
+  double algo_avg = 0;
+  std::size_t invocations = 0;
+  bool finished = false;
+};
+
+Run drive(bool hardware, std::size_t pes, std::size_t tasks,
+          std::size_t resources, std::uint64_t seed) {
+  sim::Simulator sim;
+  bus::SharedBus bus(pes + 1);
+  KernelConfig cfg;
+  cfg.pe_count = pes;
+  cfg.resource_count = resources;
+  cfg.max_tasks = tasks;
+  cfg.stop_on_deadlock = false;
+  std::vector<std::size_t> masters;
+  for (std::size_t t = 0; t < tasks; ++t) masters.push_back(t % pes);
+  auto strategy =
+      hardware
+          ? make_dau_strategy(resources, tasks, cfg.costs, &bus, masters)
+          : make_daa_software_strategy(resources, tasks, cfg.costs);
+  Kernel kernel(sim, bus, cfg, std::move(strategy),
+                std::make_unique<SoftwarePiLockBackend>(8, cfg.costs),
+                std::make_unique<SoftwareHeapBackend>(0x10000, 1 << 22,
+                                                      cfg.costs));
+
+  sim::Rng rng(seed);
+  for (TaskId t = 0; t < tasks; ++t) {
+    Program p;
+    for (int round = 0; round < 3; ++round) {
+      const ResourceId a = rng.below(resources);
+      ResourceId b = rng.below(resources);
+      if (b == a) b = (b + 1) % resources;
+      p.compute(100 + rng.below(300))
+          .request({a})
+          .compute(80 + rng.below(200))
+          .request({b})
+          .compute(150 + rng.below(400))
+          .release({a, b});
+    }
+    kernel.create_task("t" + std::to_string(t), t % pes,
+                       static_cast<Priority>(t + 1), std::move(p),
+                       rng.below(500));
+  }
+  kernel.start();
+  sim.run(200'000'000);
+
+  Run r;
+  r.makespan = kernel.last_finish_time();
+  r.algo_avg = kernel.strategy().algorithm_times().mean();
+  r.invocations = kernel.strategy().invocations();
+  r.finished = kernel.all_finished();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Scaling projection — avoidance cost vs system size",
+                "Lee & Mooney, DATE 2003, §1/§3.1 (the growing-MPSoC "
+                "motivation)");
+
+  struct Geometry {
+    std::size_t pes, tasks, resources;
+  };
+  const Geometry geos[] = {{2, 4, 4}, {4, 8, 8}, {8, 16, 16},
+                           {8, 24, 24}};
+
+  std::printf("\n%-16s %12s %12s %10s | %12s %12s\n", "system",
+              "DAA-sw mkspn", "DAU mkspn", "speedup", "sw algo avg",
+              "DAU algo avg");
+  bool all_ok = true;
+  for (const Geometry& g : geos) {
+    const Run sw = drive(false, g.pes, g.tasks, g.resources, 42);
+    const Run hw = drive(true, g.pes, g.tasks, g.resources, 42);
+    all_ok &= sw.finished && hw.finished;
+    std::printf("%2zuPE/%2zut/%2zur %13llu %12llu %9.2fX | %12.0f %12.1f\n",
+                g.pes, g.tasks, g.resources,
+                static_cast<unsigned long long>(sw.makespan),
+                static_cast<unsigned long long>(hw.makespan),
+                sim::speedup_factor(static_cast<double>(sw.makespan),
+                                    static_cast<double>(hw.makespan)),
+                sw.algo_avg, hw.algo_avg);
+  }
+  std::printf("\nthe software decision cost grows with the matrix (every\n"
+              "event pays an O(m*n)-per-pass detection under a global\n"
+              "kernel lock) while the DAU's per-command cycles barely\n"
+              "move — the paper's case for partitioning avoidance into\n"
+              "hardware as MPSoCs grow.\n");
+  std::printf("all workloads completed deadlock-free: %s\n",
+              all_ok ? "yes" : "NO");
+  return all_ok ? 0 : 1;
+}

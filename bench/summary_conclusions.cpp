@@ -1,0 +1,110 @@
+// §6 Conclusions, verified in one place.
+//
+// The paper closes with four quantitative claims:
+//  (i)   DDU: ~1400x detection speed-up, 46% application speed-up;
+//  (ii)  DAU: ~300x avoidance speed-up (99% reduction), 44% application;
+//  (iii) SoCLC: ~75% lock-handling speed-up, 43% overall;
+//  (iv)  SoCDMMU: ~20% of memory-management time removed, >=9.44%
+//        application reductions.
+// This bench re-runs the four experiments and checks each claim's shape.
+#include <cstdio>
+
+#include "apps/deadlock_apps.h"
+#include "apps/robot_app.h"
+#include "apps/splash.h"
+#include "bench/bench_util.h"
+#include "sim/stats.h"
+#include "soc/delta_framework.h"
+
+using namespace delta;
+
+int main() {
+  bench::header("§6 Conclusions — the four headline claims",
+                "Lee & Mooney, DATE 2003, Conclusion items (i)-(iv)");
+  bool all_ok = true;
+
+  {  // (i) DDU
+    auto hw = soc::generate(soc::rtos_preset(2));
+    apps::build_jini_app(*hw);
+    const auto h = apps::run_deadlock_app(*hw);
+    auto sw = soc::generate(soc::rtos_preset(1));
+    apps::build_jini_app(*sw);
+    const auto s = apps::run_deadlock_app(*sw);
+    const double algo_x =
+        sim::speedup_factor(s.algorithm_avg_cycles, h.algorithm_avg_cycles);
+    const double app_pct =
+        sim::speedup_percent(static_cast<double>(s.app_run_time),
+                             static_cast<double>(h.app_run_time));
+    const bool ok = algo_x > 500 && app_pct > 20;
+    all_ok &= ok;
+    std::printf("(i)   DDU: detection %.0fX faster (paper ~1400X), app "
+                "+%.0f%% (paper 46%%)  [%s]\n",
+                algo_x, app_pct, ok ? "ok" : "FAIL");
+  }
+
+  {  // (ii) DAU (R-dl variant, the 44% row)
+    auto hw = soc::generate(soc::rtos_preset(4));
+    apps::build_rdl_app(*hw);
+    const auto h = apps::run_deadlock_app(*hw);
+    auto sw = soc::generate(soc::rtos_preset(3));
+    apps::build_rdl_app(*sw);
+    const auto s = apps::run_deadlock_app(*sw);
+    const double algo_x =
+        sim::speedup_factor(s.algorithm_avg_cycles, h.algorithm_avg_cycles);
+    const double reduction =
+        100.0 * (1.0 - h.algorithm_avg_cycles / s.algorithm_avg_cycles);
+    const double app_pct =
+        sim::speedup_percent(static_cast<double>(s.app_run_time),
+                             static_cast<double>(h.app_run_time));
+    const bool ok = algo_x > 100 && reduction > 99.0 && app_pct > 25 &&
+                    h.all_finished && s.all_finished;
+    all_ok &= ok;
+    std::printf("(ii)  DAU: avoidance %.0fX faster / %.1f%% time removed "
+                "(paper ~300X/99%%), app +%.0f%% (paper 44%%)  [%s]\n",
+                algo_x, reduction, app_pct, ok ? "ok" : "FAIL");
+  }
+
+  {  // (iii) SoCLC
+    soc::MpsocConfig sw_cfg = soc::rtos_preset(5).to_mpsoc_config();
+    sw_cfg.lock_ceilings = apps::robot_lock_ceilings();
+    soc::Mpsoc sw(sw_cfg);
+    apps::build_robot_app(sw);
+    const auto s = apps::run_robot_app(sw);
+    soc::MpsocConfig hw_cfg = soc::rtos_preset(6).to_mpsoc_config();
+    hw_cfg.lock_ceilings = apps::robot_lock_ceilings();
+    soc::Mpsoc hw(hw_cfg);
+    apps::build_robot_app(hw);
+    const auto h = apps::run_robot_app(hw);
+    const double lock_pct =
+        sim::speedup_percent(s.lock_latency_avg, h.lock_latency_avg);
+    const double overall_pct = sim::speedup_percent(
+        static_cast<double>(s.overall_execution),
+        static_cast<double>(h.overall_execution));
+    const bool ok = lock_pct > 60 && overall_pct > 30;
+    all_ok &= ok;
+    std::printf("(iii) SoCLC: lock handling +%.0f%% (paper ~75%%), overall "
+                "+%.0f%% (paper 43%%)  [%s]\n",
+                lock_pct, overall_pct, ok ? "ok" : "FAIL");
+  }
+
+  {  // (iv) SoCDMMU (LU's 9.44% is the paper's floor)
+    const apps::SplashTrace lu = apps::run_lu_kernel();
+    auto sw = soc::generate(soc::rtos_preset(5));
+    const auto s = apps::run_splash_on(*sw, lu);
+    auto hw = soc::generate(soc::rtos_preset(7));
+    const auto h = apps::run_splash_on(*hw, lu);
+    const double exe_reduction =
+        100.0 * (1.0 - static_cast<double>(h.total_cycles) /
+                           static_cast<double>(s.total_cycles));
+    const bool ok = s.mgmt_percent > 5 && exe_reduction > 7;
+    all_ok &= ok;
+    std::printf("(iv)  SoCDMMU: LU spends %.1f%% in memory management "
+                "(paper 9.9%%); hardware removes %.1f%% of execution "
+                "(paper 9.44%%)  [%s]\n",
+                s.mgmt_percent, exe_reduction, ok ? "ok" : "FAIL");
+  }
+
+  std::printf("\nall four conclusions reproduced: %s\n",
+              all_ok ? "YES" : "NO");
+  return all_ok ? 0 : 1;
+}

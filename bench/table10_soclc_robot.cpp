@@ -1,0 +1,65 @@
+// Table 10: robot-control + MPEG application — RTOS5 (software priority
+// inheritance) vs RTOS6 (SoCLC with hardware IPCP). Also prints the
+// Fig. 20 execution trace showing task3 holding the lock under IPCP.
+#include <cstdio>
+
+#include "apps/robot_app.h"
+#include "bench/bench_util.h"
+#include "sim/stats.h"
+#include "soc/delta_framework.h"
+
+int main() {
+  using namespace delta;
+  bench::header("Table 10 — SoCLC (RTOS6) vs software PI (RTOS5), robot app",
+                "Lee & Mooney, DATE 2003, Table 10, Figs. 18-20");
+
+  apps::RobotReport reports[2];
+  const int presets[2] = {5, 6};
+
+  for (int i = 0; i < 2; ++i) {
+    // Program the IPCP ceilings the SoCLC generator would bake in.
+    soc::MpsocConfig mc = soc::rtos_preset(presets[i]).to_mpsoc_config();
+    mc.lock_ceilings = apps::robot_lock_ceilings();
+    soc::Mpsoc system(mc);
+    apps::build_robot_app(system);
+    reports[i] = apps::run_robot_app(system);
+    if (i == 1) {
+      std::printf("\nFig. 20 style lock/schedule trace (SoCLC run, first 30 events):\n");
+      int shown = 0;
+      for (const auto& e : system.simulator().trace().events()) {
+        if (e.channel != "LOCK" && e.channel != "RTOS") continue;
+        std::printf("  %8llu  %s\n",
+                    static_cast<unsigned long long>(e.time),
+                    e.text.c_str());
+        if (++shown >= 30) break;
+      }
+    }
+  }
+
+  std::printf("\n%-24s %12s %12s %9s\n", "(time in clock cycles)", "RTOS5",
+              "RTOS6", "Speedup");
+  std::printf("%-24s %12.0f %12.0f %8.2fX\n", "Lock Latency",
+              reports[0].lock_latency_avg, reports[1].lock_latency_avg,
+              sim::speedup_factor(reports[0].lock_latency_avg,
+                                  reports[1].lock_latency_avg));
+  std::printf("%-24s %12.0f %12.0f %8.2fX\n", "Lock Delay",
+              reports[0].lock_delay_avg, reports[1].lock_delay_avg,
+              sim::speedup_factor(reports[0].lock_delay_avg,
+                                  reports[1].lock_delay_avg));
+  std::printf("%-24s %12llu %12llu %8.2fX\n", "Overall Execution",
+              static_cast<unsigned long long>(reports[0].overall_execution),
+              static_cast<unsigned long long>(reports[1].overall_execution),
+              sim::speedup_factor(
+                  static_cast<double>(reports[0].overall_execution),
+                  static_cast<double>(reports[1].overall_execution)));
+  std::printf("%-24s %12zu %12zu\n", "Deadline misses (Fig.19)",
+              reports[0].deadline_misses, reports[1].deadline_misses);
+  std::printf("\npaper: latency 570 vs 318 (1.79X); delay 6701 vs 3834 "
+              "(1.75X); overall 112170 vs 78226 (1.43X)\n");
+  std::printf("lock acquisitions: %llu / %llu; all finished: %s/%s\n",
+              static_cast<unsigned long long>(reports[0].lock_acquisitions),
+              static_cast<unsigned long long>(reports[1].lock_acquisitions),
+              reports[0].all_finished ? "yes" : "NO",
+              reports[1].all_finished ? "yes" : "NO");
+  return reports[0].all_finished && reports[1].all_finished ? 0 : 1;
+}

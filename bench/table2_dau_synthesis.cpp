@@ -1,0 +1,52 @@
+// Table 2: synthesis results of the DAU (5 processes x 5 resources) —
+// Verilog lines, NAND2 area split (embedded DDU vs the rest), worst-case
+// step counts, and the area share of the 40.3M-gate MPSoC.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "hw/dau.h"
+#include "hw/synth.h"
+#include "hw/verilog_gen.h"
+#include "rag/generators.h"
+
+int main() {
+  using namespace delta;
+  bench::header("Table 2 — synthesis results of the DAU (5x5)",
+                "Lee & Mooney, DATE 2003, Table 2 (QualCore 0.25um via "
+                "structural NAND2 estimate)");
+
+  const std::size_t m = 5, n = 5, pes = 4;
+  const std::string ddu_v = hw::generate_ddu_verilog(m, n);
+  const std::string dau_v = hw::generate_dau_verilog(m, n, pes);
+  const hw::AreaReport ddu_a = hw::ddu_area(m, n);
+  const hw::AreaReport dau_a = hw::dau_area(m, n, pes);
+  const double others_area = dau_a.total() - ddu_a.total();
+  const std::size_t ddu_lines = hw::count_lines(ddu_v);
+  const std::size_t dau_lines = hw::count_lines(dau_v);
+
+  const hw::DduResult det = hw::Ddu::evaluate(rag::worst_case_state(m, n));
+  hw::Dau dau(m, n);
+  const sim::Cycles avoid_worst = dau.worst_case_cycles();
+  const double pct = hw::area_percent_of_mpsoc(dau_a.total());
+  const hw::MpsocAreaBudget budget;
+
+  std::printf("%-22s %8s %12s %12s %14s\n", "Module", "Lines", "Area",
+              "Steps(det)", "Steps(avoid)");
+  std::printf("%-22s %8zu %12.0f %12llu %14s\n", "DDU 5x5", ddu_lines,
+              ddu_a.total(), static_cast<unsigned long long>(det.cycles),
+              "-");
+  std::printf("%-22s %8zu %12.0f %12s %14s\n", "Others in Fig. 14",
+              dau_lines - ddu_lines, others_area, "-", "8 (FSM)");
+  std::printf("%-22s %8zu %12.0f %12s %11llu\n", "Total", dau_lines,
+              dau_a.total(), "-",
+              static_cast<unsigned long long>(avoid_worst));
+  std::printf("%-22s %8s %12.3fM\n", "MPSoC", "-", budget.total() / 1e6);
+  std::printf("\nDAU area share of the MPSoC: %.4f%% (paper: .005%%)\n", pct);
+  std::printf("paper row: DDU 364 / others 1472 / total 1836 NAND2; worst\n"
+              "steps: detection 6, avoidance 6x5+8 = 38\n");
+
+  const bool ok = det.cycles == 6 && avoid_worst == 38 && pct < 0.01;
+  std::printf("detection=6, avoidance=38, area<0.01%%: %s\n",
+              ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

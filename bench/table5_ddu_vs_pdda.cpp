@@ -1,0 +1,59 @@
+// Table 5: deadlock detection time and application execution time —
+// DDU (RTOS2) vs software PDDA (RTOS1) on the Jini-style application of
+// §5.3 (event sequence of Table 4 / Fig. 15).
+#include <cstdio>
+
+#include "apps/deadlock_apps.h"
+#include "bench/bench_util.h"
+#include "sim/stats.h"
+#include "soc/delta_framework.h"
+
+int main() {
+  using namespace delta;
+  bench::header("Table 5 — DDU vs PDDA-in-software (deadlock detection)",
+                "Lee & Mooney, DATE 2003, Tables 4-5, Fig. 15");
+
+  apps::DeadlockAppReport reports[2];
+  const int presets[2] = {2, 1};  // RTOS2 (DDU) first, like the paper row
+  const char* names[2] = {"DDU (hardware)", "PDDA in software"};
+
+  for (int i = 0; i < 2; ++i) {
+    auto soc = soc::generate(soc::rtos_preset(presets[i]));
+    apps::build_jini_app(*soc);
+    reports[i] = apps::run_deadlock_app(*soc);
+    if (i == 0) {
+      std::printf("\nEvent trace (Table 4):\n");
+      for (const auto& e : soc->simulator().trace().events())
+        std::printf("  %8llu  %-5s %s\n",
+                    static_cast<unsigned long long>(e.time),
+                    e.channel.c_str(), e.text.c_str());
+    }
+  }
+
+  std::printf("\n%-22s %14s %16s %10s\n", "Method", "Algorithm", "Application",
+              "Speedup");
+  std::printf("%-22s %14s %16s %10s\n", "", "Run Time*", "Run Time*", "");
+  for (int i = 0; i < 2; ++i) {
+    std::printf("%-22s %14.1f %16llu %9.0f%%\n", names[i],
+                reports[i].algorithm_avg_cycles,
+                static_cast<unsigned long long>(reports[i].app_run_time),
+                i == 0 ? sim::speedup_percent(
+                             static_cast<double>(reports[1].app_run_time),
+                             static_cast<double>(reports[0].app_run_time))
+                       : 0.0);
+  }
+  std::printf("* bus clocks, averaged over %zu detection invocations\n",
+              reports[0].invocations);
+  std::printf("\nalgorithm speed-up: %.0fX (paper: ~1408X)\n",
+              sim::speedup_factor(reports[1].algorithm_avg_cycles,
+                                  reports[0].algorithm_avg_cycles));
+  std::printf("application speed-up: %.0f%% (paper: 46%%)\n",
+              sim::speedup_percent(
+                  static_cast<double>(reports[1].app_run_time),
+                  static_cast<double>(reports[0].app_run_time)));
+  std::printf("deadlock detected: %s/%s; invocations: %zu/%zu (paper: 10)\n",
+              reports[0].deadlock_detected ? "yes" : "NO",
+              reports[1].deadlock_detected ? "yes" : "NO",
+              reports[0].invocations, reports[1].invocations);
+  return reports[0].deadlock_detected && reports[1].deadlock_detected ? 0 : 1;
+}

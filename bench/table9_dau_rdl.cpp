@@ -1,0 +1,56 @@
+// Table 9: DAU vs DAA-in-software on the request-deadlock scenario
+// (§5.4.3, Table 8, Fig. 17).
+#include <cstdio>
+
+#include "apps/deadlock_apps.h"
+#include "bench/bench_util.h"
+#include "sim/stats.h"
+#include "soc/delta_framework.h"
+
+int main() {
+  using namespace delta;
+  bench::header("Table 9 — DAU vs DAA-in-software (request deadlock)",
+                "Lee & Mooney, DATE 2003, Tables 8-9, Fig. 17");
+
+  apps::DeadlockAppReport reports[2];
+  const int presets[2] = {4, 3};
+  const char* names[2] = {"DAU (hardware)", "DAA in software"};
+
+  for (int i = 0; i < 2; ++i) {
+    auto soc = soc::generate(soc::rtos_preset(presets[i]));
+    apps::build_rdl_app(*soc);
+    reports[i] = apps::run_deadlock_app(*soc);
+    if (i == 0) {
+      std::printf("\nEvent trace (Table 8):\n");
+      for (const auto& e : soc->simulator().trace().events())
+        std::printf("  %8llu  %-5s %s\n",
+                    static_cast<unsigned long long>(e.time),
+                    e.channel.c_str(), e.text.c_str());
+    }
+  }
+
+  std::printf("\n%-22s %14s %16s %10s\n", "Method", "Algorithm", "Application",
+              "Speedup");
+  for (int i = 0; i < 2; ++i)
+    std::printf("%-22s %14.2f %16llu %9.0f%%\n", names[i],
+                reports[i].algorithm_avg_cycles,
+                static_cast<unsigned long long>(reports[i].app_run_time),
+                i == 0 ? sim::speedup_percent(
+                             static_cast<double>(reports[1].app_run_time),
+                             static_cast<double>(reports[0].app_run_time))
+                       : 0.0);
+  std::printf("\nalgorithm speed-up: %.0fX (paper: ~294X)\n",
+              sim::speedup_factor(reports[1].algorithm_avg_cycles,
+                                  reports[0].algorithm_avg_cycles));
+  std::printf("application speed-up: %.0f%% (paper: 44%%)\n",
+              sim::speedup_percent(
+                  static_cast<double>(reports[1].app_run_time),
+                  static_cast<double>(reports[0].app_run_time)));
+  std::printf("invocations: %zu/%zu (paper: 14)\n", reports[0].invocations,
+              reports[1].invocations);
+  std::printf("R-dl avoided (give-up protocol), all finished: %s/%s\n",
+              reports[0].all_finished ? "yes" : "NO",
+              reports[1].all_finished ? "yes" : "NO");
+  const bool ok = reports[0].all_finished && reports[1].all_finished;
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+// Deadlock avoidance walkthrough: runs the paper's grant-deadlock
+// (Table 6) and request-deadlock (Table 8) scenarios under the DAU and
+// narrates every decision the unit makes, then shows what happens to the
+// same workloads when avoidance is switched off (detection-only RTOS2).
+#include <cstdio>
+
+#include "apps/deadlock_apps.h"
+#include "soc/delta_framework.h"
+
+using namespace delta;
+
+namespace {
+
+void run_scenario(const char* title, void (*builder)(soc::Mpsoc&)) {
+  std::printf("\n==== %s ====\n", title);
+
+  std::printf("-- with the DAU (RTOS4):\n");
+  auto with = soc::generate(soc::rtos_preset(4));
+  builder(*with);
+  const apps::DeadlockAppReport avoided = apps::run_deadlock_app(*with);
+  for (const auto& e : with->simulator().trace().events())
+    std::printf("  %7llu  %-5s %s\n",
+                static_cast<unsigned long long>(e.time), e.channel.c_str(),
+                e.text.c_str());
+  std::printf("  => all tasks finished: %s (run time %llu cycles, "
+              "%zu DAU commands)\n",
+              avoided.all_finished ? "yes" : "NO",
+              static_cast<unsigned long long>(avoided.app_run_time),
+              avoided.invocations);
+
+  std::printf("-- same workload, detection only (RTOS2):\n");
+  auto without = soc::generate(soc::rtos_preset(2));
+  builder(*without);
+  const apps::DeadlockAppReport crashed = apps::run_deadlock_app(*without);
+  std::printf("  => %s\n",
+              crashed.deadlock_detected
+                  ? "DEADLOCK (detected by the DDU; system halted)"
+                  : "finished without deadlock");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Hardware deadlock avoidance demo (paper §5.4)\n");
+  run_scenario("grant deadlock (Table 6 / Fig. 16)", apps::build_gdl_app);
+  run_scenario("request deadlock (Table 8 / Fig. 17)", apps::build_rdl_app);
+  std::printf(
+      "\nThe DAU grants out of priority order to dodge grant deadlock and\n"
+      "asks an owner to give up a resource to dodge request deadlock —\n"
+      "Algorithm 3 of the paper, in hardware, ~7 cycles per decision.\n");
+  return 0;
+}

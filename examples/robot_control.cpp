@@ -1,0 +1,54 @@
+// The robot-control + MPEG workload of §5.5, run under both lock
+// subsystems, with the Fig. 20 execution trace.
+#include <cstdio>
+
+#include "apps/robot_app.h"
+#include "rtos/timeline.h"
+#include "soc/delta_framework.h"
+
+using namespace delta;
+
+int main() {
+  std::printf("Robot control + MPEG decoder (paper §5.5, Figs. 18-20)\n\n");
+
+  apps::RobotReport reports[2];
+  const char* names[2] = {"software priority inheritance (RTOS5)",
+                          "SoCLC with hardware IPCP (RTOS6)"};
+  for (int i = 0; i < 2; ++i) {
+    soc::MpsocConfig mc = soc::rtos_preset(i == 0 ? 5 : 6).to_mpsoc_config();
+    mc.lock_ceilings = apps::robot_lock_ceilings();
+    soc::Mpsoc soc(mc);
+    apps::build_robot_app(soc);
+    reports[i] = apps::run_robot_app(soc);
+
+    std::printf("== %s ==\n", names[i]);
+    std::printf("   lock latency avg %.0f cycles, lock delay avg %.0f, "
+                "overall %llu cycles (%.0f us)\n",
+                reports[i].lock_latency_avg, reports[i].lock_delay_avg,
+                static_cast<unsigned long long>(
+                    reports[i].overall_execution),
+                sim::cycles_to_us(reports[i].overall_execution));
+
+    // Show the first contended window: the Fig. 20 story.
+    std::printf("   first scheduling events:\n");
+    int shown = 0;
+    for (const auto& e : soc.simulator().trace().events()) {
+      if (e.channel != "LOCK" && e.channel != "RTOS") continue;
+      std::printf("   %7llu  %s\n",
+                  static_cast<unsigned long long>(e.time), e.text.c_str());
+      if (++shown >= 14) break;
+    }
+    // The Fig. 20 Gantt chart of the first ~12k cycles.
+    const rtos::Timeline tl = rtos::Timeline::from_kernel(
+        soc.kernel(), std::min<sim::Cycles>(12'000, reports[i].overall_execution));
+    std::printf("%s\n", tl.gantt(64).c_str());
+  }
+
+  std::printf("speed-ups from the lock cache: latency %.2fX, delay %.2fX, "
+              "overall %.2fX\n",
+              reports[0].lock_latency_avg / reports[1].lock_latency_avg,
+              reports[0].lock_delay_avg / reports[1].lock_delay_avg,
+              static_cast<double>(reports[0].overall_execution) /
+                  static_cast<double>(reports[1].overall_execution));
+  return reports[0].all_finished && reports[1].all_finished ? 0 : 1;
+}

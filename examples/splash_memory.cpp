@@ -1,0 +1,39 @@
+// Dynamic-memory exploration (paper §5.6): run the SPLASH-2-style
+// kernels with the software heap and with the SoCDMMU, showing where the
+// memory-management time goes.
+#include <cstdio>
+
+#include "apps/splash.h"
+#include "soc/delta_framework.h"
+
+using namespace delta;
+
+int main() {
+  std::printf("SPLASH-2-style kernels: malloc/free vs SoCDMMU\n\n");
+
+  const apps::SplashTrace traces[] = {
+      apps::run_lu_kernel(), apps::run_fft_kernel(),
+      apps::run_radix_kernel()};
+
+  for (const auto& trace : traces) {
+    std::printf("%s: %llu work ops, %llu allocator calls, verified=%s\n",
+                trace.name.c_str(),
+                static_cast<unsigned long long>(trace.work_ops),
+                static_cast<unsigned long long>(trace.alloc_calls),
+                trace.verified ? "yes" : "NO");
+    for (int preset : {5, 7}) {
+      auto soc = soc::generate(soc::rtos_preset(preset));
+      const apps::SplashReport r = apps::run_splash_on(*soc, trace);
+      std::printf("  %-12s total %8llu cycles, memory mgmt %7llu "
+                  "(%5.2f%%)\n",
+                  soc->kernel().memory().name().c_str(),
+                  static_cast<unsigned long long>(r.total_cycles),
+                  static_cast<unsigned long long>(r.mgmt_cycles),
+                  r.mgmt_percent);
+    }
+    std::printf("\n");
+  }
+  std::printf("The SoCDMMU turns every allocation into a fixed ~4-cycle\n"
+              "command, cutting management time by >90%% (Tables 11-12).\n");
+  return 0;
+}

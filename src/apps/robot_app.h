@@ -1,0 +1,42 @@
+// Robot control + MPEG decoder workload (paper §5.5, Figs. 18-20).
+//
+// Five tasks on four PEs:
+//   task1 (PE1, prio 1) — object recognition / obstacle avoidance,
+//                         hard real-time (WCRT 250 us);
+//   task2 (PE2, prio 2) — robot movement, firm real-time;
+//   task3 (PE2, prio 3) — trajectory display (shares PE2 with task2);
+//   task4 (PE3, prio 4) — trajectory recording;
+//   task5 (PE4, prio 5) — MPEG decoder, soft real-time.
+//
+// Lock 0 protects the shared position/coordinate structure (tasks 1-3),
+// lock 1 the display/record buffer (tasks 3-4), lock 2 the decoder's
+// frame buffer (task 5 only — it contributes uncontended acquires).
+// With the SoCLC backend, lock 0's IPCP ceiling is priority 1, which is
+// what prevents task2 from preempting task3 inside the critical section
+// (the Fig. 20 trace).
+#pragma once
+
+#include "soc/mpsoc.h"
+
+namespace delta::apps {
+
+struct RobotReport {
+  double lock_latency_avg = 0.0;  ///< uncontended acquire (Table 10 row 1)
+  double lock_delay_avg = 0.0;    ///< contended request->grant (row 2)
+  sim::Cycles overall_execution = 0;  ///< all tasks finished (row 3)
+  bool all_finished = false;
+  std::uint64_t lock_acquisitions = 0;
+  std::size_t deadline_misses = 0;  ///< Fig. 19 WCRT violations
+};
+
+/// IPCP ceilings for the three locks (programmed into the SoCLC).
+std::vector<rtos::Priority> robot_lock_ceilings();
+
+/// Build the workload into `soc`.
+void build_robot_app(soc::Mpsoc& soc);
+
+/// Run to completion and report.
+RobotReport run_robot_app(soc::Mpsoc& soc,
+                          sim::Cycles limit = 5'000'000);
+
+}  // namespace delta::apps

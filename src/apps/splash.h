@@ -1,0 +1,75 @@
+// SPLASH-2-style benchmark kernels (paper §5.6, Tables 11/12).
+//
+// Blocked LU decomposition, complex 1-D FFT and integer radix sort, in
+// the paper's modified form: every static array is replaced by dynamic
+// allocation at run time and deallocation on completion, so the kernels
+// exercise the memory-management path heavily. Each kernel really
+// computes (self-verified), counts its arithmetic/memory operations, and
+// emits a phase trace — alternating Alloc/Compute/Free — that is turned
+// into an RTOS task program and replayed on the configured MPSoC with
+// either the software heap (Table 11) or the SoCDMMU (Table 12).
+//
+// Cycle model: compute cycles = work ops x cycles_per_op, with per-kernel
+// constants calibrated once against the paper's software-heap totals
+// (documented in DESIGN.md §2); the same constants are used for both
+// allocator configurations, so the Table 12 reductions are produced by
+// the allocator path alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtos/program.h"
+#include "soc/mpsoc.h"
+
+namespace delta::apps {
+
+/// One phase of a kernel's execution trace.
+struct SplashPhase {
+  enum class Kind : std::uint8_t { kAlloc, kFree, kCompute } kind;
+  std::uint64_t bytes = 0;       ///< kAlloc
+  std::string slot;              ///< kAlloc/kFree
+  sim::Cycles cycles = 0;        ///< kCompute
+};
+
+/// A kernel run: trace + self-check + operation counts.
+struct SplashTrace {
+  std::string name;
+  std::vector<SplashPhase> phases;
+  bool verified = false;         ///< result self-check passed
+  std::uint64_t work_ops = 0;    ///< counted arithmetic/memory operations
+  std::uint64_t alloc_calls = 0; ///< allocs + frees
+
+  /// Total modeled compute cycles across phases.
+  [[nodiscard]] sim::Cycles compute_cycles() const;
+
+  /// Convert to a task program.
+  [[nodiscard]] rtos::Program to_program() const;
+};
+
+/// Blocked LU decomposition of a random dense matrix.
+SplashTrace run_lu_kernel(std::size_t n = 64, std::size_t block = 8,
+                          double cycles_per_op = 1.07);
+
+/// Iterative radix-2 FFT of a random complex signal (power-of-two size).
+SplashTrace run_fft_kernel(std::size_t n = 4096,
+                           double cycles_per_op = 0.84);
+
+/// LSD radix sort of random 32-bit keys.
+SplashTrace run_radix_kernel(std::size_t keys = 16384,
+                             unsigned digit_bits = 4,
+                             double cycles_per_op = 0.58);
+
+/// Replay a trace on the configured MPSoC and report Table 11/12 rows.
+struct SplashReport {
+  std::string name;
+  sim::Cycles total_cycles = 0;      ///< benchmark execution time
+  sim::Cycles mgmt_cycles = 0;       ///< memory-management time
+  std::uint64_t mgmt_calls = 0;
+  double mgmt_percent = 0.0;
+  bool verified = false;
+};
+SplashReport run_splash_on(soc::Mpsoc& soc, const SplashTrace& trace);
+
+}  // namespace delta::apps

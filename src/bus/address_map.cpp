@@ -1,0 +1,50 @@
+#include "bus/address_map.h"
+
+#include <stdexcept>
+
+namespace delta::bus {
+
+void AddressMap::add(std::string name, std::uint64_t base,
+                     std::uint64_t size) {
+  if (size == 0) throw std::invalid_argument("AddressMap: zero-size region");
+  const std::uint64_t end = base + size;
+  if (end < base) throw std::invalid_argument("AddressMap: address wrap");
+  for (const Region& r : regions_) {
+    if (base < r.end() && r.base < end)
+      throw std::invalid_argument("AddressMap: region '" + name +
+                                  "' overlaps '" + r.name + "'");
+    if (r.name == name)
+      throw std::invalid_argument("AddressMap: duplicate region name '" +
+                                  name + "'");
+  }
+  regions_.push_back(Region{std::move(name), base, size});
+}
+
+const Region* AddressMap::decode(std::uint64_t addr) const {
+  for (const Region& r : regions_)
+    if (r.contains(addr)) return &r;
+  return nullptr;
+}
+
+const Region* AddressMap::find(std::string_view name) const {
+  for (const Region& r : regions_)
+    if (r.name == name) return &r;
+  return nullptr;
+}
+
+AddressMap AddressMap::base_mpsoc() {
+  AddressMap map;
+  map.add("l2_memory", 0x0000'0000, 16ULL * 1024 * 1024);  // 16 MB shared
+  map.add("soclc", 0x4000'0000, 0x1000);
+  map.add("socdmmu", 0x4001'0000, 0x1000);
+  map.add("ddu", 0x4002'0000, 0x1000);
+  map.add("dau", 0x4003'0000, 0x1000);
+  map.add("interrupt_ctrl", 0x4004'0000, 0x1000);
+  map.add("vi", 0x5000'0000, 0x1000);     // video interface (q1)
+  map.add("mpeg", 0x5001'0000, 0x1000);   // MPEG/IDCT unit (q2)
+  map.add("dsp", 0x5002'0000, 0x1000);    // DSP (q3)
+  map.add("wi", 0x5003'0000, 0x1000);     // wireless interface (q4)
+  return map;
+}
+
+}  // namespace delta::bus

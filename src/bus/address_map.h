@@ -1,0 +1,52 @@
+// System address map.
+//
+// The memory-mapped layout of the modeled MPSoC: shared L2 memory plus
+// the register windows of the hardware RTOS components (SoCLC, SoCDMMU,
+// DDU/DAU command and status ports) and the four resources. The delta
+// framework's top-file generator consults this map when wiring address
+// decoders, and the RTOS device drivers use it for port addresses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace delta::bus {
+
+/// One decoded region.
+struct Region {
+  std::string name;
+  std::uint64_t base = 0;
+  std::uint64_t size = 0;
+  [[nodiscard]] std::uint64_t end() const { return base + size; }
+  [[nodiscard]] bool contains(std::uint64_t addr) const {
+    return addr >= base && addr < end();
+  }
+};
+
+/// Registry of non-overlapping regions with decode lookup.
+class AddressMap {
+ public:
+  /// Add a region; throws std::invalid_argument on overlap or zero size.
+  void add(std::string name, std::uint64_t base, std::uint64_t size);
+
+  /// Decode an address to its region.
+  [[nodiscard]] const Region* decode(std::uint64_t addr) const;
+
+  /// Find a region by name.
+  [[nodiscard]] const Region* find(std::string_view name) const;
+
+  [[nodiscard]] const std::vector<Region>& regions() const {
+    return regions_;
+  }
+
+  /// The default map of the base MPSoC (§5.1): 16 MB L2 at 0, device
+  /// windows above it.
+  static AddressMap base_mpsoc();
+
+ private:
+  std::vector<Region> regions_;
+};
+
+}  // namespace delta::bus

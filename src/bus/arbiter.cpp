@@ -1,0 +1,38 @@
+#include "bus/arbiter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace delta::bus {
+
+Arbiter::Arbiter(std::size_t masters, ArbitrationPolicy policy)
+    : masters_(masters), policy_(policy) {
+  if (masters == 0) throw std::invalid_argument("Arbiter: zero masters");
+}
+
+std::optional<MasterId> Arbiter::grant(
+    const std::vector<MasterId>& requestors) {
+  if (requestors.empty()) return std::nullopt;
+  for (MasterId r : requestors) {
+    (void)r;
+    assert(r < masters_ && "requestor out of range");
+  }
+  if (policy_ == ArbitrationPolicy::kFixedPriority) {
+    return *std::min_element(requestors.begin(), requestors.end());
+  }
+  // Round-robin: the first requestor at or after rr_next_ (cyclically).
+  MasterId best = requestors.front();
+  std::size_t best_dist = masters_;
+  for (MasterId r : requestors) {
+    const std::size_t dist = (r + masters_ - rr_next_) % masters_;
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = r;
+    }
+  }
+  rr_next_ = (best + 1) % masters_;
+  return best;
+}
+
+}  // namespace delta::bus

@@ -1,0 +1,42 @@
+// Bus arbitration policies.
+//
+// The base MPSoC (paper §5.1) has a bus arbiter in front of the shared
+// memory. We model the two policies the delta framework's bus generator
+// offers: fixed priority (lower master id wins) and round-robin.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace delta::bus {
+
+/// Master index on the bus (PEs first, then DMA-capable devices).
+using MasterId = std::size_t;
+
+enum class ArbitrationPolicy : std::uint8_t { kFixedPriority, kRoundRobin };
+
+/// Combinational arbiter: picks one winner among simultaneous requestors.
+class Arbiter {
+ public:
+  Arbiter(std::size_t masters, ArbitrationPolicy policy);
+
+  [[nodiscard]] std::size_t masters() const { return masters_; }
+  [[nodiscard]] ArbitrationPolicy policy() const { return policy_; }
+
+  /// Choose among `requestors` (must all be < masters()). Returns
+  /// std::nullopt when the set is empty. Round-robin state advances only
+  /// when a grant is made.
+  std::optional<MasterId> grant(const std::vector<MasterId>& requestors);
+
+  /// Round-robin pointer (next master with top priority); for tests.
+  [[nodiscard]] MasterId rr_next() const { return rr_next_; }
+
+ private:
+  std::size_t masters_;
+  ArbitrationPolicy policy_;
+  MasterId rr_next_ = 0;
+};
+
+}  // namespace delta::bus

@@ -1,0 +1,42 @@
+#include "bus/bus.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace delta::bus {
+
+SharedBus::SharedBus(std::size_t masters, BusTiming timing)
+    : timing_(timing), stats_(masters) {
+  if (masters == 0) throw std::invalid_argument("SharedBus: zero masters");
+}
+
+sim::Cycles SharedBus::transfer_cycles(std::size_t words) const {
+  if (words == 0) throw std::invalid_argument("transfer: zero words");
+  return timing_.first_word +
+         static_cast<sim::Cycles>(words - 1) * timing_.burst_word;
+}
+
+BusTransaction SharedBus::transfer(MasterId master, sim::Cycles now,
+                                   std::size_t words) {
+  MasterStats& st = stats_.at(master);
+  BusTransaction tx;
+  tx.start = std::max(now, busy_until_);
+  tx.waited = tx.start - now;
+  const sim::Cycles dur = transfer_cycles(words);
+  tx.complete = tx.start + dur;
+  busy_until_ = tx.complete;
+
+  ++st.transactions;
+  st.words += words;
+  st.wait_cycles += tx.waited;
+  st.busy_cycles += dur;
+  return tx;
+}
+
+std::uint64_t SharedBus::total_transactions() const {
+  std::uint64_t n = 0;
+  for (const auto& s : stats_) n += s.transactions;
+  return n;
+}
+
+}  // namespace delta::bus

@@ -1,0 +1,289 @@
+#include "deadlock/baselines.h"
+
+#include <cassert>
+#include <deque>
+
+namespace delta::deadlock {
+
+using rag::Edge;
+using rag::ProcId;
+using rag::ResId;
+
+namespace {
+
+/// True when process t has at least one edge in `state`.
+bool proc_active(const rag::StateMatrix& state, ProcId t, OpMeter& meter) {
+  for (ResId s = 0; s < state.resources(); ++s) {
+    meter.loads += 1;
+    meter.branches += 1;
+    if (state.at(s, t) != Edge::kNone) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+DetectRun detect_holt(const rag::StateMatrix& state) {
+  DetectRun run;
+  OpMeter& mt = run.meter;
+  const std::size_t m = state.resources();
+  const std::size_t n = state.processes();
+
+  // free[s]: resource currently unallocated in the reduced graph.
+  std::vector<std::uint8_t> freed(m, 0);
+  std::vector<std::uint32_t> blocked(n, 0);  // requests on non-free resources
+  std::vector<std::uint8_t> done(n, 0);
+
+  for (ResId s = 0; s < m; ++s) {
+    freed[s] = static_cast<std::uint8_t>(state.owner(s) == rag::kNoProc);
+    mt.loads += 1;
+    mt.stores += 1;
+  }
+  for (ProcId t = 0; t < n; ++t) {
+    for (ResId s = 0; s < m; ++s) {
+      mt.loads += 2;
+      mt.branches += 2;
+      if (state.at(s, t) == Edge::kRequest && !freed[s]) ++blocked[t];
+    }
+    mt.stores += 1;
+  }
+
+  // Work list of completable processes.
+  std::deque<ProcId> ready;
+  for (ProcId t = 0; t < n; ++t) {
+    mt.loads += 1;
+    mt.branches += 1;
+    if (blocked[t] == 0) ready.push_back(t);
+  }
+
+  std::size_t completed = 0;
+  std::size_t active = 0;
+  for (ProcId t = 0; t < n; ++t)
+    if (proc_active(state, t, mt)) ++active;
+
+  while (!ready.empty()) {
+    const ProcId t = ready.front();
+    ready.pop_front();
+    mt.loads += 1;
+    mt.branches += 1;
+    if (done[t]) continue;
+    done[t] = 1;
+    mt.stores += 1;
+    ++completed;
+    // Release everything t holds; newly free resources unblock waiters.
+    for (ResId s = 0; s < m; ++s) {
+      mt.loads += 1;
+      mt.branches += 1;
+      if (state.at(s, t) != Edge::kGrant || freed[s]) continue;
+      freed[s] = 1;
+      mt.stores += 1;
+      for (ProcId w = 0; w < n; ++w) {
+        mt.loads += 2;
+        mt.branches += 2;
+        if (state.at(s, w) == Edge::kRequest && !done[w]) {
+          assert(blocked[w] > 0);
+          if (--blocked[w] == 0) ready.push_back(w);
+          mt.stores += 1;
+        }
+      }
+    }
+  }
+
+  // Deadlock iff some process with edges could not complete. Processes with
+  // no edges are vacuously fine (and were counted completed if enqueued).
+  std::size_t completed_active = 0;
+  for (ProcId t = 0; t < n; ++t) {
+    mt.loads += 2;
+    mt.branches += 2;
+    if (done[t] && proc_active(state, t, mt)) ++completed_active;
+  }
+  run.deadlock = completed_active < active;
+  return run;
+}
+
+DetectRun detect_shoshani(const rag::StateMatrix& state) {
+  DetectRun run;
+  OpMeter& mt = run.meter;
+  const std::size_t m = state.resources();
+  const std::size_t n = state.processes();
+
+  std::vector<std::uint8_t> freed(m, 0);
+  std::vector<std::uint8_t> done(n, 0);
+  for (ResId s = 0; s < m; ++s) {
+    freed[s] = static_cast<std::uint8_t>(state.owner(s) == rag::kNoProc);
+    mt.loads += 1;
+    mt.stores += 1;
+  }
+
+  // Naive fixpoint: each pass rescans every process in full (no work list),
+  // which is what gives this formulation its O(m*n^2) bound.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    mt.branches += 1;
+    for (ProcId t = 0; t < n; ++t) {
+      mt.loads += 1;
+      mt.branches += 1;
+      if (done[t]) continue;
+      bool blocked = false;
+      bool any_edge = false;
+      for (ResId s = 0; s < m; ++s) {
+        const Edge e = state.at(s, t);
+        mt.loads += 2;
+        mt.branches += 2;
+        mt.alu += 1;
+        if (e == Edge::kRequest && !freed[s]) blocked = true;
+        if (e != Edge::kNone) any_edge = true;
+      }
+      mt.branches += 1;
+      if (blocked || !any_edge) continue;
+      done[t] = 1;
+      progress = true;
+      mt.stores += 1;
+      for (ResId s = 0; s < m; ++s) {
+        mt.loads += 1;
+        mt.branches += 1;
+        if (state.at(s, t) == Edge::kGrant) {
+          freed[s] = 1;
+          mt.stores += 1;
+        }
+      }
+    }
+  }
+
+  for (ProcId t = 0; t < n; ++t) {
+    mt.loads += 1;
+    mt.branches += 1;
+    if (done[t]) continue;
+    bool blocked = false;
+    for (ResId s = 0; s < m; ++s) {
+      mt.loads += 2;
+      mt.branches += 2;
+      if (state.at(s, t) == Edge::kRequest && !freed[s]) blocked = true;
+    }
+    if (blocked) {
+      run.deadlock = true;
+      break;
+    }
+  }
+  return run;
+}
+
+DetectRun detect_leibfried(const rag::StateMatrix& state) {
+  DetectRun run;
+  OpMeter& mt = run.meter;
+  const std::size_t n = state.processes();
+  const std::size_t m = state.resources();
+  const std::size_t N = n + m;  // processes [0,n), resources [n,N)
+
+  // Boolean adjacency matrix of the RAG digraph.
+  std::vector<std::uint8_t> a(N * N, 0);
+  for (ResId s = 0; s < m; ++s) {
+    for (ProcId t = 0; t < n; ++t) {
+      const Edge e = state.at(s, t);
+      mt.loads += 1;
+      mt.branches += 2;
+      if (e == Edge::kRequest) a[t * N + (n + s)] = 1;   // p -> q
+      if (e == Edge::kGrant) a[(n + s) * N + t] = 1;     // q -> p
+      mt.stores += 1;
+    }
+  }
+
+  // Reachability closure via repeated squaring of B = A | I.
+  std::vector<std::uint8_t> b = a;
+  for (std::size_t i = 0; i < N; ++i) {
+    b[i * N + i] = 1;
+    mt.stores += 1;
+  }
+  std::vector<std::uint8_t> next(N * N, 0);
+  for (std::size_t doubling = 1; doubling < N; doubling *= 2) {
+    for (std::size_t i = 0; i < N; ++i) {
+      for (std::size_t j = 0; j < N; ++j) {
+        std::uint8_t v = 0;
+        for (std::size_t k = 0; k < N; ++k) {
+          v |= static_cast<std::uint8_t>(b[i * N + k] & b[k * N + j]);
+          mt.loads += 2;
+          mt.alu += 2;
+        }
+        next[i * N + j] = v;
+        mt.stores += 1;
+      }
+    }
+    b.swap(next);
+    mt.alu += 1;
+  }
+
+  // A cycle exists iff some edge (u,v) has a return path v ->* u.
+  for (std::size_t u = 0; u < N && !run.deadlock; ++u) {
+    for (std::size_t v = 0; v < N; ++v) {
+      mt.loads += 2;
+      mt.branches += 1;
+      if (a[u * N + v] && b[v * N + u]) {
+        run.deadlock = true;
+        break;
+      }
+    }
+  }
+  return run;
+}
+
+KimKohDetector::KimKohDetector(std::size_t resources, std::size_t processes)
+    : owner_(resources, rag::kNoProc), waits_for_(processes, rag::kNoRes) {}
+
+bool KimKohDetector::prepare(const rag::StateMatrix& state) {
+  assert(owner_.size() == state.resources() &&
+         waits_for_.size() == state.processes());
+  std::fill(owner_.begin(), owner_.end(), rag::kNoProc);
+  std::fill(waits_for_.begin(), waits_for_.end(), rag::kNoRes);
+  for (ResId s = 0; s < state.resources(); ++s) {
+    owner_[s] = state.owner(s);
+    meter_.loads += 1;
+    meter_.stores += 1;
+    for (ProcId t = 0; t < state.processes(); ++t) {
+      meter_.loads += 1;
+      meter_.branches += 1;
+      if (state.at(s, t) == Edge::kRequest) {
+        if (waits_for_[t] != rag::kNoRes) return false;  // not single-request
+        waits_for_[t] = s;
+        meter_.stores += 1;
+      }
+    }
+  }
+  return true;
+}
+
+bool KimKohDetector::request_creates_deadlock(ProcId p, ResId q) {
+  // Walk the functional wait-for chain from q's owner; a cycle through the
+  // new edge exists iff the chain returns to p.
+  ResId cur = q;
+  while (true) {
+    meter_.loads += 1;
+    meter_.branches += 1;
+    const ProcId own = owner_[cur];
+    if (own == rag::kNoProc) return false;
+    if (own == p) return true;
+    meter_.loads += 1;
+    meter_.branches += 1;
+    cur = waits_for_[own];
+    if (cur == rag::kNoRes) return false;
+  }
+}
+
+void KimKohDetector::on_grant(ResId q, ProcId p) {
+  owner_[q] = p;
+  if (waits_for_[p] == q) waits_for_[p] = rag::kNoRes;
+  meter_.stores += 2;
+}
+
+void KimKohDetector::on_request(ProcId p, ResId q) {
+  assert(waits_for_[p] == rag::kNoRes && "single-request system");
+  waits_for_[p] = q;
+  meter_.stores += 1;
+}
+
+void KimKohDetector::on_release(ResId q) {
+  owner_[q] = rag::kNoProc;
+  meter_.stores += 1;
+}
+
+}  // namespace delta::deadlock

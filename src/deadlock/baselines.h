@@ -1,0 +1,77 @@
+// Prior-work deadlock *detection* algorithms (paper §3.3.2), implemented
+// as instrumented software baselines for the scaling ablation benches:
+//
+//  * Holt (1972)            — O(m*n) graph reduction with a work list
+//  * Shoshani-Coffman (1970)— O(m*n^2) naive repeated-scan reduction
+//  * Leibfried (1989)       — O(N^3) adjacency-matrix transitive closure
+//  * Kim-Koh (1991)         — O(1)-amortized incremental wait-for walk
+//                             (single-request systems)
+//
+// All operate on the same single-unit-resource StateMatrix and are
+// property-tested against the DFS oracle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "deadlock/meter.h"
+#include "rag/state_matrix.h"
+
+namespace delta::deadlock {
+
+/// Common result of a metered detection run.
+struct DetectRun {
+  bool deadlock = false;
+  OpMeter meter;
+};
+
+/// Holt's knot/graph-reduction detection, O(m*n).
+///
+/// Repeatedly "completes" processes none of whose outstanding requests are
+/// blocked (every requested resource is free or becomes free), releasing
+/// their held resources; deadlock iff some blocked process survives.
+DetectRun detect_holt(const rag::StateMatrix& state);
+
+/// Shoshani & Coffman style detection, O(m*n^2): like Holt but with naive
+/// full rescans instead of a work list — each pass over all n processes
+/// may unblock only one, giving the extra factor of n.
+DetectRun detect_shoshani(const rag::StateMatrix& state);
+
+/// Leibfried's formalism: build the (m+n)^2 boolean adjacency matrix of
+/// the RAG and detect cycles via matrix multiplication (repeated squaring
+/// of A, checking the diagonal), O(N^3 log N) bit-serial work, O(m^3) in
+/// the paper's accounting.
+DetectRun detect_leibfried(const rag::StateMatrix& state);
+
+/// Kim & Koh's incremental scheme for single-unit, *single-request*
+/// systems: processes wait on at most one resource, so the wait-for graph
+/// is functional and a new request closes a cycle iff walking
+/// owner->waits-for->owner->... from the requested resource returns to the
+/// requester. Detection itself is O(cycle length); the O(m*n) cost the
+/// paper cites is the "detection preparation" performed up front.
+class KimKohDetector {
+ public:
+  KimKohDetector(std::size_t resources, std::size_t processes);
+
+  /// Load an arbitrary state (the O(m*n) preparation step). States where a
+  /// process waits on more than one resource are rejected (returns false).
+  bool prepare(const rag::StateMatrix& state);
+
+  /// Would `p` requesting `q` create deadlock *now*? O(chain length).
+  bool request_creates_deadlock(rag::ProcId p, rag::ResId q);
+
+  /// Apply events incrementally.
+  void on_grant(rag::ResId q, rag::ProcId p);
+  void on_request(rag::ProcId p, rag::ResId q);
+  void on_release(rag::ResId q);
+
+  [[nodiscard]] const OpMeter& meter() const { return meter_; }
+  void reset_meter() { meter_.reset(); }
+
+ private:
+  std::vector<rag::ProcId> owner_;     ///< per resource, kNoProc if free
+  std::vector<rag::ResId> waits_for_;  ///< per process, kNoRes if running
+  OpMeter meter_;
+};
+
+}  // namespace delta::deadlock

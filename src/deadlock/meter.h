@@ -1,0 +1,15 @@
+// Operation metering used by the software deadlock algorithms.
+//
+// The meter itself lives in sim/cost_model.h (it is shared with the
+// software heap and the RTOS service-cost model); these aliases keep the
+// deadlock module's vocabulary local.
+#pragma once
+
+#include "sim/cost_model.h"
+
+namespace delta::deadlock {
+
+using OpMeter = sim::OpMeter;
+using SoftwareCostModel = sim::SoftwareCostModel;
+
+}  // namespace delta::deadlock

@@ -1,0 +1,121 @@
+#include "deadlock/pdda.h"
+
+namespace delta::deadlock {
+
+namespace {
+// Entry encoding of the software matrix copy: 0 none, 1 request, 2 grant —
+// one byte per cell, as a compact C implementation on the MPC755 would use.
+constexpr std::uint8_t kNone = 0, kReq = 1, kGnt = 2;
+}  // namespace
+
+bool SoftwarePdda::detect(const rag::StateMatrix& state) {
+  meter_.reset();
+  iterations_ = 0;
+
+  const std::size_t m = state.resources();
+  const std::size_t n = state.processes();
+
+  // Lines 2-6 of Algorithm 2: build the working matrix from the RAG. The
+  // kernel keeps the RAG in shared memory; the copy is one load + one
+  // store + loop bookkeeping per cell.
+  std::vector<std::uint8_t> cell(m * n);
+  for (std::size_t s = 0; s < m; ++s) {
+    for (std::size_t t = 0; t < n; ++t) {
+      const rag::Edge e = state.at(s, t);
+      cell[s * n + t] = e == rag::Edge::kRequest ? kReq
+                        : e == rag::Edge::kGrant ? kGnt
+                                                 : kNone;
+      meter_.loads += 1;     // read RAG entry
+      meter_.stores += 1;    // write local matrix
+      meter_.alu += 2;       // index arithmetic
+      meter_.branches += 1;  // loop test
+    }
+  }
+
+  // Algorithm 1: terminal reduction sequence, serial version.
+  std::vector<std::uint8_t> row_term(m), col_term(n);
+  while (true) {
+    bool any_terminal = false;
+
+    // Line 5: terminal rows. Serial scan of each row, accumulating
+    // has-request / has-grant flags.
+    for (std::size_t s = 0; s < m; ++s) {
+      bool has_r = false, has_g = false;
+      for (std::size_t t = 0; t < n; ++t) {
+        const std::uint8_t v = cell[s * n + t];
+        has_r |= (v == kReq);
+        has_g |= (v == kGnt);
+        meter_.loads += 1;
+        meter_.alu += 3;  // two compares + index arithmetic
+        meter_.branches += 1;
+      }
+      row_term[s] = static_cast<std::uint8_t>(has_r != has_g);  // XOR, Eq. 4
+      any_terminal |= (row_term[s] != 0);
+      meter_.stores += 1;
+      meter_.alu += 2;
+      meter_.branches += 1;
+    }
+
+    // Line 6: terminal columns.
+    for (std::size_t t = 0; t < n; ++t) {
+      bool has_r = false, has_g = false;
+      for (std::size_t s = 0; s < m; ++s) {
+        const std::uint8_t v = cell[s * n + t];
+        has_r |= (v == kReq);
+        has_g |= (v == kGnt);
+        meter_.loads += 1;
+        meter_.alu += 3;
+        meter_.branches += 1;
+      }
+      col_term[t] = static_cast<std::uint8_t>(has_r != has_g);
+      any_terminal |= (col_term[t] != 0);
+      meter_.stores += 1;
+      meter_.alu += 2;
+      meter_.branches += 1;
+    }
+
+    // Line 7: no more terminals -> irreducible.
+    meter_.branches += 1;
+    if (!any_terminal) break;
+    ++iterations_;
+
+    // Lines 8-9: remove all terminal edges.
+    for (std::size_t s = 0; s < m; ++s) {
+      meter_.loads += 1;
+      meter_.branches += 1;
+      if (!row_term[s]) continue;
+      for (std::size_t t = 0; t < n; ++t) {
+        cell[s * n + t] = kNone;
+        meter_.stores += 1;
+        meter_.alu += 1;
+        meter_.branches += 1;
+      }
+    }
+    for (std::size_t t = 0; t < n; ++t) {
+      meter_.loads += 1;
+      meter_.branches += 1;
+      if (!col_term[t]) continue;
+      for (std::size_t s = 0; s < m; ++s) {
+        cell[s * n + t] = kNone;
+        meter_.stores += 1;
+        meter_.alu += 1;
+        meter_.branches += 1;
+      }
+    }
+  }
+
+  // Lines 8-12 of Algorithm 2: deadlock iff edges remain.
+  bool edges_remain = false;
+  for (std::size_t i = 0; i < m * n; ++i) {
+    meter_.loads += 1;
+    meter_.alu += 1;
+    meter_.branches += 1;
+    if (cell[i] != kNone) {
+      edges_remain = true;
+      break;
+    }
+  }
+  return edges_remain;
+}
+
+}  // namespace delta::deadlock

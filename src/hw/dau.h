@@ -1,0 +1,98 @@
+// Deadlock Avoidance Unit (DAU) — hardware model (paper §4.3.2-4.3.3).
+//
+// Architecture per Fig. 14: command registers (request/release commands
+// from each PE), status registers (done / busy / successful / pending /
+// give-up / which-process / which-resource / livelock / G-dl / R-dl), an
+// embedded DDU, and the DAA finite state machine (Algorithm 3).
+//
+// Decision logic is the shared DaaEngine (src/deadlock/daa.h) driven by
+// the DDU hardware detector; this file adds the FSM cycle accounting that
+// Table 2 quotes: worst case = 8 FSM steps + (#probes x DDU steps), e.g.
+// 6*5 + 8 = 38 for a 5x5 unit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "deadlock/daa.h"
+#include "hw/ddu.h"
+#include "sim/sim_time.h"
+
+namespace delta::hw {
+
+/// Status-register snapshot after an event, mirroring Fig. 14's fields.
+struct DauStatus {
+  bool done = false;
+  bool successful = false;  ///< granted (request) / handed over (release)
+  bool pending = false;
+  bool give_up = false;     ///< a process was asked to release resource(s)
+  bool r_dl = false;
+  bool g_dl = false;
+  bool livelock = false;
+  rag::ProcId which_process = rag::kNoProc;  ///< grantee or asked process
+  rag::ResId which_resource = rag::kNoRes;
+};
+
+/// Hardware DAU for a fixed m x n system.
+class Dau {
+ public:
+  Dau(std::size_t resources, std::size_t processes);
+
+  /// FSM step costs (bus cycles). The request path decodes the command,
+  /// checks availability, optionally probes the DDU once, and latches
+  /// status; the release path additionally walks the waiter queue with one
+  /// DDU probe per candidate (Algorithm 3 lines 17-22).
+  static constexpr sim::Cycles kRequestFsmSteps = 4;
+  static constexpr sim::Cycles kReleaseFsmSteps = 8;
+
+  /// Process p writes a REQUEST(q) command register.
+  DauStatus request(rag::ProcId p, rag::ResId q);
+
+  /// Process p writes a RELEASE(q) command register.
+  DauStatus release(rag::ProcId p, rag::ResId q);
+
+  /// Give-up-complete command: after a livelock victim released its
+  /// holdings, the FSM re-runs grant arbitration on the idle resource.
+  DauStatus retry_grant(rag::ResId q);
+
+  /// Withdraw a pending request (the RTOS aborts/restarts a task).
+  void cancel_request(rag::ProcId p, rag::ResId q);
+
+  /// Priority table (one register per process; smaller = higher).
+  void set_priority(rag::ProcId p, int priority);
+
+  /// Cycles consumed by the most recent command (FSM + DDU probes).
+  [[nodiscard]] sim::Cycles last_cycles() const { return last_cycles_; }
+
+  /// DDU probes issued by the most recent command.
+  [[nodiscard]] std::size_t last_probes() const { return last_probes_; }
+
+  /// Resources the asked process must give up (give_up status), matching
+  /// the RequestResult/ReleaseResult from the decision engine.
+  /// NOTE: the reference is invalidated by the next command — copy it
+  /// before issuing the compliance releases.
+  [[nodiscard]] const std::vector<rag::ResId>& asked_resources() const {
+    return asked_resources_;
+  }
+
+  /// Internal tracked state (grants + pending requests).
+  [[nodiscard]] const rag::StateMatrix& state() const {
+    return engine_->state();
+  }
+  [[nodiscard]] rag::ProcId owner(rag::ResId q) const {
+    return engine_->owner(q);
+  }
+
+  /// Worst-case cycles for one command on this geometry (Table 2).
+  [[nodiscard]] sim::Cycles worst_case_cycles() const;
+
+ private:
+  std::unique_ptr<deadlock::DaaEngine> engine_;
+  std::size_t m_, n_;
+  sim::Cycles last_cycles_ = 0;
+  sim::Cycles probe_cycles_ = 0;  // accumulated DDU time per event
+  std::size_t last_probes_ = 0;
+  std::vector<rag::ResId> asked_resources_;
+};
+
+}  // namespace delta::hw

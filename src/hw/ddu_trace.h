@@ -1,0 +1,17 @@
+// DDU waveform tracing: run the DDU on a state and dump its internal
+// signals (terminal/connect weight vectors, the Eq. 5 termination
+// condition, the Eq. 7 decide output, live edge count) as a VCD file.
+#pragma once
+
+#include "hw/ddu.h"
+#include "hw/vcd.h"
+#include "rag/state_matrix.h"
+
+namespace delta::hw {
+
+/// Evaluate `state` like Ddu::evaluate while recording one VCD sample per
+/// hardware iteration into `vcd`. Geometry is limited to 64x64 (one VCD
+/// vector per weight plane). Returns the normal DduResult.
+DduResult trace_ddu(const rag::StateMatrix& state, VcdWriter& vcd);
+
+}  // namespace delta::hw

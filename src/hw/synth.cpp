@@ -1,0 +1,77 @@
+#include "hw/synth.h"
+
+#include <cmath>
+
+namespace delta::hw {
+
+AreaReport ddu_area(std::size_t m, std::size_t n, const GateCosts& g) {
+  AreaReport a;
+  // Matrix cell: two storage bits (request/grant latches), clear gating
+  // per plane, and the write-select gate.
+  const double cell = 2 * g.latch + 2 * g.and2 + 1 * g.nand2;
+  a.matrix_cells = static_cast<double>(m * n) * cell;
+  // Weight cell: Bit-Wise-Or trees across the row/column for both planes
+  // (Eq. 3), the XOR terminal test (Eq. 4) and AND connect test (Eq. 6).
+  const double row_cell =
+      2.0 * static_cast<double>(n - 1) * g.or2 + g.xor2 + g.and2;
+  const double col_cell =
+      2.0 * static_cast<double>(m - 1) * g.or2 + g.xor2 + g.and2;
+  a.weight_cells = static_cast<double>(m) * row_cell +
+                   static_cast<double>(n) * col_cell;
+  // Decide cell: two OR trees over the weight outputs (Eqs. 5/7), the
+  // done/deadlock flip-flops and a little sequencing logic.
+  a.decide = 2.0 * static_cast<double>(m + n - 1) * g.or2 +
+             2.0 * g.flipflop + 3.0 * g.nand2;
+  return a;
+}
+
+AreaReport dau_area(std::size_t m, std::size_t n, std::size_t pe_count,
+                    const GateCosts& g) {
+  AreaReport a = ddu_area(m, n, g);
+  const double pes = static_cast<double>(pe_count);
+  // Command registers (32 b) and status registers (18 b of flags + ids)
+  // per PE, the per-process priority table, per-resource waiter masks.
+  a.registers = pes * 32.0 * g.flipflop + pes * 18.0 * g.flipflop +
+                static_cast<double>(n) * 8.0 * g.flipflop +
+                static_cast<double>(m * n) * g.flipflop;
+  // 19-state FSM: 5 state bits + next-state/decode logic + the waiter
+  // priority encoder and grant/undo datapath strobes.
+  a.fsm = 5.0 * g.flipflop + 19.0 * 6.0 * g.nand2 +
+          static_cast<double>(n) * 10.0 * g.nand2 + 30.0 * g.nand2;
+  return a;
+}
+
+AreaReport soclc_area(const SoclcConfig& cfg, std::size_t pe_count,
+                      const GateCosts& g) {
+  AreaReport a;
+  const double locks =
+      static_cast<double>(cfg.short_locks + cfg.long_locks);
+  const double pes = static_cast<double>(pe_count);
+  // Per lock: held bit, owner tag (8 b), IPCP ceiling (8 b), and a
+  // hardware waiter queue of pe_count entries x (tag 8 b + priority 8 b).
+  const double per_lock =
+      (1.0 + 8.0 + 8.0 + pes * 16.0) * g.flipflop + 10.0 * g.nand2;
+  a.registers = locks * per_lock;
+  // Shared: address decode, grant priority encoder, interrupt fan-out.
+  a.fsm = 200.0 * g.nand2 + pes * 30.0 * g.nand2 + locks * 4.0 * g.or2;
+  return a;
+}
+
+AreaReport socdmmu_area(const SocdmmuConfig& cfg, const GateCosts& g) {
+  AreaReport a;
+  const double blocks = static_cast<double>(cfg.total_blocks);
+  const double pes = static_cast<double>(cfg.pe_count);
+  // Block bitmap + first-free-run priority encoder.
+  a.registers = blocks * g.flipflop + blocks * 2.0 * g.nand2;
+  // Per-PE translation tables: 16 entries x 16 bits.
+  a.registers += pes * 16.0 * 16.0 * g.flipflop;
+  // Command FSM + compare/add datapath.
+  a.fsm = 250.0 * g.nand2;
+  return a;
+}
+
+double area_percent_of_mpsoc(double gates, const MpsocAreaBudget& b) {
+  return gates / b.total() * 100.0;
+}
+
+}  // namespace delta::hw

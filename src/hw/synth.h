@@ -1,0 +1,74 @@
+// Structural gate-area estimation in two-input-NAND equivalents.
+//
+// Stands in for the paper's Synopsys DC synthesis runs (AMIS 0.3u for
+// Table 1, QualCore 0.25u for Table 2). We count the gates of the same
+// netlist topology the Verilog generator emits; constants below are
+// NAND2-equivalents for standard-cell primitives. Absolute numbers differ
+// from the paper's library-specific results (documented in
+// EXPERIMENTS.md); the scaling shape and the "% of MPSoC" headline are
+// what the model must — and does — reproduce.
+#pragma once
+
+#include <cstddef>
+
+#include "hw/socdmmu.h"
+#include "hw/soclc.h"
+
+namespace delta::hw {
+
+/// NAND2-equivalent costs of standard-cell primitives.
+struct GateCosts {
+  double nand2 = 1.0;
+  double and2 = 1.0;
+  double or2 = 1.0;
+  double xor2 = 2.5;
+  double mux2 = 2.0;
+  double latch = 3.0;      ///< level-sensitive storage bit
+  double flipflop = 4.0;   ///< edge-triggered storage bit
+};
+
+/// Area report for one unit.
+struct AreaReport {
+  double matrix_cells = 0;
+  double weight_cells = 0;
+  double decide = 0;
+  double registers = 0;
+  double fsm = 0;
+  [[nodiscard]] double total() const {
+    return matrix_cells + weight_cells + decide + registers + fsm;
+  }
+};
+
+/// DDU area (Fig. 13): m*n matrix cells, m+n weight cells, one decide cell.
+AreaReport ddu_area(std::size_t resources, std::size_t processes,
+                    const GateCosts& g = {});
+
+/// DAU area (Fig. 14): embedded DDU + command/status/priority registers +
+/// the 19-state DAA FSM.
+AreaReport dau_area(std::size_t resources, std::size_t processes,
+                    std::size_t pe_count = 4, const GateCosts& g = {});
+
+/// SoCLC area: per-lock state + waiter queue + priority encoder + IPCP
+/// ceiling registers.
+AreaReport soclc_area(const SoclcConfig& cfg, std::size_t pe_count = 4,
+                      const GateCosts& g = {});
+
+/// SoCDMMU area: block bitmap, first-run priority encoder, per-PE
+/// translation tables, command FSM.
+AreaReport socdmmu_area(const SocdmmuConfig& cfg, const GateCosts& g = {});
+
+/// Reference MPSoC gate budget from the paper (§4.3.3): four PowerPC 755
+/// cores at 1.7M gates each plus 16 MB of memory at 33.5M gates.
+struct MpsocAreaBudget {
+  double pe_gates = 1'700'000.0;
+  std::size_t pe_count = 4;
+  double memory_gates = 33'544'432.0;  // 16 MB SRAM as counted in the paper
+  [[nodiscard]] double total() const {
+    return pe_gates * static_cast<double>(pe_count) + memory_gates;
+  }
+};
+
+/// Percentage of the MPSoC budget a unit of `gates` occupies.
+double area_percent_of_mpsoc(double gates, const MpsocAreaBudget& b = {});
+
+}  // namespace delta::hw

@@ -1,0 +1,59 @@
+// Value-change-dump (VCD) writing.
+//
+// The hardware unit models can dump their cycle-by-cycle signal activity
+// in standard IEEE 1364 VCD, viewable in GTKWave — the moral equivalent
+// of the waveform windows the paper's Seamless/VCS flow provided. The
+// writer is generic; ddu_trace.h hooks the DDU's weight-cell and decide
+// signals into it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/sim_time.h"
+
+namespace delta::hw {
+
+/// Handle to a registered signal.
+using VcdVar = std::size_t;
+
+/// Minimal single-scope VCD writer.
+class VcdWriter {
+ public:
+  /// `timescale` per VCD syntax, e.g. "10ns" (one bus clock).
+  explicit VcdWriter(std::string module = "delta",
+                     std::string timescale = "10ns");
+
+  /// Register a variable of `width` bits before the first sample.
+  VcdVar add_wire(const std::string& name, unsigned width = 1);
+
+  /// Advance time (monotonic) and/or record a value change.
+  void change(sim::Cycles time, VcdVar var, std::uint64_t value);
+
+  /// Finish and render the complete file.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t var_count() const { return vars_.size(); }
+
+ private:
+  struct Var {
+    std::string name;
+    unsigned width;
+    std::string id;  ///< VCD short identifier
+  };
+  struct Change {
+    sim::Cycles time;
+    VcdVar var;
+    std::uint64_t value;
+  };
+
+  std::string module_;
+  std::string timescale_;
+  std::vector<Var> vars_;
+  std::vector<Change> changes_;
+
+  static std::string id_for(std::size_t index);
+};
+
+}  // namespace delta::hw

@@ -1,0 +1,152 @@
+#include "hw/verilog_lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace delta::hw {
+
+namespace {
+
+/// Strip "//" comments and string literals (our generators emit neither
+/// block comments nor strings, but be safe about comment content).
+std::string strip_comment(const std::string& line) {
+  const std::size_t pos = line.find("//");
+  return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+        c == '$' || c == '`') {
+      cur.push_back(c);
+    } else {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+bool is_keyword(const std::string& t) {
+  static const std::set<std::string> kw = {
+      "module", "endmodule", "input",  "output",   "inout",   "wire",
+      "reg",    "assign",    "always", "initial",  "begin",   "end",
+      "case",   "endcase",   "if",     "else",     "posedge", "negedge",
+      "or",     "and",       "not",    "localparam", "parameter",
+      "default", "timescale", "define", "b0", "d0"};
+  return kw.count(t) > 0;
+}
+
+}  // namespace
+
+std::vector<LintIssue> lint_verilog(
+    const std::string& text, const std::vector<std::string>& known) {
+  std::vector<LintIssue> issues;
+  std::set<std::string> known_modules(known.begin(), known.end());
+  std::set<std::string> defined_modules;
+  struct Inst {
+    std::string type;
+    std::string name;
+    int line;
+  };
+  std::vector<Inst> instances;
+  std::map<std::string, int> instance_names;  // per current module
+
+  int module_depth = 0, begin_depth = 0, case_depth = 0;
+  int line_no = 0;
+  std::istringstream is(text);
+  std::string raw;
+
+  while (std::getline(is, raw)) {
+    ++line_no;
+    for (char c : raw) {
+      if (static_cast<unsigned char>(c) > 126 ||
+          (static_cast<unsigned char>(c) < 32 && c != '\t')) {
+        issues.push_back({line_no, "non-printable character"});
+        break;
+      }
+    }
+    const std::string line = strip_comment(raw);
+    const std::vector<std::string> toks = tokenize(line);
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const std::string& t = toks[i];
+      if (t == "module") {
+        ++module_depth;
+        if (module_depth > 1)
+          issues.push_back({line_no, "nested module"});
+        if (i + 1 < toks.size()) {
+          if (!defined_modules.insert(toks[i + 1]).second)
+            issues.push_back({line_no,
+                              "duplicate module '" + toks[i + 1] + "'"});
+        } else {
+          issues.push_back({line_no, "module without a name"});
+        }
+        instance_names.clear();
+      } else if (t == "endmodule") {
+        --module_depth;
+        if (module_depth < 0)
+          issues.push_back({line_no, "endmodule without module"});
+      } else if (t == "begin") {
+        ++begin_depth;
+      } else if (t == "end") {
+        --begin_depth;
+        if (begin_depth < 0) issues.push_back({line_no, "end without begin"});
+      } else if (t == "case") {
+        ++case_depth;
+      } else if (t == "endcase") {
+        --case_depth;
+        if (case_depth < 0)
+          issues.push_back({line_no, "endcase without case"});
+      }
+    }
+
+    // Instance pattern our generators emit: `<type> <name> (` opening a
+    // statement (continuation lines start with '.', ')' or operators and
+    // therefore do not match the anchored pattern).
+    static const std::regex instance_re(
+        R"(^\s*([A-Za-z_][A-Za-z0-9_$]*)\s+([A-Za-z_][A-Za-z0-9_$]*)\s*\()");
+    std::smatch match;
+    if (module_depth > 0 && std::regex_search(line, match, instance_re) &&
+        !is_keyword(match[1]) && !is_keyword(match[2]) &&
+        line.find('=') == std::string::npos) {
+      instances.push_back({match[1], match[2], line_no});
+      if (++instance_names[match[2]] > 1)
+        issues.push_back(
+            {line_no, "duplicate instance name '" + match[2].str() + "'"});
+    }
+  }
+
+  if (module_depth != 0)
+    issues.push_back({line_no, "unbalanced module/endmodule"});
+  if (begin_depth != 0)
+    issues.push_back({line_no, "unbalanced begin/end"});
+  if (case_depth != 0)
+    issues.push_back({line_no, "unbalanced case/endcase"});
+
+  // Leaf cells our generators reference but define behaviourally
+  // elsewhere (the cell library of Fig. 13).
+  static const std::set<std::string> leaf_cells = {
+      "ddu_matrix_cell", "ddu_weight_cell", "ddu_decide_cell"};
+  for (const Inst& inst : instances) {
+    if (defined_modules.count(inst.type) || known_modules.count(inst.type) ||
+        leaf_cells.count(inst.type))
+      continue;
+    issues.push_back(
+        {inst.line, "instance of unknown module '" + inst.type + "'"});
+  }
+  return issues;
+}
+
+bool verilog_clean(const std::string& text,
+                   const std::vector<std::string>& known) {
+  return lint_verilog(text, known).empty();
+}
+
+}  // namespace delta::hw

@@ -1,0 +1,33 @@
+// Structural sanity checks for the generated Verilog.
+//
+// Not a Verilog parser — a linter for the specific constructs our
+// generators emit, so generator regressions (unbalanced modules,
+// undeclared instance references, duplicate identifiers, dangling
+// `begin`) fail fast in tests rather than in someone's synthesis run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace delta::hw {
+
+/// One lint finding.
+struct LintIssue {
+  int line = 0;
+  std::string message;
+};
+
+/// Run all checks; empty result == clean.
+/// Checks: module/endmodule and begin/end balance, case/endcase balance,
+/// duplicate module names, duplicate instance names within a module,
+/// instantiated module types that are neither defined in the same file
+/// nor in `known_modules`, and non-ASCII/garbage characters.
+std::vector<LintIssue> lint_verilog(
+    const std::string& text,
+    const std::vector<std::string>& known_modules = {});
+
+/// Convenience: true when lint_verilog reports nothing.
+bool verilog_clean(const std::string& text,
+                   const std::vector<std::string>& known_modules = {});
+
+}  // namespace delta::hw

@@ -1,0 +1,48 @@
+#include "mem/l1_cache.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace delta::mem {
+
+L1Cache::L1Cache(std::size_t size_bytes, std::size_t line_bytes)
+    : line_bytes_(line_bytes) {
+  if (size_bytes == 0 || line_bytes == 0 ||
+      !std::has_single_bit(size_bytes) || !std::has_single_bit(line_bytes) ||
+      line_bytes > size_bytes)
+    throw std::invalid_argument("L1Cache: sizes must be powers of two");
+  tags_.assign(size_bytes / line_bytes, 0);
+  valid_.assign(size_bytes / line_bytes, 0);
+}
+
+std::size_t L1Cache::index_of(std::uint64_t addr) const {
+  return (addr / line_bytes_) % tags_.size();
+}
+
+std::uint64_t L1Cache::tag_of(std::uint64_t addr) const {
+  return addr / line_bytes_ / tags_.size();
+}
+
+bool L1Cache::access(std::uint64_t addr) {
+  const std::size_t idx = index_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  if (valid_[idx] && tags_[idx] == tag) {
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  valid_[idx] = 1;
+  tags_[idx] = tag;
+  return false;
+}
+
+void L1Cache::invalidate() {
+  std::fill(valid_.begin(), valid_.end(), 0);
+}
+
+void L1Cache::invalidate_line(std::uint64_t addr) {
+  const std::size_t idx = index_of(addr);
+  if (valid_[idx] && tags_[idx] == tag_of(addr)) valid_[idx] = 0;
+}
+
+}  // namespace delta::mem

@@ -1,0 +1,50 @@
+// L1 cache model (tags only).
+//
+// Each MPC755 PE has separate 32 KB instruction and data L1 caches
+// (§5.1). We model a direct-mapped tag array: accesses report hit/miss so
+// the PE cost model can decide whether a load goes to the bus. Data is
+// not cached here — the L2 model is the single source of truth, which
+// sidesteps coherence while still producing realistic traffic ratios
+// (the paper's RTOS keeps shared kernel structures uncached anyway).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace delta::mem {
+
+/// Direct-mapped tag-only cache.
+class L1Cache {
+ public:
+  /// `size_bytes` and `line_bytes` must be powers of two.
+  L1Cache(std::size_t size_bytes = 32 * 1024, std::size_t line_bytes = 32);
+
+  /// Touch `addr`; returns true on hit. Misses fill the line.
+  bool access(std::uint64_t addr);
+
+  /// Invalidate everything (e.g. on explicit flush).
+  void invalidate();
+
+  /// Invalidate any line covering `addr` (used for shared-region writes).
+  void invalidate_line(std::uint64_t addr);
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) /
+                                  static_cast<double>(total);
+  }
+  [[nodiscard]] std::size_t lines() const { return tags_.size(); }
+
+ private:
+  std::size_t line_bytes_;
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint8_t> valid_;
+  std::uint64_t hits_ = 0, misses_ = 0;
+
+  [[nodiscard]] std::size_t index_of(std::uint64_t addr) const;
+  [[nodiscard]] std::uint64_t tag_of(std::uint64_t addr) const;
+};
+
+}  // namespace delta::mem

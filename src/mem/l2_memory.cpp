@@ -1,0 +1,67 @@
+#include "mem/l2_memory.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace delta::mem {
+
+L2Memory::L2Memory(std::uint64_t bytes) : size_(bytes) {
+  if (bytes == 0) throw std::invalid_argument("L2Memory: zero size");
+}
+
+void L2Memory::check(std::uint64_t addr, std::size_t n) const {
+  if (addr + n > size_ || addr + n < addr)
+    throw std::out_of_range("L2Memory: access beyond memory size");
+}
+
+std::uint8_t* L2Memory::page_for(std::uint64_t addr) const {
+  auto& page = pages_[addr / kPageBytes];
+  if (page.empty()) page.assign(kPageBytes, 0);
+  return page.data() + (addr % kPageBytes);
+}
+
+std::uint8_t L2Memory::read8(std::uint64_t addr) const {
+  check(addr, 1);
+  const auto it = pages_.find(addr / kPageBytes);
+  if (it == pages_.end() || it->second.empty()) return 0;
+  return it->second[addr % kPageBytes];
+}
+
+void L2Memory::write8(std::uint64_t addr, std::uint8_t v) {
+  check(addr, 1);
+  *page_for(addr) = v;
+}
+
+void L2Memory::write_bytes(std::uint64_t addr, const std::uint8_t* data,
+                           std::size_t n) {
+  check(addr, n);
+  for (std::size_t i = 0; i < n; ++i) *page_for(addr + i) = data[i];
+}
+
+void L2Memory::read_bytes(std::uint64_t addr, std::uint8_t* out,
+                          std::size_t n) const {
+  check(addr, n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = read8(addr + i);
+}
+
+std::uint32_t L2Memory::read32(std::uint64_t addr) const {
+  std::uint32_t v = 0;
+  read_bytes(addr, reinterpret_cast<std::uint8_t*>(&v), sizeof v);
+  return v;
+}
+
+void L2Memory::write32(std::uint64_t addr, std::uint32_t v) {
+  write_bytes(addr, reinterpret_cast<const std::uint8_t*>(&v), sizeof v);
+}
+
+std::uint64_t L2Memory::read64(std::uint64_t addr) const {
+  std::uint64_t v = 0;
+  read_bytes(addr, reinterpret_cast<std::uint8_t*>(&v), sizeof v);
+  return v;
+}
+
+void L2Memory::write64(std::uint64_t addr, std::uint64_t v) {
+  write_bytes(addr, reinterpret_cast<const std::uint8_t*>(&v), sizeof v);
+}
+
+}  // namespace delta::mem

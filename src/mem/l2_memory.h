@@ -1,0 +1,49 @@
+// Shared L2 memory model.
+//
+// The base MPSoC (§5.1) has 16 MB of shared memory behind the bus. The
+// model stores data sparsely (4 KB pages on demand) so workloads such as
+// the SPLASH-2 kernels can really read and write the words they compute
+// on; timing is the bus's business (bus::SharedBus), not this class's.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace delta::mem {
+
+/// Byte-addressable sparse memory.
+class L2Memory {
+ public:
+  explicit L2Memory(std::uint64_t bytes = 16ULL * 1024 * 1024);
+
+  [[nodiscard]] std::uint64_t size() const { return size_; }
+
+  std::uint8_t read8(std::uint64_t addr) const;
+  void write8(std::uint64_t addr, std::uint8_t v);
+
+  std::uint32_t read32(std::uint64_t addr) const;
+  void write32(std::uint64_t addr, std::uint32_t v);
+
+  std::uint64_t read64(std::uint64_t addr) const;
+  void write64(std::uint64_t addr, std::uint64_t v);
+
+  /// Bulk helpers for workload setup/verification.
+  void write_bytes(std::uint64_t addr, const std::uint8_t* data,
+                   std::size_t n);
+  void read_bytes(std::uint64_t addr, std::uint8_t* out, std::size_t n) const;
+
+  /// Pages currently materialized (for footprint assertions).
+  [[nodiscard]] std::size_t resident_pages() const { return pages_.size(); }
+
+ private:
+  static constexpr std::uint64_t kPageBytes = 4096;
+  std::uint64_t size_;
+  mutable std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> pages_;
+
+  std::uint8_t* page_for(std::uint64_t addr) const;
+  void check(std::uint64_t addr, std::size_t n) const;
+};
+
+}  // namespace delta::mem

@@ -1,0 +1,70 @@
+#include "rag/dot.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "rag/reduction.h"
+
+namespace delta::rag {
+
+std::string to_dot(const StateMatrix& m,
+                   const std::vector<std::string>& process_names,
+                   const std::vector<std::string>& resource_names,
+                   bool highlight_deadlock) {
+  const auto pname = [&](ProcId t) {
+    return t < process_names.size() ? process_names[t]
+                                    : "p" + std::to_string(t + 1);
+  };
+  const auto qname = [&](ResId s) {
+    return s < resource_names.size() ? resource_names[s]
+                                     : "q" + std::to_string(s + 1);
+  };
+
+  std::vector<ProcId> dl_procs;
+  std::vector<ResId> dl_ress;
+  if (highlight_deadlock && has_deadlock(m)) {
+    dl_procs = deadlocked_processes(m);
+    dl_ress = deadlocked_resources(m);
+  }
+  const auto proc_hot = [&](ProcId t) {
+    return std::find(dl_procs.begin(), dl_procs.end(), t) != dl_procs.end();
+  };
+  const auto res_hot = [&](ResId s) {
+    return std::find(dl_ress.begin(), dl_ress.end(), s) != dl_ress.end();
+  };
+
+  std::ostringstream os;
+  os << "digraph rag {\n";
+  os << "  rankdir=LR;\n";
+  os << "  // processes: circles; resources: boxes (paper Fig. 10 style)\n";
+  for (ProcId t = 0; t < m.processes(); ++t) {
+    os << "  \"" << pname(t) << "\" [shape=circle";
+    if (proc_hot(t)) os << ", style=filled, fillcolor=salmon";
+    os << "];\n";
+  }
+  for (ResId s = 0; s < m.resources(); ++s) {
+    os << "  \"" << qname(s) << "\" [shape=box";
+    if (res_hot(s)) os << ", style=filled, fillcolor=salmon";
+    os << "];\n";
+  }
+  for (ResId s = 0; s < m.resources(); ++s) {
+    for (ProcId t = 0; t < m.processes(); ++t) {
+      switch (m.at(s, t)) {
+        case Edge::kRequest:
+          os << "  \"" << pname(t) << "\" -> \"" << qname(s)
+             << "\" [label=\"request\", style=dashed];\n";
+          break;
+        case Edge::kGrant:
+          os << "  \"" << qname(s) << "\" -> \"" << pname(t)
+             << "\" [label=\"grant\"];\n";
+          break;
+        case Edge::kNone:
+          break;
+      }
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace delta::rag

@@ -1,0 +1,24 @@
+// Graphviz export of resource-allocation graphs.
+//
+// The paper's Figs. 10/15/16/17 are RAG drawings (processes as circles,
+// resources as squares, request and grant arcs). to_dot() renders a
+// state matrix in that style so any scenario state can be visualized
+// with `dot -Tpng`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rag/state_matrix.h"
+
+namespace delta::rag {
+
+/// Render `m` as a Graphviz digraph. Optional names label the nodes
+/// (defaults: p1..pn, q1..qm). Deadlocked nodes are highlighted when
+/// `highlight_deadlock` is set.
+std::string to_dot(const StateMatrix& m,
+                   const std::vector<std::string>& process_names = {},
+                   const std::vector<std::string>& resource_names = {},
+                   bool highlight_deadlock = true);
+
+}  // namespace delta::rag

@@ -1,0 +1,109 @@
+#include "rag/generators.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace delta::rag {
+
+StateMatrix random_state(std::size_t resources, std::size_t processes,
+                         sim::Rng& rng, double grant_p, double request_p) {
+  StateMatrix m(resources, processes);
+  for (ResId s = 0; s < resources; ++s) {
+    if (rng.chance(grant_p)) {
+      m.add_grant(s, static_cast<ProcId>(rng.below(processes)));
+    }
+  }
+  for (ResId s = 0; s < resources; ++s) {
+    for (ProcId t = 0; t < processes; ++t) {
+      if (m.at(s, t) == Edge::kNone && rng.chance(request_p)) {
+        m.add_request(t, s);
+      }
+    }
+  }
+  return m;
+}
+
+StateMatrix cycle_state(std::size_t resources, std::size_t processes,
+                        std::size_t k, sim::Rng* rng,
+                        double extra_request_p) {
+  if (k < 2 || k > resources || k > processes)
+    throw std::invalid_argument("cycle_state: need 2 <= k <= min(m, n)");
+  StateMatrix m(resources, processes);
+  // p_i holds q_i and requests q_{i+1 mod k}.
+  for (std::size_t i = 0; i < k; ++i) {
+    m.add_grant(i, i);
+    m.add_request(i, (i + 1) % k);
+  }
+  if (rng != nullptr && extra_request_p > 0.0) {
+    for (ResId s = 0; s < resources; ++s)
+      for (ProcId t = 0; t < processes; ++t)
+        if (m.at(s, t) == Edge::kNone && rng->chance(extra_request_p))
+          m.add_request(t, s);
+  }
+  return m;
+}
+
+StateMatrix chain_state(std::size_t resources, std::size_t processes) {
+  StateMatrix m(resources, processes);
+  const std::size_t k = std::min(resources, processes);
+  // p_1 -r-> q_1 -g-> p_2 -r-> q_2 -g-> ... ; the final edge is a request,
+  // so the chain has terminal nodes at both ends and fully reduces.
+  for (std::size_t i = 0; i < k; ++i) {
+    m.add_request(i, i);              // p_{i+1} requests q_{i+1}
+    if (i + 1 < k) m.add_grant(i, i + 1);  // q_{i+1} granted to p_{i+2}
+  }
+  return m;
+}
+
+StateMatrix worst_case_state(std::size_t resources, std::size_t processes) {
+  const std::size_t k = std::min(resources, processes);
+  if (k < 4) return chain_state(resources, processes);
+  StateMatrix m(resources, processes);
+  // Chain over p_0..p_{k-3} / q_0..q_{k-3}:
+  //   p_0 -r-> q_0 -g-> p_1 -r-> q_1 -g-> ... -r-> q_{k-3} -g-> (cycle)
+  for (std::size_t i = 0; i + 2 < k; ++i) {
+    m.add_request(/*proc=*/i, /*res=*/i);
+    if (i + 3 < k) m.add_grant(/*res=*/i, /*proc=*/i + 1);
+  }
+  m.add_grant(k - 3, k - 2);  // chain attaches: q_{k-3} granted to p_{k-2}
+  // 4-cycle at the far end (never terminal, so peeling proceeds strictly
+  // one node per step from p_0):
+  //   p_{k-2} -r-> q_{k-1} -g-> p_{k-1} -r-> q_{k-2} -g-> p_{k-2}
+  m.add_request(k - 2, k - 1);
+  m.add_grant(k - 1, k - 1);
+  m.add_request(k - 1, k - 2);
+  m.add_grant(k - 2, k - 2);
+  return m;
+}
+
+void for_each_small_state(std::size_t resources, std::size_t processes,
+                          const std::function<void(const StateMatrix&)>& fn) {
+  assert(resources * processes <= 9 && "exhaustive enumeration too large");
+  const std::size_t cells = resources * processes;
+  std::size_t total = 1;
+  for (std::size_t i = 0; i < cells; ++i) total *= 3;
+
+  for (std::size_t code = 0; code < total; ++code) {
+    StateMatrix m(resources, processes);
+    std::size_t rest = code;
+    bool well_formed = true;
+    std::vector<int> grants_in_row(resources, 0);
+    for (ResId s = 0; s < resources && well_formed; ++s) {
+      for (ProcId t = 0; t < processes; ++t) {
+        const std::size_t digit = rest % 3;
+        rest /= 3;
+        if (digit == 1) m.add_request(t, s);
+        if (digit == 2) {
+          if (++grants_in_row[s] > 1) {  // single-unit resources only
+            well_formed = false;
+            break;
+          }
+          m.add_grant(s, t);
+        }
+      }
+    }
+    if (well_formed) fn(m);
+  }
+}
+
+}  // namespace delta::rag

@@ -1,0 +1,46 @@
+// RAG/state-matrix generators for tests, property sweeps and benches.
+//
+// All generators maintain the single-unit-resource invariant (at most one
+// grant per row) and never make a process request a resource it already
+// holds — the same well-formedness the RTOS resource manager guarantees.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "rag/state_matrix.h"
+#include "sim/random.h"
+
+namespace delta::rag {
+
+/// Random well-formed state: each resource is granted with probability
+/// `grant_p` (to a uniform process); each remaining (s,t) pair becomes a
+/// request with probability `request_p`.
+StateMatrix random_state(std::size_t resources, std::size_t processes,
+                         sim::Rng& rng, double grant_p = 0.5,
+                         double request_p = 0.15);
+
+/// A state that is guaranteed deadlocked: a cycle through `k` processes and
+/// `k` resources (2 <= k <= min(m, n)), plus optional random extra requests.
+StateMatrix cycle_state(std::size_t resources, std::size_t processes,
+                        std::size_t k, sim::Rng* rng = nullptr,
+                        double extra_request_p = 0.0);
+
+/// A deadlock-free "staircase" chain: p1 requests q1, q1 is granted to p2,
+/// p2 requests q2, ... Fully reducible; used to exercise multi-step
+/// reductions that terminate with no deadlock.
+StateMatrix chain_state(std::size_t resources, std::size_t processes);
+
+/// Worst-case reduction-iteration state for an m x n unit (the
+/// "worst case # iterations" column of Table 1): a maximal alternating
+/// grant/request chain whose far end closes into a 4-cycle, so reduction
+/// can only peel one node layer per step from the free end. Yields
+/// 2*(min(m,n)-2) reduction steps for min(m,n) >= 4.
+StateMatrix worst_case_state(std::size_t resources, std::size_t processes);
+
+/// Exhaustively enumerate every well-formed state of a tiny system and call
+/// `fn(state)`. Feasible up to ~3x3. Used by equivalence property tests.
+void for_each_small_state(std::size_t resources, std::size_t processes,
+                          const std::function<void(const StateMatrix&)>& fn);
+
+}  // namespace delta::rag

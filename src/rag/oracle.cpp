@@ -1,0 +1,92 @@
+#include "rag/oracle.h"
+
+#include <algorithm>
+
+namespace delta::rag {
+
+namespace {
+
+// Node numbering for the unified digraph: processes [0, n), resources
+// [n, n+m). Edges: request p->q, grant q->p.
+struct Digraph {
+  std::size_t n, m;
+  const StateMatrix& mat;
+
+  [[nodiscard]] std::vector<std::size_t> successors(std::size_t v) const {
+    std::vector<std::size_t> out;
+    if (v < n) {  // process node: request edges to resources
+      for (ResId s = 0; s < m; ++s)
+        if (mat.at(s, v) == Edge::kRequest) out.push_back(n + s);
+    } else {  // resource node: grant edges to processes
+      const ResId s = v - n;
+      for (ProcId t = 0; t < n; ++t)
+        if (mat.at(s, t) == Edge::kGrant) out.push_back(t);
+    }
+    return out;
+  }
+};
+
+enum class Color : std::uint8_t { kWhite, kGray, kBlack };
+
+// Iterative DFS; returns the stack slice forming a cycle when found.
+std::vector<std::size_t> find_cycle(const Digraph& g) {
+  const std::size_t total = g.n + g.m;
+  std::vector<Color> color(total, Color::kWhite);
+  std::vector<std::size_t> stack;  // current DFS path
+
+  struct Frame {
+    std::size_t node;
+    std::vector<std::size_t> succ;
+    std::size_t next = 0;
+  };
+
+  for (std::size_t root = 0; root < total; ++root) {
+    if (color[root] != Color::kWhite) continue;
+    std::vector<Frame> frames;
+    frames.push_back({root, g.successors(root)});
+    color[root] = Color::kGray;
+    stack.push_back(root);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.next < f.succ.size()) {
+        const std::size_t w = f.succ[f.next++];
+        if (color[w] == Color::kGray) {
+          // Found a back edge: cycle is stack from w to top.
+          auto it = std::find(stack.begin(), stack.end(), w);
+          return {it, stack.end()};
+        }
+        if (color[w] == Color::kWhite) {
+          color[w] = Color::kGray;
+          stack.push_back(w);
+          frames.push_back({w, g.successors(w)});
+        }
+      } else {
+        color[f.node] = Color::kBlack;
+        stack.pop_back();
+        frames.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+bool oracle_has_cycle(const StateMatrix& m) {
+  return !find_cycle(Digraph{m.processes(), m.resources(), m}).empty();
+}
+
+CyclePath oracle_find_cycle(const StateMatrix& m) {
+  const Digraph g{m.processes(), m.resources(), m};
+  const std::vector<std::size_t> nodes = find_cycle(g);
+  CyclePath path;
+  for (std::size_t v : nodes) {
+    if (v < g.n)
+      path.procs.push_back(v);
+    else
+      path.ress.push_back(v - g.n);
+  }
+  return path;
+}
+
+}  // namespace delta::rag

@@ -1,0 +1,29 @@
+// Brute-force ground truth for deadlock detection.
+//
+// For single-unit resources, a system state has a deadlock iff its
+// resource-allocation graph contains a directed cycle (paper §4.2.1 cites
+// the proof that PDDA agrees with cycle existence). This oracle does plain
+// DFS cycle detection on the bipartite digraph and is used by property
+// tests to validate PDDA, the DDU model, and every baseline algorithm.
+#pragma once
+
+#include <vector>
+
+#include "rag/state_matrix.h"
+
+namespace delta::rag {
+
+/// True iff the RAG encoded by `m` contains a directed cycle.
+bool oracle_has_cycle(const StateMatrix& m);
+
+/// One directed cycle as an alternating node sequence
+/// [p, q, p, q, ...] (process/resource ids interleaved, starting with a
+/// process). Empty when acyclic. For diagnostics in tests and examples.
+struct CyclePath {
+  std::vector<ProcId> procs;
+  std::vector<ResId> ress;
+  [[nodiscard]] bool empty() const { return procs.empty(); }
+};
+CyclePath oracle_find_cycle(const StateMatrix& m);
+
+}  // namespace delta::rag

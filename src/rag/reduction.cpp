@@ -1,0 +1,74 @@
+#include "rag/reduction.h"
+
+namespace delta::rag {
+
+namespace {
+NodeKind classify(bool has_request, bool has_grant) {
+  if (has_request && has_grant) return NodeKind::kConnect;
+  if (has_request || has_grant) return NodeKind::kTerminal;
+  return NodeKind::kIsolated;
+}
+}  // namespace
+
+NodeKind classify_row(const StateMatrix& m, ResId s) {
+  return classify(m.row_has_request(s), m.row_has_grant(s));
+}
+
+NodeKind classify_col(const StateMatrix& m, ProcId t) {
+  return classify(m.col_has_request(t), m.col_has_grant(t));
+}
+
+std::vector<ResId> terminal_rows(const StateMatrix& m) {
+  std::vector<ResId> out;
+  for (ResId s = 0; s < m.resources(); ++s)
+    if (classify_row(m, s) == NodeKind::kTerminal) out.push_back(s);
+  return out;
+}
+
+std::vector<ProcId> terminal_cols(const StateMatrix& m) {
+  std::vector<ProcId> out;
+  for (ProcId t = 0; t < m.processes(); ++t)
+    if (classify_col(m, t) == NodeKind::kTerminal) out.push_back(t);
+  return out;
+}
+
+bool reduce_step(StateMatrix& m) {
+  // Lines 5-6 of Algorithm 1: compute both terminal sets on the *same*
+  // matrix state (in hardware these evaluate simultaneously), then lines
+  // 8-9 remove all found terminal edges.
+  const std::vector<ResId> rows = terminal_rows(m);
+  const std::vector<ProcId> cols = terminal_cols(m);
+  if (rows.empty() && cols.empty()) return false;
+  for (ResId s : rows) m.clear_row(s);
+  for (ProcId t : cols) m.clear_col(t);
+  return true;
+}
+
+ReductionResult reduce(StateMatrix m) {
+  ReductionResult r{std::move(m), 0, false};
+  while (reduce_step(r.final)) ++r.steps;
+  r.complete = r.final.empty();
+  return r;
+}
+
+bool has_deadlock(const StateMatrix& m) { return !reduce(m).complete; }
+
+std::vector<ProcId> deadlocked_processes(const StateMatrix& m) {
+  const ReductionResult r = reduce(m);
+  std::vector<ProcId> out;
+  for (ProcId t = 0; t < r.final.processes(); ++t)
+    if (r.final.col_has_request(t) || r.final.col_has_grant(t))
+      out.push_back(t);
+  return out;
+}
+
+std::vector<ResId> deadlocked_resources(const StateMatrix& m) {
+  const ReductionResult r = reduce(m);
+  std::vector<ResId> out;
+  for (ResId s = 0; s < r.final.resources(); ++s)
+    if (r.final.row_has_request(s) || r.final.row_has_grant(s))
+      out.push_back(s);
+  return out;
+}
+
+}  // namespace delta::rag

@@ -1,0 +1,42 @@
+// Common identifier types for the deadlock machinery.
+//
+// Following the paper's notation (§4.2.1): a system has n processes
+// p_1..p_n (matrix columns) and m resources q_1..q_m (matrix rows).
+// We use 0-based indices internally.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace delta::rag {
+
+/// Process index (matrix column), 0-based.
+using ProcId = std::size_t;
+
+/// Resource index (matrix row), 0-based.
+using ResId = std::size_t;
+
+/// Invalid/no-process sentinel.
+inline constexpr ProcId kNoProc = static_cast<ProcId>(-1);
+
+/// Invalid/no-resource sentinel.
+inline constexpr ResId kNoRes = static_cast<ResId>(-1);
+
+/// State of one matrix entry alpha_st (ternary, Definition 6).
+enum class Edge : std::uint8_t {
+  kNone = 0,     ///< no activity between q_s and p_t
+  kRequest = 1,  ///< request edge p_t -> q_s (encoded 10 in hardware)
+  kGrant = 2,    ///< grant edge q_s -> p_t   (encoded 01 in hardware)
+};
+
+/// Printable one-character form: '.', 'r', 'g'.
+constexpr char edge_char(Edge e) {
+  switch (e) {
+    case Edge::kRequest: return 'r';
+    case Edge::kGrant: return 'g';
+    case Edge::kNone: break;
+  }
+  return '.';
+}
+
+}  // namespace delta::rag

@@ -1,0 +1,110 @@
+// Atalanta-flavored service names.
+//
+// Atalanta (paper §2.1, reference [5]) exposes its services with an
+// `sc_` prefix; the SoCDMMU port, for instance, is reached "using
+// standard software memory management APIs". This header offers the same
+// vocabulary over delta::rtos::Kernel, easing ports of Atalanta-style
+// application code and making examples read like the original:
+//
+//   atalanta::sc_tcreate(k, "task1", 0, 1, program);
+//   atalanta::sc_pend(prog, sem);       // program-building form
+//   atalanta::sc_gmalloc(prog, 4096, "buf");
+//
+// Task-building services take a Program& (tasks are interpreted
+// programs); kernel-level services take the Kernel&.
+#pragma once
+
+#include "rtos/kernel.h"
+
+namespace delta::rtos::atalanta {
+
+// ---------------------------------------------------------------- tasks --
+
+/// Create a task (sc_tcreate).
+inline TaskId sc_tcreate(Kernel& k, std::string name, PeId pe,
+                         Priority priority, Program program,
+                         sim::Cycles release_time = 0) {
+  return k.create_task(std::move(name), pe, priority, std::move(program),
+                       release_time);
+}
+
+/// Suspend / resume a task (sc_tsuspend / sc_tresume).
+inline void sc_tsuspend(Kernel& k, TaskId id) { k.suspend(id); }
+inline void sc_tresume(Kernel& k, TaskId id) { k.resume(id); }
+
+// ------------------------------------------------------------------ IPC --
+
+/// Create a counting semaphore (sc_screate).
+inline SemId sc_screate(Kernel& k, std::int64_t initial) {
+  return k.create_semaphore(initial);
+}
+
+/// Pend on / post to a semaphore (sc_pend / sc_post).
+inline Program& sc_pend(Program& p, SemId s) { return p.sem_wait(s); }
+inline Program& sc_post(Program& p, SemId s) { return p.sem_post(s); }
+
+/// Mailboxes (sc_mcreate / sc_msend / sc_mpend).
+inline MailboxId sc_mcreate(Kernel& k) { return k.create_mailbox(); }
+inline Program& sc_msend(Program& p, MailboxId b, std::uint64_t msg) {
+  return p.send(b, msg);
+}
+inline Program& sc_mpend(Program& p, MailboxId b) { return p.recv(b); }
+
+/// Message queues (sc_qcreate / sc_qsend / sc_qpend).
+inline QueueId sc_qcreate(Kernel& k, std::size_t capacity) {
+  return k.create_queue(capacity);
+}
+inline Program& sc_qsend(Program& p, QueueId q, std::uint64_t msg) {
+  return p.queue_send(q, msg);
+}
+inline Program& sc_qpend(Program& p, QueueId q) { return p.queue_recv(q); }
+
+/// Event flags (sc_ecreate / sc_eset / sc_epend, wait-all).
+inline EventGroupId sc_ecreate(Kernel& k) { return k.create_event_group(); }
+inline Program& sc_eset(Program& p, EventGroupId g, std::uint32_t mask) {
+  return p.event_set(g, mask);
+}
+inline Program& sc_epend(Program& p, EventGroupId g, std::uint32_t mask) {
+  return p.event_wait(g, mask);
+}
+
+// ---------------------------------------------------------------- locks --
+
+/// Lock / unlock (sc_lock / sc_unlock; short locks spin when the
+/// configuration enables the short-CS protocol).
+inline Program& sc_lock(Program& p, LockId l) { return p.lock(l); }
+inline Program& sc_unlock(Program& p, LockId l) { return p.unlock(l); }
+
+// --------------------------------------------------------------- memory --
+
+/// Global memory allocation (sc_gmalloc / sc_gfree — the SoCDMMU port's
+/// entry points; on RTOS5 they fall through to the software heap).
+inline Program& sc_gmalloc(Program& p, std::uint64_t bytes,
+                           std::string slot) {
+  return p.alloc(bytes, std::move(slot));
+}
+inline Program& sc_gfree(Program& p, std::string slot) {
+  return p.free(std::move(slot));
+}
+
+/// Shared global memory (G_alloc_rw / G_alloc_ro).
+inline Program& sc_gmalloc_rw(Program& p, std::size_t region,
+                              std::uint64_t bytes, std::string slot) {
+  return p.alloc_shared(region, bytes, /*writable=*/true, std::move(slot));
+}
+inline Program& sc_gmalloc_ro(Program& p, std::size_t region,
+                              std::string slot) {
+  return p.alloc_shared(region, 0, /*writable=*/false, std::move(slot));
+}
+
+// ------------------------------------------------------------ resources --
+
+/// Deadlock-managed resource acquire/release (the DDU/DAU-mediated path).
+inline Program& sc_racquire(Program& p, std::vector<ResourceId> rs) {
+  return p.request(std::move(rs));
+}
+inline Program& sc_rrelease(Program& p, std::vector<ResourceId> rs) {
+  return p.release(std::move(rs));
+}
+
+}  // namespace delta::rtos::atalanta

@@ -1,0 +1,271 @@
+// The delta RTOS kernel.
+//
+// A shared-memory multiprocessor RTOS in the mold of Atalanta v0.3
+// (paper §2.1): one kernel instance shared by all PEs, tasks pinned to
+// PEs, preemptive priority scheduling with priority inheritance (or
+// hardware IPCP via the SoCLC), optional round-robin time slicing,
+// semaphores/mailboxes/queues/event-flags, task management, dynamic
+// memory, and a resource manager with a pluggable deadlock strategy.
+//
+// The kernel interprets task Programs against the discrete-event
+// simulator: every service charges calibrated cycle costs
+// (rtos/service_costs.h) plus whatever the strategy/backends report, so
+// the seven RTOS/MPSoC configurations of Table 3 are just different
+// constructor arguments.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bus/bus.h"
+#include "rtos/devices.h"
+#include "rtos/ipc.h"
+#include "rtos/locks.h"
+#include "rtos/memory_manager.h"
+#include "rtos/program.h"
+#include "rtos/resource_manager.h"
+#include "rtos/service_costs.h"
+#include "rtos/task.h"
+#include "rtos/types.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+
+namespace delta::rtos {
+
+/// What to do when a detection strategy reports deadlock.
+/// The paper (§3.3.1) notes detection "usually requires a recovery once a
+/// deadlock is detected"; the recovery policies implement that step.
+enum class RecoveryPolicy : std::uint8_t {
+  kNone,                 ///< honor stop_on_deadlock (measurement mode)
+  kAbortLowestPriority,  ///< restart the lowest-priority deadlocked task
+  kAbortYoungest,        ///< restart the most recently released one
+};
+
+/// Kernel construction parameters.
+struct KernelConfig {
+  std::size_t pe_count = 4;
+  std::size_t resource_count = 4;
+  std::size_t max_tasks = 8;      ///< strategy matrix columns
+  ServiceCosts costs;
+  bool stop_on_deadlock = true;   ///< freeze the system when detection fires
+  RecoveryPolicy recovery = RecoveryPolicy::kNone;
+  sim::Cycles time_slice = 0;     ///< 0 = pure priority; >0 = RR among equals
+  /// Contended short locks busy-wait on the PE (Atalanta's short-CS spin
+  /// protocol) instead of suspending. Software spinners hammer the bus;
+  /// SoCLC spinners do not — §2.3.1's traffic-reduction claim.
+  bool spin_short_locks = false;
+  sim::Cycles spin_poll_interval = 12;
+  std::vector<std::string> resource_names;  ///< default q1..qm
+  bool trace = true;
+};
+
+class Kernel {
+ public:
+  Kernel(sim::Simulator& sim, bus::SharedBus& bus, KernelConfig cfg,
+         std::unique_ptr<DeadlockStrategy> strategy,
+         std::unique_ptr<LockBackend> locks,
+         std::unique_ptr<MemoryBackend> memory);
+
+  // ------------------------------------------------------------ tasks --
+  TaskId create_task(std::string name, PeId pe, Priority priority,
+                     Program program, sim::Cycles release_time = 0);
+
+  /// Periodic task: the program re-runs every `period` cycles for
+  /// `activations` rounds (the robot app's sensor/control loops). Each
+  /// activation's response time is checked against the task's deadline.
+  /// An activation released while the previous one is still executing is
+  /// an overrun: it is counted as a deadline miss and skipped.
+  TaskId create_periodic_task(std::string name, PeId pe, Priority priority,
+                              Program program, sim::Cycles period,
+                              std::uint32_t activations,
+                              sim::Cycles first_release = 0);
+  [[nodiscard]] Task& task(TaskId id) { return *tasks_.at(id); }
+  [[nodiscard]] const Task& task(TaskId id) const { return *tasks_.at(id); }
+  [[nodiscard]] std::size_t task_count() const { return tasks_.size(); }
+
+  /// Task management API (§2.1): suspension and resumption.
+  void suspend(TaskId id);
+  void resume(TaskId id);
+
+  /// Change a task's base priority at run time (Atalanta's priority
+  /// manipulation service). Takes effect immediately: the effective
+  /// priority is re-derived and the task's PE re-arbitrated.
+  void change_priority(TaskId id, Priority priority);
+
+  /// Attach a worst-case-response-time requirement (Fig. 19's WCRTs).
+  void set_deadline(TaskId id, sim::Cycles relative_deadline) {
+    task(id).deadline = relative_deadline;
+  }
+  /// Finished tasks whose turnaround exceeded their deadline.
+  [[nodiscard]] std::size_t deadline_misses() const;
+
+  // -------------------------------------------------------------- IPC --
+  SemId create_semaphore(std::int64_t initial);
+  MailboxId create_mailbox();
+  QueueId create_queue(std::size_t capacity);
+  EventGroupId create_event_group();
+
+  // ------------------------------------------------------------- run --
+  /// Schedule all task arrivals. Call once, then run the simulator.
+  void start();
+
+  [[nodiscard]] bool all_finished() const;
+  [[nodiscard]] sim::Cycles last_finish_time() const;
+
+  // ------------------------------------------------------- diagnostics --
+  [[nodiscard]] bool deadlock_detected() const { return deadlock_detected_; }
+  [[nodiscard]] sim::Cycles deadlock_time() const { return deadlock_time_; }
+  [[nodiscard]] bool halted() const { return halted_; }
+
+  /// Deadlock recoveries performed (RecoveryPolicy != kNone).
+  [[nodiscard]] std::uint64_t recoveries() const { return recoveries_; }
+  /// Times each task was aborted/restarted by recovery.
+  [[nodiscard]] std::uint64_t restarts(TaskId id) const {
+    const auto it = restarts_.find(id);
+    return it == restarts_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] DeadlockStrategy& strategy() { return *strategy_; }
+  [[nodiscard]] LockBackend& locks() { return *locks_; }
+  [[nodiscard]] MemoryBackend& memory() { return *memory_; }
+  [[nodiscard]] DeviceManager& devices() { return devices_; }
+  [[nodiscard]] const KernelConfig& config() const { return cfg_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+  /// Lock metrics for Table 10: latency = uncontended acquire service
+  /// time; delay = request-to-grant time for contended acquires.
+  [[nodiscard]] const sim::SampleSet& lock_latency() const {
+    return lock_latency_;
+  }
+  [[nodiscard]] const sim::SampleSet& lock_delay() const {
+    return lock_delay_;
+  }
+
+  [[nodiscard]] TaskId running_on(PeId pe) const { return running_.at(pe); }
+
+  /// Structured task-state transition log (drives rtos/timeline.h).
+  struct StateTransition {
+    sim::Cycles time;
+    TaskId task;
+    TaskState to;
+  };
+  [[nodiscard]] const std::vector<StateTransition>& transitions() const {
+    return transitions_;
+  }
+
+  /// Resource-name helper for traces ("IDCT" etc.).
+  [[nodiscard]] const std::string& resource_name(ResourceId r) const {
+    return cfg_.resource_names.at(r);
+  }
+
+ private:
+  sim::Simulator& sim_;
+  bus::SharedBus& bus_;
+  KernelConfig cfg_;
+  std::unique_ptr<DeadlockStrategy> strategy_;
+  std::unique_ptr<LockBackend> locks_;
+  std::unique_ptr<MemoryBackend> memory_;
+  DeviceManager devices_;
+
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::vector<TaskId> running_;      ///< per PE
+  std::vector<bool> in_service_;     ///< per PE: non-preemptible section
+  sim::Cycles resmgr_lock_until_ = 0;  ///< kernel lock for resource services
+
+  std::vector<Semaphore> semaphores_;
+  std::vector<Mailbox> mailboxes_;
+  std::vector<MessageQueue> queues_;
+  std::vector<EventGroup> event_groups_;
+
+  // Lock bookkeeping.
+  std::map<TaskId, LockId> waiting_lock_;
+  /// Locks handed to a task while its acquire service was still in
+  /// flight; the acquire completion consumes the entry as a grant.
+  std::map<TaskId, LockId> pending_lock_grant_;
+  std::map<TaskId, sim::Cycles> lock_requested_at_;
+  std::map<TaskId, std::vector<std::pair<LockId, Priority>>> ceiling_stack_;
+  std::map<TaskId, std::set<LockId>> held_locks_;
+  std::map<TaskId, std::uint64_t> queue_send_payload_;
+
+  sim::SampleSet lock_latency_, lock_delay_;
+
+  bool deadlock_detected_ = false;
+  sim::Cycles deadlock_time_ = 0;
+  bool halted_ = false;
+  std::uint64_t recoveries_ = 0;
+  std::map<TaskId, std::uint64_t> restarts_;
+  std::vector<StateTransition> transitions_;
+
+  std::set<ResourceId> starved_;  ///< livelock-idled resources to retry
+  std::uint64_t sched_seq_ = 0;   ///< round-robin rotation counter
+  std::map<TaskId, std::uint64_t> task_gen_;
+  std::map<TaskId, sim::EventId> compute_event_;
+  std::map<TaskId, sim::Cycles> compute_done_at_;
+
+  // ------------------------------------------------------- internals --
+  void trace(const std::string& channel, const std::string& text);
+  /// Set a task's state and append to the transition log.
+  void set_state(TaskId id, TaskState to);
+  void reschedule(PeId pe);
+  void dispatch(PeId pe, TaskId id);
+  void step_task(TaskId id);
+  void finish_task(TaskId id);
+  void block_task(TaskId id, WaitKind why);
+  void wake_task(TaskId id);
+  void advance(TaskId id) {
+    ++task(id).pc;
+    step_task(id);
+  }
+
+  /// Begin a non-preemptible kernel service on `pe` lasting `cycles`;
+  /// `done` runs at completion (service flag cleared first).
+  void service(PeId pe, sim::Cycles cycles, std::function<void()> done);
+
+  // Op handlers.
+  void op_compute(Task& t, const op::Compute& c);
+  void op_request(Task& t, const op::Request& r);
+  void op_release(Task& t, const op::Release& r);
+  void op_use_device(Task& t, const op::UseDevice& u);
+  void op_lock(Task& t, const op::Lock& l);
+  void op_unlock(Task& t, const op::Unlock& u);
+  void op_alloc(Task& t, const op::Alloc& a);
+  void op_alloc_shared(Task& t, const op::AllocShared& a);
+  void op_free(Task& t, const op::Free& f);
+  void op_sem_wait(Task& t, const op::SemWait& s);
+  void op_sem_post(Task& t, const op::SemPost& s);
+  void op_send(Task& t, const op::Send& s);
+  void op_recv(Task& t, const op::Recv& r);
+  void op_queue_send(Task& t, const op::QueueSend& s);
+  void op_queue_recv(Task& t, const op::QueueRecv& r);
+  void op_event_set(Task& t, const op::EventSet& e);
+  void op_event_wait(Task& t, const op::EventWait& e);
+
+  /// Apply a strategy event's side effects (grants, asks, detection).
+  void apply_resource_event(const ResourceEvent& ev, ResourceId res,
+                            sim::Cycles at);
+  void grant_resource(TaskId to, ResourceId res);
+  void maybe_wake_resource_waiter(TaskId id);
+  void schedule_give_up(TaskId victim, std::vector<ResourceId> resources);
+  void note_detection(const ResourceEvent& ev, sim::Cycles at);
+  void recover_from_deadlock();
+  TaskId pick_recovery_victim() const;
+
+  /// Busy-wait loop for contended short locks.
+  void spin_on_lock(TaskId id, LockId lk);
+
+  /// Release a lock on behalf of an aborted task (recovery path).
+  void force_unlock(TaskId id, LockId lk);
+
+  /// Priority inheritance (software lock backend).
+  void boost_owner_chain(TaskId owner, Priority prio);
+  void recompute_inherited_priority(TaskId id);
+
+  void arm_time_slice(PeId pe);
+};
+
+}  // namespace delta::rtos

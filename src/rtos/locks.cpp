@@ -1,0 +1,124 @@
+#include "rtos/locks.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace delta::rtos {
+
+// ------------------------------------------------- SoftwarePiLockBackend --
+
+SoftwarePiLockBackend::SoftwarePiLockBackend(std::size_t locks,
+                                             const ServiceCosts& costs,
+                                             std::size_t short_locks)
+    : locks_(locks), costs_(costs), short_locks_(short_locks) {
+  if (locks == 0)
+    throw std::invalid_argument("SoftwarePiLockBackend: zero locks");
+}
+
+LockAcquire SoftwarePiLockBackend::acquire(LockId lock, TaskId who,
+                                           Priority prio) {
+  Lock& lk = locks_.at(lock);
+  LockAcquire out;
+  out.cycles = costs_.sw_lock_acquire;
+  if (lk.owner == kNoTask) {
+    lk.owner = who;
+    out.granted = true;
+    return out;
+  }
+  lk.waiters.push_back(Waiter{who, prio, seq_++});
+  return out;
+}
+
+LockRelease SoftwarePiLockBackend::release(LockId lock, TaskId who) {
+  Lock& lk = locks_.at(lock);
+  if (lk.owner != who)
+    throw std::logic_error("software lock released by non-owner");
+  LockRelease out;
+  out.cycles = costs_.sw_lock_release;
+  if (lk.waiters.empty()) {
+    lk.owner = kNoTask;
+    return out;
+  }
+  auto best = std::min_element(lk.waiters.begin(), lk.waiters.end(),
+                               [](const Waiter& a, const Waiter& b) {
+                                 if (a.prio != b.prio) return a.prio < b.prio;
+                                 return a.seq < b.seq;
+                               });
+  out.next = best->who;
+  lk.owner = best->who;
+  lk.waiters.erase(best);
+  return out;
+}
+
+void SoftwarePiLockBackend::cancel_wait(LockId lock, TaskId who) {
+  auto& waiters = locks_.at(lock).waiters;
+  std::erase_if(waiters, [who](const Waiter& w) { return w.who == who; });
+}
+
+TaskId SoftwarePiLockBackend::owner(LockId lock) const {
+  return locks_.at(lock).owner;
+}
+
+std::size_t SoftwarePiLockBackend::waiter_count(LockId lock) const {
+  return locks_.at(lock).waiters.size();
+}
+
+std::optional<Priority> SoftwarePiLockBackend::top_waiter(
+    LockId lock) const {
+  const auto& waiters = locks_.at(lock).waiters;
+  if (waiters.empty()) return std::nullopt;
+  const auto best = std::min_element(
+      waiters.begin(), waiters.end(),
+      [](const Waiter& a, const Waiter& b) { return a.prio < b.prio; });
+  return best->prio;
+}
+
+// ------------------------------------------------------ SoclcLockBackend --
+
+SoclcLockBackend::SoclcLockBackend(hw::SoclcConfig cfg,
+                                   const ServiceCosts& costs,
+                                   const std::vector<Priority>& ceilings)
+    : soclc_(cfg), costs_(costs) {
+  for (std::size_t i = 0; i < soclc_.lock_count(); ++i)
+    soclc_.set_ceiling(i, i < ceilings.size() ? ceilings[i] : 0);
+  soclc_.on_grant = [this](hw::LockId, hw::LockOwnerTag who, int ceiling) {
+    pending_grant_ = static_cast<TaskId>(who);
+    pending_ceiling_ = ceiling;
+  };
+}
+
+LockAcquire SoclcLockBackend::acquire(LockId lock, TaskId who,
+                                      Priority prio) {
+  const hw::SoclcGrant g =
+      soclc_.acquire(lock, static_cast<hw::LockOwnerTag>(who), prio);
+  LockAcquire out;
+  out.granted = g.granted;
+  out.cycles = costs_.hw_lock_acquire + g.cycles;
+  if (g.granted) out.ceiling = g.ceiling;
+  return out;
+}
+
+LockRelease SoclcLockBackend::release(LockId lock, TaskId who) {
+  pending_grant_ = kNoTask;
+  const hw::LockOwnerTag next =
+      soclc_.release(lock, static_cast<hw::LockOwnerTag>(who));
+  LockRelease out;
+  out.cycles = costs_.hw_lock_release + soclc_.config().access_cycles;
+  if (next != hw::kNoOwner) {
+    out.next = static_cast<TaskId>(next);
+    out.ceiling = pending_ceiling_;
+    out.cycles += soclc_.config().interrupt_latency;
+  }
+  return out;
+}
+
+void SoclcLockBackend::cancel_wait(LockId lock, TaskId who) {
+  soclc_.cancel_wait(lock, static_cast<hw::LockOwnerTag>(who));
+}
+
+TaskId SoclcLockBackend::owner(LockId lock) const {
+  const hw::LockOwnerTag o = soclc_.owner(lock);
+  return o == hw::kNoOwner ? kNoTask : static_cast<TaskId>(o);
+}
+
+}  // namespace delta::rtos

@@ -1,0 +1,482 @@
+#include "rtos/resource_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "deadlock/baselines.h"
+#include "rag/reduction.h"
+
+namespace delta::rtos {
+
+using rag::Edge;
+
+ResourceEvent DeadlockStrategy::retry(ResourceId, sim::Cycles) {
+  return ResourceEvent{};
+}
+
+namespace {
+
+// ----------------------------------------------------------------------
+// Granting manager: the grant policy shared by the detection-style
+// configurations (none / RTOS1 / RTOS2). Requests for busy resources
+// queue; a release hands the resource to the highest-priority waiter
+// unconditionally — which is exactly how the Table 4 scenario reaches
+// deadlock at t5.
+// ----------------------------------------------------------------------
+class GrantingManagerBase : public DeadlockStrategy {
+ public:
+  GrantingManagerBase(std::size_t resources, std::size_t tasks,
+                      const ServiceCosts& costs)
+      : state_(resources, tasks), prio_(tasks, 0), costs_(costs) {
+    for (std::size_t t = 0; t < tasks; ++t) prio_[t] = static_cast<int>(t);
+  }
+
+  void set_priority(TaskId who, Priority prio) override {
+    prio_.at(who) = prio;
+  }
+
+  TaskId owner(ResourceId res) const override {
+    const rag::ProcId p = state_.owner(res);
+    return p == rag::kNoProc ? kNoTask : static_cast<TaskId>(p);
+  }
+
+  const rag::StateMatrix* state() const override { return &state_; }
+
+  void cancel_request(TaskId who, ResourceId res) override {
+    if (state_.at(res, who) == Edge::kRequest) {
+      state_.clear(res, who);
+      on_cancelled(who, res);
+    }
+  }
+
+  ResourceEvent request(TaskId who, ResourceId res, sim::Cycles now) override {
+    ResourceEvent ev;
+    ev.pe_cycles = costs_.resource_service;
+    changed_.clear();
+    if (state_.at(res, who) != Edge::kNone) return ev;  // malformed
+    if (state_.owner(res) == rag::kNoProc && state_.waiters(res).empty()) {
+      set_cell(res, who, Edge::kGrant);
+      ev.granted = true;
+    } else {
+      set_cell(res, who, Edge::kRequest);
+    }
+    run_detection(ev, now);
+    return ev;
+  }
+
+  ResourceEvent release(TaskId who, ResourceId res, sim::Cycles now) override {
+    ResourceEvent ev;
+    ev.pe_cycles = costs_.resource_service;
+    changed_.clear();
+    if (state_.at(res, who) != Edge::kGrant) return ev;  // malformed
+    set_cell(res, who, Edge::kNone);
+    // Unconditional hand-off to the highest-priority waiter.
+    const std::vector<rag::ProcId> waiters = state_.waiters(res);
+    if (!waiters.empty()) {
+      const rag::ProcId next = *std::min_element(
+          waiters.begin(), waiters.end(), [this](rag::ProcId a, rag::ProcId b) {
+            return prio_[a] < prio_[b];
+          });
+      set_cell(res, next, Edge::kGrant);
+      ev.grants.emplace_back(static_cast<TaskId>(next), res);
+    }
+    run_detection(ev, now);
+    return ev;
+  }
+
+ protected:
+  struct CellChange {
+    ResourceId res;
+    TaskId who;
+    Edge value;
+  };
+
+  rag::StateMatrix state_;
+  std::vector<Priority> prio_;
+  ServiceCosts costs_;
+  std::vector<CellChange> changed_;  ///< matrix-cell writes this event
+
+  void set_cell(ResourceId res, TaskId who, Edge value) {
+    state_.set(res, who, value);
+    changed_.push_back(CellChange{res, who, value});
+  }
+
+  /// Hook: run the configured detector after the event's edge updates.
+  virtual void run_detection(ResourceEvent& ev, sim::Cycles now) = 0;
+
+  /// Hook: a pending request was withdrawn outside an event (recovery);
+  /// hardware mirrors must clear the corresponding cell.
+  virtual void on_cancelled(TaskId, ResourceId) {}
+};
+
+class NoneStrategy final : public GrantingManagerBase {
+ public:
+  using GrantingManagerBase::GrantingManagerBase;
+  std::string name() const override { return "none"; }
+
+ private:
+  void run_detection(ResourceEvent&, sim::Cycles) override {}
+};
+
+// RTOS1: PDDA in software on the invoking PE.
+class PddaSoftwareStrategy final : public GrantingManagerBase {
+ public:
+  PddaSoftwareStrategy(std::size_t resources, std::size_t tasks,
+                       const ServiceCosts& costs)
+      : GrantingManagerBase(resources, tasks, costs),
+        pdda_(costs.software) {}
+
+  std::string name() const override { return "pdda-software (RTOS1)"; }
+
+ private:
+  deadlock::SoftwarePdda pdda_;
+
+  void run_detection(ResourceEvent& ev, sim::Cycles) override {
+    const bool deadlock = pdda_.detect(state_);
+    const sim::Cycles algo = pdda_.last_cycles();
+    algo_times_.add(static_cast<double>(algo));
+    ev.pe_cycles += algo;  // the PE executes the whole algorithm
+    ev.deadlock_detected = deadlock;
+  }
+};
+
+// RTOS2: DDU in hardware; cell updates are bus writes, the unit computes
+// concurrently and interrupts on deadlock.
+class DduStrategy final : public GrantingManagerBase {
+ public:
+  DduStrategy(std::size_t resources, std::size_t tasks,
+              const ServiceCosts& costs, bus::SharedBus* bus,
+              std::vector<std::size_t> master_of_task)
+      : GrantingManagerBase(resources, tasks, costs),
+        ddu_(resources, tasks),
+        bus_(bus),
+        master_of_task_(std::move(master_of_task)) {}
+
+  std::string name() const override { return "ddu (RTOS2)"; }
+
+ private:
+  hw::Ddu ddu_;
+
+  void on_cancelled(TaskId who, ResourceId res) override {
+    ddu_.set_edge(res, who, Edge::kNone);
+  }
+  bus::SharedBus* bus_;
+  std::vector<std::size_t> master_of_task_;  // reserved for multi-master use
+
+  void run_detection(ResourceEvent& ev, sim::Cycles now) override {
+    // Mirror the event's cell updates into the unit's matrix cells: one
+    // bus word write each (the PE addresses cell (row, col) directly).
+    for (const CellChange& c : changed_)
+      ddu_.set_edge(c.res, c.who, c.value);
+    if (bus_ != nullptr) {
+      sim::Cycles done = now;
+      for (std::size_t i = 0; i < changed_.size(); ++i)
+        done = bus_->transfer(0, done, 1).complete;
+      ev.pe_cycles += done > now ? done - now : 0;
+    } else {
+      ev.pe_cycles += 3 * changed_.size();
+    }
+    const hw::DduResult r = ddu_.run();
+    algo_times_.add(static_cast<double>(r.cycles));
+    ev.unit_cycles = r.cycles;
+    ev.deadlock_detected = r.deadlock;
+  }
+};
+
+// Prior-work software detectors in place of PDDA (ablation support).
+class BaselineDetectionStrategy final : public GrantingManagerBase {
+ public:
+  BaselineDetectionStrategy(BaselineDetector kind, std::size_t resources,
+                            std::size_t tasks, const ServiceCosts& costs)
+      : GrantingManagerBase(resources, tasks, costs), kind_(kind) {}
+
+  std::string name() const override {
+    switch (kind_) {
+      case BaselineDetector::kHolt: return "holt-software (baseline)";
+      case BaselineDetector::kShoshani: return "shoshani-software (baseline)";
+      case BaselineDetector::kLeibfried:
+        return "leibfried-software (baseline)";
+    }
+    return "baseline";
+  }
+
+ private:
+  BaselineDetector kind_;
+
+  void run_detection(ResourceEvent& ev, sim::Cycles) override {
+    deadlock::DetectRun run;
+    switch (kind_) {
+      case BaselineDetector::kHolt:
+        run = deadlock::detect_holt(state_);
+        break;
+      case BaselineDetector::kShoshani:
+        run = deadlock::detect_shoshani(state_);
+        break;
+      case BaselineDetector::kLeibfried:
+        run = deadlock::detect_leibfried(state_);
+        break;
+    }
+    const sim::Cycles algo = costs_.software.cycles(run.meter);
+    algo_times_.add(static_cast<double>(algo));
+    ev.pe_cycles += algo;
+    ev.deadlock_detected = run.deadlock;
+  }
+};
+
+// ----------------------------------------------------------------------
+// Avoidance strategies (RTOS3 / RTOS4).
+// ----------------------------------------------------------------------
+
+ResourceEvent map_request(const deadlock::RequestResult& r) {
+  using deadlock::RequestOutcome;
+  ResourceEvent ev;
+  ev.granted = r.outcome == RequestOutcome::kGranted;
+  ev.r_dl = r.r_dl;
+  ev.g_dl = r.g_dl;
+  ev.livelock = r.livelock;
+  if (r.outcome == RequestOutcome::kOwnerAsked ||
+      r.outcome == RequestOutcome::kGiveUpAsked || r.livelock) {
+    ev.asked = r.asked == rag::kNoProc ? kNoTask
+                                       : static_cast<TaskId>(r.asked);
+    ev.ask_give_up.assign(r.asked_resources.begin(),
+                          r.asked_resources.end());
+  }
+  return ev;
+}
+
+ResourceEvent map_release(const deadlock::ReleaseResult& r, ResourceId res) {
+  using deadlock::ReleaseOutcome;
+  ResourceEvent ev;
+  ev.g_dl = r.g_dl;
+  if (r.outcome == ReleaseOutcome::kGrantedHighest ||
+      r.outcome == ReleaseOutcome::kGrantedLower) {
+    ev.grants.emplace_back(static_cast<TaskId>(r.grantee), res);
+  } else if (r.outcome == ReleaseOutcome::kLivelockResolved) {
+    ev.livelock = true;
+    if (r.asked != rag::kNoProc) {
+      ev.asked = static_cast<TaskId>(r.asked);
+      ev.ask_give_up.assign(r.asked_resources.begin(),
+                            r.asked_resources.end());
+    }
+  }
+  return ev;
+}
+
+// RTOS3: Algorithm 3 + software PDDA, all on the invoking PE.
+class DaaSoftwareStrategy final : public DeadlockStrategy {
+ public:
+  DaaSoftwareStrategy(std::size_t resources, std::size_t tasks,
+                      const ServiceCosts& costs)
+      : costs_(costs),
+        pdda_(costs.software),
+        engine_(resources, tasks, [this](const rag::StateMatrix& s) {
+          const bool dl = pdda_.detect(s);
+          detect_cycles_ += pdda_.last_cycles();
+          return dl;
+        }) {}
+
+  std::string name() const override { return "daa-software (RTOS3)"; }
+
+  void set_priority(TaskId who, Priority prio) override {
+    engine_.set_priority(who, prio);
+  }
+
+  TaskId owner(ResourceId res) const override {
+    const rag::ProcId p = engine_.owner(res);
+    return p == rag::kNoProc ? kNoTask : static_cast<TaskId>(p);
+  }
+
+  const rag::StateMatrix* state() const override { return &engine_.state(); }
+
+  void cancel_request(TaskId who, ResourceId res) override {
+    engine_.cancel_request(who, res);
+  }
+
+  ResourceEvent request(TaskId who, ResourceId res, sim::Cycles) override {
+    detect_cycles_ = 0;
+    const deadlock::RequestResult r = engine_.request(who, res);
+    ResourceEvent ev = map_request(r);
+    finish(ev);
+    return ev;
+  }
+
+  ResourceEvent release(TaskId who, ResourceId res, sim::Cycles) override {
+    detect_cycles_ = 0;
+    const deadlock::ReleaseResult r = engine_.release(who, res);
+    ResourceEvent ev = map_release(r, res);
+    finish(ev);
+    return ev;
+  }
+
+  ResourceEvent retry(ResourceId res, sim::Cycles) override {
+    detect_cycles_ = 0;
+    const deadlock::ReleaseResult r = engine_.retry_grant(res);
+    ResourceEvent ev = map_release(r, res);
+    finish(ev);
+    return ev;
+  }
+
+ private:
+  ServiceCosts costs_;
+  deadlock::SoftwarePdda pdda_;
+  deadlock::DaaEngine engine_;
+  sim::Cycles detect_cycles_ = 0;
+
+  void finish(ResourceEvent& ev) {
+    const sim::Cycles algo = costs_.sw_avoidance_sync + detect_cycles_ +
+                             costs_.software.cycles(engine_.last_meter());
+    algo_times_.add(static_cast<double>(algo));
+    ev.pe_cycles = costs_.resource_service + algo;
+  }
+};
+
+// RTOS4: the DAU; commands and status cross the bus, Algorithm 3 runs in
+// the unit.
+class DauStrategy final : public DeadlockStrategy {
+ public:
+  DauStrategy(std::size_t resources, std::size_t tasks,
+              const ServiceCosts& costs, bus::SharedBus* bus,
+              std::vector<std::size_t> master_of_task)
+      : costs_(costs),
+        dau_(resources, tasks),
+        bus_(bus),
+        master_of_task_(std::move(master_of_task)) {}
+
+  std::string name() const override { return "dau (RTOS4)"; }
+
+  void set_priority(TaskId who, Priority prio) override {
+    dau_.set_priority(who, prio);
+  }
+
+  TaskId owner(ResourceId res) const override {
+    const rag::ProcId p = dau_.owner(res);
+    return p == rag::kNoProc ? kNoTask : static_cast<TaskId>(p);
+  }
+
+  const rag::StateMatrix* state() const override { return &dau_.state(); }
+
+  void cancel_request(TaskId who, ResourceId res) override {
+    dau_.cancel_request(who, res);
+  }
+
+  ResourceEvent request(TaskId who, ResourceId res, sim::Cycles now) override {
+    const hw::DauStatus st = dau_.request(who, res);
+    ResourceEvent ev;
+    ev.granted = st.successful;
+    ev.r_dl = st.r_dl;
+    ev.g_dl = st.g_dl;
+    ev.livelock = st.livelock;
+    if (st.give_up && st.which_process != rag::kNoProc) {
+      ev.asked = static_cast<TaskId>(st.which_process);
+      ev.ask_give_up.assign(dau_.asked_resources().begin(),
+                            dau_.asked_resources().end());
+    }
+    charge(ev, who, now);
+    return ev;
+  }
+
+  ResourceEvent release(TaskId who, ResourceId res, sim::Cycles now) override {
+    const hw::DauStatus st = dau_.release(who, res);
+    ResourceEvent ev;
+    if (st.successful && st.which_process != rag::kNoProc) {
+      ev.grants.emplace_back(static_cast<TaskId>(st.which_process), res);
+    }
+    ev.g_dl = st.g_dl;
+    ev.livelock = st.livelock;
+    if (st.give_up && st.which_process != rag::kNoProc && st.livelock) {
+      ev.asked = static_cast<TaskId>(st.which_process);
+      ev.ask_give_up.assign(dau_.asked_resources().begin(),
+                            dau_.asked_resources().end());
+      ev.grants.clear();
+    }
+    charge(ev, who, now);
+    return ev;
+  }
+
+  ResourceEvent retry(ResourceId res, sim::Cycles now) override {
+    // Give-up-complete command: the FSM re-runs grant arbitration.
+    const hw::DauStatus st = dau_.retry_grant(res);
+    ResourceEvent ev;
+    if (st.successful && st.which_process != rag::kNoProc)
+      ev.grants.emplace_back(static_cast<TaskId>(st.which_process), res);
+    ev.g_dl = st.g_dl;
+    ev.livelock = st.livelock;
+    if (st.livelock && st.give_up && st.which_process != rag::kNoProc) {
+      ev.asked = static_cast<TaskId>(st.which_process);
+      ev.ask_give_up.assign(dau_.asked_resources().begin(),
+                            dau_.asked_resources().end());
+      ev.grants.clear();
+    }
+    charge(ev, 0, now);
+    return ev;
+  }
+
+  hw::Dau& unit() { return dau_; }
+
+ private:
+  ServiceCosts costs_;
+  hw::Dau dau_;
+  bus::SharedBus* bus_;
+  std::vector<std::size_t> master_of_task_;
+  sim::Cycles unit_busy_until_ = 0;
+
+  void charge(ResourceEvent& ev, TaskId who, sim::Cycles now) {
+    // Command write (1 word) + unit busy + status read (1 word). The PE
+    // waits for the status because the outcome gates its next action.
+    const std::size_t master =
+        who < master_of_task_.size() ? master_of_task_[who] : 0;
+    const sim::Cycles unit = dau_.last_cycles();
+    algo_times_.add(static_cast<double>(unit));
+    ev.unit_cycles = unit;
+    sim::Cycles done = now;
+    if (bus_ != nullptr) {
+      done = bus_->transfer(master, done, 1).complete;  // command write
+      done = std::max(done + unit, unit_busy_until_);
+      unit_busy_until_ = done;
+      done = bus_->transfer(master, done, 1).complete;  // status read
+    } else {
+      done = now + 3 + unit + 3;
+    }
+    ev.pe_cycles = costs_.resource_service + (done - now);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<DeadlockStrategy> make_none_strategy(
+    std::size_t resources, std::size_t tasks, const ServiceCosts& costs) {
+  return std::make_unique<NoneStrategy>(resources, tasks, costs);
+}
+
+std::unique_ptr<DeadlockStrategy> make_pdda_software_strategy(
+    std::size_t resources, std::size_t tasks, const ServiceCosts& costs) {
+  return std::make_unique<PddaSoftwareStrategy>(resources, tasks, costs);
+}
+
+std::unique_ptr<DeadlockStrategy> make_ddu_strategy(
+    std::size_t resources, std::size_t tasks, const ServiceCosts& costs,
+    bus::SharedBus* bus, std::vector<std::size_t> master_of_task) {
+  return std::make_unique<DduStrategy>(resources, tasks, costs, bus,
+                                       std::move(master_of_task));
+}
+
+std::unique_ptr<DeadlockStrategy> make_daa_software_strategy(
+    std::size_t resources, std::size_t tasks, const ServiceCosts& costs) {
+  return std::make_unique<DaaSoftwareStrategy>(resources, tasks, costs);
+}
+
+std::unique_ptr<DeadlockStrategy> make_dau_strategy(
+    std::size_t resources, std::size_t tasks, const ServiceCosts& costs,
+    bus::SharedBus* bus, std::vector<std::size_t> master_of_task) {
+  return std::make_unique<DauStrategy>(resources, tasks, costs, bus,
+                                       std::move(master_of_task));
+}
+
+std::unique_ptr<DeadlockStrategy> make_baseline_detection_strategy(
+    BaselineDetector kind, std::size_t resources, std::size_t tasks,
+    const ServiceCosts& costs) {
+  return std::make_unique<BaselineDetectionStrategy>(kind, resources, tasks,
+                                                     costs);
+}
+
+}  // namespace delta::rtos

@@ -1,0 +1,44 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+
+namespace delta::sim {
+
+EventId EventQueue::schedule(Cycles at, EventFn fn) {
+  assert(fn && "scheduling an empty callback");
+  const EventId id = static_cast<EventId>(pending_.size());
+  pending_.push_back(std::move(fn));
+  heap_.push(Entry{at, id});
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id >= pending_.size() || !pending_[id]) return false;
+  pending_[id] = nullptr;  // lazily removed from the heap on pop
+  --live_;
+  return true;
+}
+
+void EventQueue::drop_dead_heads() const {
+  auto& heap = const_cast<EventQueue*>(this)->heap_;
+  while (!heap.empty() && !pending_[heap.top().id]) heap.pop();
+}
+
+Cycles EventQueue::next_time() const {
+  drop_dead_heads();
+  return heap_.empty() ? kNeverCycles : heap_.top().at;
+}
+
+std::pair<Cycles, EventFn> EventQueue::pop() {
+  drop_dead_heads();
+  assert(!heap_.empty() && "pop() on empty event queue");
+  const Entry e = heap_.top();
+  heap_.pop();
+  EventFn fn = std::move(pending_[e.id]);
+  pending_[e.id] = nullptr;
+  --live_;
+  return {e.at, std::move(fn)};
+}
+
+}  // namespace delta::sim

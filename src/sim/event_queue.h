@@ -1,0 +1,64 @@
+// Deterministic pending-event set for the discrete-event kernel.
+//
+// Events scheduled for the same cycle fire in insertion order (stable FIFO
+// tie-break via a monotonically increasing sequence number), which keeps
+// multi-PE simulations reproducible run to run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/sim_time.h"
+
+namespace delta::sim {
+
+/// Opaque handle identifying a scheduled event, usable for cancellation.
+using EventId = std::uint64_t;
+
+/// Callback invoked when an event fires.
+using EventFn = std::function<void()>;
+
+/// Time-ordered, insertion-stable event queue.
+class EventQueue {
+ public:
+  /// Schedule `fn` to fire at absolute time `at`. Returns a cancellation id.
+  EventId schedule(Cycles at, EventFn fn);
+
+  /// Cancel a previously scheduled event. Returns false if the event already
+  /// fired, was already cancelled, or the id is unknown.
+  bool cancel(EventId id);
+
+  /// True if no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+  /// Number of live events.
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Time of the earliest live event; kNeverCycles when empty.
+  [[nodiscard]] Cycles next_time() const;
+
+  /// Pop and return the earliest live event. Precondition: !empty().
+  std::pair<Cycles, EventFn> pop();
+
+ private:
+  struct Entry {
+    Cycles at;
+    EventId id;
+    bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return id > o.id;  // ids increase monotonically => FIFO at equal time
+    }
+  };
+
+  // Heap holds (time, id); payloads live in `pending_` so cancel() is O(1).
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::vector<EventFn> pending_;  // indexed by id; empty fn == cancelled
+  std::size_t live_ = 0;
+
+  void drop_dead_heads() const;
+};
+
+}  // namespace delta::sim

@@ -1,0 +1,58 @@
+#include "sim/random.h"
+
+#include <cassert>
+
+namespace delta::sim {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t v, int k) {
+  return (v << k) | (v >> (64 - k));
+}
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  for (auto& s : s_) s = splitmix64(seed);
+  // Avoid the all-zero state (cannot happen with splitmix64, but cheap).
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = bound * ((~0ULL) / bound);
+  std::uint64_t v = next();
+  while (v >= limit) v = next();
+  return v % bound;
+}
+
+std::int64_t Rng::between(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(span == 0 ? next() : below(span));
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace delta::sim

@@ -1,0 +1,40 @@
+// Deterministic pseudo-random source for workload/RAG generation.
+//
+// A fixed, seedable generator (xoshiro256**) keeps every experiment and
+// property test reproducible across platforms and standard libraries —
+// std::mt19937 distributions are not bit-portable, so we ship our own
+// small uniform helpers on top of a portable engine.
+#pragma once
+
+#include <cstdint>
+
+namespace delta::sim {
+
+/// Portable xoshiro256** PRNG with convenience uniform draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialize the state from a single seed via splitmix64.
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound) (bound must be > 0).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli draw with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace delta::sim

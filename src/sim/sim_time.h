@@ -1,0 +1,33 @@
+// Basic time types for the delta discrete-event simulator.
+//
+// All timing in this project is expressed in *bus clock cycles* of the
+// modeled MPSoC (100 MHz master clock, i.e. one cycle == 10 ns), matching
+// the unit used throughout the paper's evaluation tables.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace delta::sim {
+
+/// Simulation time in bus clock cycles.
+using Cycles = std::uint64_t;
+
+/// Signed cycle delta, for durations computed by subtraction.
+using CycleDelta = std::int64_t;
+
+/// Sentinel: "never" / unreachable time.
+inline constexpr Cycles kNeverCycles = std::numeric_limits<Cycles>::max();
+
+/// Master bus clock period in nanoseconds (100 MHz as in the paper, §5.1).
+inline constexpr double kBusClockPeriodNs = 10.0;
+
+/// Convert a cycle count to nanoseconds of modeled time.
+constexpr double cycles_to_ns(Cycles c) {
+  return static_cast<double>(c) * kBusClockPeriodNs;
+}
+
+/// Convert a cycle count to microseconds of modeled time.
+constexpr double cycles_to_us(Cycles c) { return cycles_to_ns(c) / 1000.0; }
+
+}  // namespace delta::sim

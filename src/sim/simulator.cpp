@@ -1,0 +1,34 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace delta::sim {
+
+EventId Simulator::schedule_at(Cycles at, EventFn fn) {
+  if (at < now_) throw std::invalid_argument("schedule_at: time in the past");
+  return queue_.schedule(at, std::move(fn));
+}
+
+Cycles Simulator::run(Cycles limit) {
+  while (step(limit)) {
+  }
+  // "Run until `limit`" semantics: the clock ends at the limit whether the
+  // queue drained early or events remain beyond it, so interactive callers
+  // (tests, REPL-style drivers) observe wall-clock-consistent time.
+  if (limit != kNeverCycles && now_ < limit) now_ = limit;
+  return now_;
+}
+
+bool Simulator::step(Cycles limit) {
+  const Cycles next = queue_.next_time();
+  if (next == kNeverCycles || next > limit) return false;
+  auto [at, fn] = queue_.pop();
+  assert(at >= now_ && "event queue went backwards");
+  now_ = at;
+  ++dispatched_;
+  fn();
+  return true;
+}
+
+}  // namespace delta::sim

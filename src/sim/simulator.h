@@ -1,0 +1,65 @@
+// The discrete-event simulation kernel.
+//
+// This is the substrate standing in for the paper's Seamless CVE
+// co-simulation environment (§5.1): components schedule callbacks at
+// absolute bus-clock cycles and the kernel executes them in deterministic
+// order. There is deliberately no threading — determinism is a feature.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/event_queue.h"
+#include "sim/sim_time.h"
+#include "sim/trace.h"
+
+namespace delta::sim {
+
+/// Discrete-event simulator driving one modeled MPSoC.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time in bus clock cycles.
+  [[nodiscard]] Cycles now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` cycles from now.
+  EventId schedule_in(Cycles delay, EventFn fn) {
+    return queue_.schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Schedule `fn` at absolute cycle `at` (must be >= now()).
+  EventId schedule_at(Cycles at, EventFn fn);
+
+  /// Cancel a scheduled event; returns false if it already fired.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Run until the event queue drains or `limit` cycles elapse.
+  /// Returns the final simulation time.
+  Cycles run(Cycles limit = kNeverCycles);
+
+  /// Execute exactly one event if any is pending before `limit`.
+  /// Returns true if an event fired.
+  bool step(Cycles limit = kNeverCycles);
+
+  /// True when no further events are pending.
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+
+  /// Number of events dispatched since construction.
+  [[nodiscard]] std::uint64_t events_dispatched() const { return dispatched_; }
+
+  /// Event/timeline trace shared by all components of this simulation.
+  Trace& trace() { return trace_; }
+  const Trace& trace() const { return trace_; }
+
+ private:
+  Cycles now_ = 0;
+  EventQueue queue_;
+  Trace trace_;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace delta::sim

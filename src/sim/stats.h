@@ -1,0 +1,71 @@
+// Small statistics accumulators used by the benches to report the
+// "averaged" values the paper's tables quote (algorithm run time, lock
+// latency, ...).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sim/sim_time.h"
+
+namespace delta::sim {
+
+/// Streaming min/max/mean/sum accumulator over cycle measurements.
+class Accumulator {
+ public:
+  void add(double v) {
+    ++n_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Accumulator that also retains samples for percentile queries.
+class SampleSet {
+ public:
+  void add(double v) {
+    acc_.add(v);
+    samples_.push_back(v);
+  }
+
+  [[nodiscard]] const Accumulator& summary() const { return acc_; }
+  [[nodiscard]] std::uint64_t count() const { return acc_.count(); }
+  [[nodiscard]] double mean() const { return acc_.mean(); }
+  [[nodiscard]] double max() const { return acc_.max(); }
+  [[nodiscard]] double min() const { return acc_.min(); }
+
+  /// p in [0,1]; nearest-rank percentile. Returns 0 when empty.
+  [[nodiscard]] double percentile(double p) const;
+
+ private:
+  Accumulator acc_;
+  mutable std::vector<double> samples_;
+};
+
+/// Speed-up per Hennessy & Patterson as used in Tables 5/7/9:
+/// (slow - fast) / fast, expressed as a percentage.
+constexpr double speedup_percent(double slow, double fast) {
+  return fast == 0.0 ? 0.0 : (slow - fast) / fast * 100.0;
+}
+
+/// Multiplicative speed-up (slow / fast), e.g. the "1408X" in Table 5.
+constexpr double speedup_factor(double slow, double fast) {
+  return fast == 0.0 ? 0.0 : slow / fast;
+}
+
+}  // namespace delta::sim

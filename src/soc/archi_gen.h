@@ -1,0 +1,25 @@
+// Archi_gen: the Verilog top-file generator (paper Fig. 7 / Example 1).
+//
+// Given a framework configuration, Archi_gen consults the description
+// library (which modules a system with the selected components needs),
+// writes the instantiation of every module — multiple instantiations
+// with distinct identifiers for replicated IP such as PEs — then the
+// interconnect wires, then the simulation initialization routines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace delta::soc {
+
+struct DeltaConfig;
+
+/// Module list the description library yields for `cfg` (PEs, memory,
+/// memory controller, arbiter, interrupt controller, selected hardware
+/// RTOS components).
+std::vector<std::string> description_library_modules(const DeltaConfig& cfg);
+
+/// Generate Top.v.
+std::string generate_top_verilog(const DeltaConfig& cfg);
+
+}  // namespace delta::soc

@@ -1,0 +1,153 @@
+#include "soc/config_io.h"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+namespace delta::soc {
+
+namespace {
+
+const char* deadlock_key(DeadlockComponent d) {
+  switch (d) {
+    case DeadlockComponent::kNone: return "none";
+    case DeadlockComponent::kPddaSoftware: return "pdda-software";
+    case DeadlockComponent::kDdu: return "ddu";
+    case DeadlockComponent::kDaaSoftware: return "daa-software";
+    case DeadlockComponent::kDau: return "dau";
+  }
+  return "none";
+}
+
+DeadlockComponent parse_deadlock(const std::string& v, int line) {
+  if (v == "none") return DeadlockComponent::kNone;
+  if (v == "pdda-software") return DeadlockComponent::kPddaSoftware;
+  if (v == "ddu") return DeadlockComponent::kDdu;
+  if (v == "daa-software") return DeadlockComponent::kDaaSoftware;
+  if (v == "dau") return DeadlockComponent::kDau;
+  throw std::invalid_argument("config line " + std::to_string(line) +
+                              ": unknown deadlock component '" + v + "'");
+}
+
+std::uint64_t parse_u64(const std::string& v, int line) {
+  std::uint64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || ptr != v.data() + v.size())
+    throw std::invalid_argument("config line " + std::to_string(line) +
+                                ": expected a number, got '" + v + "'");
+  return out;
+}
+
+bool parse_bool(const std::string& v, int line) {
+  if (v == "true" || v == "yes" || v == "1") return true;
+  if (v == "false" || v == "no" || v == "0") return false;
+  throw std::invalid_argument("config line " + std::to_string(line) +
+                              ": expected a boolean, got '" + v + "'");
+}
+
+}  // namespace
+
+std::string write_config(const DeltaConfig& cfg) {
+  std::ostringstream os;
+  os << "# delta framework configuration\n";
+  os << "cpu_type = " << cfg.cpu_type << "\n";
+  os << "pe_count = " << cfg.pe_count << "\n";
+  os << "task_count = " << cfg.task_count << "\n";
+  os << "resource_count = " << cfg.resource_count << "\n";
+  os << "deadlock = " << deadlock_key(cfg.deadlock) << "\n";
+  os << "lock = "
+     << (cfg.lock == LockComponent::kSoclc ? "soclc" : "software-pi")
+     << "\n";
+  os << "memory = "
+     << (cfg.memory == MemoryComponent::kSocdmmu ? "socdmmu" : "malloc")
+     << "\n";
+  os << "soclc.short_locks = " << cfg.soclc.short_locks << "\n";
+  os << "soclc.long_locks = " << cfg.soclc.long_locks << "\n";
+  os << "socdmmu.total_blocks = " << cfg.socdmmu.total_blocks << "\n";
+  os << "socdmmu.block_bytes = " << cfg.socdmmu.block_bytes << "\n";
+  os << "bus.address_width = " << cfg.bus.address_bus_width << "\n";
+  os << "bus.data_width = " << cfg.bus.data_bus_width << "\n";
+  os << "stop_on_deadlock = "
+     << (cfg.stop_on_deadlock ? "true" : "false") << "\n";
+  return os.str();
+}
+
+DeltaConfig read_config(const std::string& text) {
+  DeltaConfig cfg;
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments and whitespace.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("config line " + std::to_string(line_no) +
+                                  ": expected 'key = value'");
+    auto trim = [](std::string s) {
+      const auto b = s.find_first_not_of(" \t");
+      const auto e = s.find_last_not_of(" \t");
+      return b == std::string::npos ? std::string{}
+                                    : s.substr(b, e - b + 1);
+    };
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty() || value.empty())
+      throw std::invalid_argument("config line " + std::to_string(line_no) +
+                                  ": empty key or value");
+
+    if (key == "cpu_type") {
+      cfg.cpu_type = value;
+    } else if (key == "pe_count") {
+      cfg.pe_count = parse_u64(value, line_no);
+    } else if (key == "task_count") {
+      cfg.task_count = parse_u64(value, line_no);
+    } else if (key == "resource_count") {
+      cfg.resource_count = parse_u64(value, line_no);
+    } else if (key == "deadlock") {
+      cfg.deadlock = parse_deadlock(value, line_no);
+    } else if (key == "lock") {
+      if (value == "soclc") cfg.lock = LockComponent::kSoclc;
+      else if (value == "software-pi") cfg.lock = LockComponent::kSoftwarePi;
+      else
+        throw std::invalid_argument("config line " +
+                                    std::to_string(line_no) +
+                                    ": unknown lock component '" + value +
+                                    "'");
+    } else if (key == "memory") {
+      if (value == "socdmmu") cfg.memory = MemoryComponent::kSocdmmu;
+      else if (value == "malloc") cfg.memory = MemoryComponent::kMallocFree;
+      else
+        throw std::invalid_argument("config line " +
+                                    std::to_string(line_no) +
+                                    ": unknown memory component '" + value +
+                                    "'");
+    } else if (key == "soclc.short_locks") {
+      cfg.soclc.short_locks = parse_u64(value, line_no);
+    } else if (key == "soclc.long_locks") {
+      cfg.soclc.long_locks = parse_u64(value, line_no);
+    } else if (key == "socdmmu.total_blocks") {
+      cfg.socdmmu.total_blocks = parse_u64(value, line_no);
+    } else if (key == "socdmmu.block_bytes") {
+      cfg.socdmmu.block_bytes = parse_u64(value, line_no);
+    } else if (key == "bus.address_width") {
+      cfg.bus.address_bus_width =
+          static_cast<unsigned>(parse_u64(value, line_no));
+    } else if (key == "bus.data_width") {
+      cfg.bus.data_bus_width =
+          static_cast<unsigned>(parse_u64(value, line_no));
+    } else if (key == "stop_on_deadlock") {
+      cfg.stop_on_deadlock = parse_bool(value, line_no);
+    } else {
+      throw std::invalid_argument("config line " + std::to_string(line_no) +
+                                  ": unknown key '" + key + "'");
+    }
+  }
+  return cfg;
+}
+
+}  // namespace delta::soc

@@ -1,0 +1,23 @@
+// Framework configuration files.
+//
+// The delta framework started life as "a framework for automatic
+// generation of configuration files for a custom RTOS" (paper reference
+// [1]). This module serializes DeltaConfig to a simple, diffable
+// key = value text format and parses it back, so configurations can be
+// version-controlled and shipped to the generators in batch runs.
+#pragma once
+
+#include <string>
+
+#include "soc/delta_framework.h"
+
+namespace delta::soc {
+
+/// Render `cfg` as a configuration file.
+std::string write_config(const DeltaConfig& cfg);
+
+/// Parse a configuration file. Throws std::invalid_argument with a
+/// line-numbered message on malformed input or unknown keys/values.
+DeltaConfig read_config(const std::string& text);
+
+}  // namespace delta::soc

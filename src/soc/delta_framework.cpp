@@ -1,0 +1,161 @@
+#include "soc/delta_framework.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "hw/verilog_gen.h"
+#include "soc/archi_gen.h"
+
+namespace delta::soc {
+
+namespace {
+const char* deadlock_name(DeadlockComponent d) {
+  switch (d) {
+    case DeadlockComponent::kNone: return "none";
+    case DeadlockComponent::kPddaSoftware: return "PDDA in software";
+    case DeadlockComponent::kDdu: return "DDU (hardware)";
+    case DeadlockComponent::kDaaSoftware: return "DAA in software";
+    case DeadlockComponent::kDau: return "DAU (hardware)";
+  }
+  return "?";
+}
+const char* lock_name(LockComponent l) {
+  return l == LockComponent::kSoclc ? "SoCLC with IPCP (hardware)"
+                                    : "priority inheritance (software)";
+}
+const char* memory_name(MemoryComponent m) {
+  return m == MemoryComponent::kSocdmmu ? "SoCDMMU (hardware)"
+                                        : "malloc/free (software)";
+}
+}  // namespace
+
+void DeltaConfig::validate() const {
+  if (pe_count == 0) throw std::invalid_argument("delta: zero PEs");
+  if (task_count == 0) throw std::invalid_argument("delta: zero tasks");
+  if (resource_count == 0)
+    throw std::invalid_argument("delta: zero resources");
+  if (lock == LockComponent::kSoclc &&
+      soclc.short_locks + soclc.long_locks == 0)
+    throw std::invalid_argument("delta: SoCLC selected with zero locks");
+  if (memory == MemoryComponent::kSocdmmu && socdmmu.total_blocks == 0)
+    throw std::invalid_argument("delta: SoCDMMU selected with zero blocks");
+  bus.validate();
+}
+
+MpsocConfig DeltaConfig::to_mpsoc_config() const {
+  validate();
+  MpsocConfig mc;
+  mc.pe_count = pe_count;
+  mc.max_tasks = task_count;
+  mc.deadlock_unit_resources = resource_count;
+  mc.deadlock = deadlock;
+  mc.lock = lock;
+  mc.memory = memory;
+  mc.costs = costs;
+  mc.soclc = soclc;
+  mc.socdmmu = socdmmu;
+  mc.stop_on_deadlock = stop_on_deadlock;
+  return mc;
+}
+
+std::string DeltaConfig::describe() const {
+  std::ostringstream os;
+  os << "delta framework configuration\n";
+  os << "  Target: " << pe_count << " x " << cpu_type << ", "
+     << resource_count << " resources, " << task_count << " tasks\n";
+  os << "  Deadlock component: " << deadlock_name(deadlock) << "\n";
+  os << "  Lock component:     " << lock_name(lock) << "\n";
+  os << "  Memory component:   " << memory_name(memory) << "\n";
+  if (lock == LockComponent::kSoclc)
+    os << "    SoCLC: " << soclc.short_locks << " short + "
+       << soclc.long_locks << " long locks\n";
+  if (memory == MemoryComponent::kSocdmmu)
+    os << "    SoCDMMU: " << socdmmu.total_blocks << " blocks x "
+       << socdmmu.block_bytes << " B\n";
+  os << bus.describe();
+  return os.str();
+}
+
+DeltaConfig rtos_preset(int index) {
+  DeltaConfig cfg;  // the base system: 4 x MPC755, 5x5 deadlock geometry
+  switch (index) {
+    case 1:
+      cfg.deadlock = DeadlockComponent::kPddaSoftware;
+      break;
+    case 2:
+      cfg.deadlock = DeadlockComponent::kDdu;
+      break;
+    case 3:
+      cfg.deadlock = DeadlockComponent::kDaaSoftware;
+      cfg.stop_on_deadlock = false;  // avoidance keeps the system running
+      break;
+    case 4:
+      cfg.deadlock = DeadlockComponent::kDau;
+      cfg.stop_on_deadlock = false;
+      break;
+    case 5:
+      break;  // pure RTOS with software priority inheritance
+    case 6:
+      cfg.lock = LockComponent::kSoclc;
+      break;
+    case 7:
+      cfg.memory = MemoryComponent::kSocdmmu;
+      break;
+    default:
+      throw std::invalid_argument("rtos_preset: index must be 1..7");
+  }
+  return cfg;
+}
+
+std::string rtos_preset_description(int index) {
+  switch (index) {
+    case 1: return "PDDA (Algorithms 1 and 2) in software (Section 4.2.1)";
+    case 2: return "DDU in hardware (Sections 4.2.2 and 4.2.3)";
+    case 3: return "DAA (Algorithm 3) in software (Section 4.3.1)";
+    case 4: return "DAU in hardware (Section 4.3.2)";
+    case 5: return "Pure RTOS with priority inheritance support";
+    case 6: return "SoCLC with immediate priority ceiling protocol in hardware";
+    case 7: return "SoCDMMU in hardware";
+    default: throw std::invalid_argument("rtos_preset_description: 1..7");
+  }
+}
+
+std::unique_ptr<Mpsoc> generate(const DeltaConfig& cfg) {
+  return std::make_unique<Mpsoc>(cfg.to_mpsoc_config());
+}
+
+std::vector<GeneratedFile> generate_hdl(const DeltaConfig& cfg) {
+  cfg.validate();
+  std::vector<GeneratedFile> files;
+  files.push_back({"Top.v", generate_top_verilog(cfg)});
+  if (cfg.deadlock == DeadlockComponent::kDdu ||
+      cfg.deadlock == DeadlockComponent::kDau)
+    files.push_back({"ddu_cells.v", hw::generate_ddu_cell_library()});
+  switch (cfg.deadlock) {
+    case DeadlockComponent::kDdu: {
+      const std::string name = "ddu_" + std::to_string(cfg.resource_count) +
+                               "x" + std::to_string(cfg.task_count) + ".v";
+      files.push_back({name, hw::generate_ddu_verilog(cfg.resource_count,
+                                                      cfg.task_count)});
+      break;
+    }
+    case DeadlockComponent::kDau: {
+      const std::string name = "dau_" + std::to_string(cfg.resource_count) +
+                               "x" + std::to_string(cfg.task_count) + ".v";
+      files.push_back({name, hw::generate_dau_verilog(
+                                 cfg.resource_count, cfg.task_count,
+                                 cfg.pe_count)});
+      break;
+    }
+    default:
+      break;
+  }
+  if (cfg.lock == LockComponent::kSoclc)
+    files.push_back({"soclc.v", hw::generate_soclc_verilog(cfg.soclc)});
+  if (cfg.memory == MemoryComponent::kSocdmmu)
+    files.push_back(
+        {"socdmmu.v", hw::generate_socdmmu_verilog(cfg.socdmmu)});
+  return files;
+}
+
+}  // namespace delta::soc

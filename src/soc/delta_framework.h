@@ -1,0 +1,72 @@
+// The delta hardware/software RTOS design framework (paper §2.2, Fig. 3).
+//
+// The GUI of the paper collects a target architecture (CPU type, PE
+// count, task/resource counts), a bus configuration (Figs. 4-6), and a
+// selection of hardware RTOS components with their parameters (SoCLC
+// lock counts, SoCDMMU block counts, DDU/DAU geometry). From that it
+// generates (a) the configured RTOS/MPSoC simulation and (b) the HDL for
+// the selected hardware components plus the Verilog top file (Example 1,
+// Fig. 7). DeltaConfig is the programmatic form of that GUI state.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bus/bus_config.h"
+#include "soc/mpsoc.h"
+
+namespace delta::soc {
+
+/// Framework configuration state (Fig. 3's windows).
+struct DeltaConfig {
+  // Target Architecture window.
+  std::string cpu_type = "MPC755";
+  std::size_t pe_count = 4;
+  std::size_t task_count = 5;      ///< sizes the deadlock unit columns
+  std::size_t resource_count = 5;  ///< sizes the deadlock unit rows
+
+  // Bus configuration (Figs. 4-6).
+  bus::BusSystemConfig bus = bus::BusSystemConfig::base_mpsoc();
+
+  // Hardware RTOS components (Fig. 3 bottom) + software equivalents.
+  DeadlockComponent deadlock = DeadlockComponent::kNone;
+  LockComponent lock = LockComponent::kSoftwarePi;
+  MemoryComponent memory = MemoryComponent::kMallocFree;
+  hw::SoclcConfig soclc;      ///< parameterized SoCLC generator inputs
+  hw::SocdmmuConfig socdmmu;  ///< parameterized SoCDMMU generator inputs
+
+  rtos::ServiceCosts costs;
+  bool stop_on_deadlock = true;
+
+  /// Consistency checks mirroring the GUI's input validation.
+  void validate() const;
+
+  /// The MpsocConfig this framework state generates.
+  [[nodiscard]] MpsocConfig to_mpsoc_config() const;
+
+  /// Human-readable configuration summary.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Table 3 presets: configured components on top of the pure software
+/// RTOS. `index` is the paper's row number (1..7).
+DeltaConfig rtos_preset(int index);
+
+/// Short description of a Table 3 row ("PDDA in software", ...).
+std::string rtos_preset_description(int index);
+
+/// Generate (configure + construct) the simulatable RTOS/MPSoC.
+std::unique_ptr<Mpsoc> generate(const DeltaConfig& cfg);
+
+/// One generated HDL file.
+struct GeneratedFile {
+  std::string name;      ///< e.g. "Top.v", "ddu_5x5.v"
+  std::string contents;
+};
+
+/// Generate the HDL set for the selected hardware components, including
+/// the Verilog top file written by Archi_gen (Fig. 7 / Example 1).
+std::vector<GeneratedFile> generate_hdl(const DeltaConfig& cfg);
+
+}  // namespace delta::soc

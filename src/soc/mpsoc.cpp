@@ -1,0 +1,107 @@
+#include "soc/mpsoc.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace delta::soc {
+
+namespace {
+
+std::unique_ptr<rtos::DeadlockStrategy> make_strategy(
+    const MpsocConfig& cfg, bus::SharedBus* bus) {
+  const std::size_t m =
+      std::max(cfg.resources.size(), cfg.deadlock_unit_resources);
+  const std::size_t n = cfg.max_tasks;
+  std::vector<std::size_t> master_of_task;
+  for (std::size_t t = 0; t < n; ++t)
+    master_of_task.push_back(t % cfg.pe_count);
+  switch (cfg.deadlock) {
+    case DeadlockComponent::kNone:
+      return rtos::make_none_strategy(m, n, cfg.costs);
+    case DeadlockComponent::kPddaSoftware:
+      return rtos::make_pdda_software_strategy(m, n, cfg.costs);
+    case DeadlockComponent::kDdu:
+      return rtos::make_ddu_strategy(m, n, cfg.costs, bus,
+                                     std::move(master_of_task));
+    case DeadlockComponent::kDaaSoftware:
+      return rtos::make_daa_software_strategy(m, n, cfg.costs);
+    case DeadlockComponent::kDau:
+      return rtos::make_dau_strategy(m, n, cfg.costs, bus,
+                                     std::move(master_of_task));
+  }
+  throw std::logic_error("unknown deadlock component");
+}
+
+std::unique_ptr<rtos::LockBackend> make_locks(const MpsocConfig& cfg) {
+  switch (cfg.lock) {
+    case LockComponent::kSoftwarePi:
+      // Same short/long partition as the SoCLC would use, so spin-mode
+      // comparisons are apples to apples.
+      return std::make_unique<rtos::SoftwarePiLockBackend>(
+          cfg.soclc.short_locks + cfg.soclc.long_locks, cfg.costs,
+          cfg.soclc.short_locks);
+    case LockComponent::kSoclc:
+      return std::make_unique<rtos::SoclcLockBackend>(cfg.soclc, cfg.costs,
+                                                      cfg.lock_ceilings);
+  }
+  throw std::logic_error("unknown lock component");
+}
+
+std::unique_ptr<rtos::MemoryBackend> make_memory(const MpsocConfig& cfg,
+                                                 bus::SharedBus* bus) {
+  switch (cfg.memory) {
+    case MemoryComponent::kMallocFree:
+      return std::make_unique<rtos::SoftwareHeapBackend>(
+          cfg.heap_base, cfg.heap_bytes, cfg.costs);
+    case MemoryComponent::kSocdmmu: {
+      hw::SocdmmuConfig dc = cfg.socdmmu;
+      dc.pe_count = cfg.pe_count;
+      return std::make_unique<rtos::SocdmmuBackend>(dc, cfg.costs, bus);
+    }
+  }
+  throw std::logic_error("unknown memory component");
+}
+
+}  // namespace
+
+Mpsoc::Mpsoc(MpsocConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.pe_count == 0) throw std::invalid_argument("Mpsoc: zero PEs");
+  if (cfg_.resources.empty())
+    throw std::invalid_argument("Mpsoc: no resources");
+  // Masters: PEs plus one port for the hardware units.
+  bus_ = std::make_unique<bus::SharedBus>(cfg_.pe_count + 1,
+                                          cfg_.bus_timing);
+  l2_ = std::make_unique<mem::L2Memory>();
+  map_ = bus::AddressMap::base_mpsoc();
+  for (std::size_t pe = 0; pe < cfg_.pe_count; ++pe) l1_.emplace_back();
+
+  rtos::KernelConfig kc;
+  kc.pe_count = cfg_.pe_count;
+  kc.resource_count = cfg_.resources.size();
+  kc.max_tasks = cfg_.max_tasks;
+  kc.costs = cfg_.costs;
+  kc.stop_on_deadlock = cfg_.stop_on_deadlock;
+  kc.recovery = cfg_.recovery;
+  kc.time_slice = cfg_.time_slice;
+  kc.spin_short_locks = cfg_.spin_short_locks;
+  kc.trace = cfg_.trace;
+  for (const ResourceSpec& r : cfg_.resources)
+    kc.resource_names.push_back(r.name);
+
+  kernel_ = std::make_unique<rtos::Kernel>(
+      sim_, *bus_, std::move(kc), make_strategy(cfg_, bus_.get()),
+      make_locks(cfg_), make_memory(cfg_, bus_.get()));
+}
+
+rtos::ResourceId Mpsoc::resource(const std::string& name) const {
+  for (std::size_t i = 0; i < cfg_.resources.size(); ++i)
+    if (cfg_.resources[i].name == name) return i;
+  throw std::invalid_argument("unknown resource: " + name);
+}
+
+sim::Cycles Mpsoc::run(sim::Cycles limit) {
+  kernel_->start();
+  return sim_.run(limit);
+}
+
+}  // namespace delta::soc

@@ -1,0 +1,119 @@
+// The assembled MPSoC.
+//
+// One object owning the whole modeled system of paper §5.1: the
+// simulator, the shared bus (100 MHz, 3-cycle first word), the 16 MB L2,
+// the address map, per-PE L1 caches, the four resources (VI, IDCT/MPEG,
+// DSP, WI), and the RTOS kernel wired to the configured deadlock
+// strategy, lock backend and memory backend. Construct it through
+// delta_framework.h (the paper's GUI flow) or directly for tests.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bus/address_map.h"
+#include "bus/bus.h"
+#include "mem/l1_cache.h"
+#include "mem/l2_memory.h"
+#include "rtos/kernel.h"
+#include "sim/simulator.h"
+
+namespace delta::soc {
+
+/// Which deadlock mechanism the configuration uses (Table 3 rows).
+enum class DeadlockComponent : std::uint8_t {
+  kNone,          ///< plain RTOS (RTOS5 baseline)
+  kPddaSoftware,  ///< RTOS1
+  kDdu,           ///< RTOS2
+  kDaaSoftware,   ///< RTOS3
+  kDau,           ///< RTOS4
+};
+
+/// Which lock mechanism.
+enum class LockComponent : std::uint8_t {
+  kSoftwarePi,  ///< RTOS5: priority inheritance in software
+  kSoclc,       ///< RTOS6: SoCLC with hardware IPCP
+};
+
+/// Which allocator.
+enum class MemoryComponent : std::uint8_t {
+  kMallocFree,  ///< glibc-style software heap
+  kSocdmmu,     ///< RTOS7
+};
+
+/// Resource descriptor (the paper's q1..q4 devices).
+struct ResourceSpec {
+  std::string name;
+  sim::Cycles processing_cycles = 0;  ///< nominal per-job compute time
+};
+
+/// Full system configuration.
+struct MpsocConfig {
+  std::size_t pe_count = 4;
+  std::vector<ResourceSpec> resources = {
+      {"VI", 8000},      // video capture interface (q1)
+      {"IDCT", 23600},   // MPEG/IDCT unit; 64x64 test frame (§5.3)
+      {"DSP", 12000},    // q3
+      {"WI", 6000},      // wireless interface (q4)
+  };
+  std::size_t max_tasks = 5;  ///< matrix columns (5x5 units in the paper)
+
+  /// Deadlock-unit row count. The paper's MPSoC has four devices but its
+  /// DDU/DAU are generated for five processes x five resources (§5.3,
+  /// §5.4); the spare row simply stays empty.
+  std::size_t deadlock_unit_resources = 5;
+
+  DeadlockComponent deadlock = DeadlockComponent::kNone;
+  LockComponent lock = LockComponent::kSoftwarePi;
+  MemoryComponent memory = MemoryComponent::kMallocFree;
+
+  rtos::ServiceCosts costs;
+  bus::BusTiming bus_timing;
+  hw::SoclcConfig soclc;
+  std::vector<rtos::Priority> lock_ceilings;
+  hw::SocdmmuConfig socdmmu;
+  std::uint64_t heap_base = 0x0080'0000;       ///< software heap arena
+  std::uint64_t heap_bytes = 8ULL * 1024 * 1024;
+  bool stop_on_deadlock = true;
+  rtos::RecoveryPolicy recovery = rtos::RecoveryPolicy::kNone;
+  bool spin_short_locks = false;  ///< short-CS spin protocol (§2.3.1)
+  sim::Cycles time_slice = 0;
+  bool trace = true;
+};
+
+/// The live system.
+class Mpsoc {
+ public:
+  explicit Mpsoc(MpsocConfig cfg);
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] bus::SharedBus& bus() { return *bus_; }
+  [[nodiscard]] mem::L2Memory& l2() { return *l2_; }
+  [[nodiscard]] rtos::Kernel& kernel() { return *kernel_; }
+  [[nodiscard]] const bus::AddressMap& address_map() const { return map_; }
+  [[nodiscard]] const MpsocConfig& config() const { return cfg_; }
+  [[nodiscard]] mem::L1Cache& l1(std::size_t pe) { return l1_.at(pe); }
+
+  /// Resource index by name ("IDCT" -> 1). Throws when unknown.
+  [[nodiscard]] rtos::ResourceId resource(const std::string& name) const;
+
+  /// Nominal processing time of a resource (for workload authoring).
+  [[nodiscard]] sim::Cycles processing_cycles(rtos::ResourceId r) const {
+    return cfg_.resources.at(r).processing_cycles;
+  }
+
+  /// Start the kernel and run the simulation to completion (or `limit`).
+  sim::Cycles run(sim::Cycles limit = sim::kNeverCycles);
+
+ private:
+  MpsocConfig cfg_;
+  sim::Simulator sim_;
+  std::unique_ptr<bus::SharedBus> bus_;
+  std::unique_ptr<mem::L2Memory> l2_;
+  bus::AddressMap map_;
+  std::vector<mem::L1Cache> l1_;
+  std::unique_ptr<rtos::Kernel> kernel_;
+};
+
+}  // namespace delta::soc

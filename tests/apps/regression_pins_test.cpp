@@ -1,0 +1,96 @@
+// Regression pins: the headline measurements are deterministic, so we
+// pin them (with a small tolerance for intentional recalibration). If a
+// change moves these, EXPERIMENTS.md must be regenerated to match.
+#include <gtest/gtest.h>
+
+#include "apps/deadlock_apps.h"
+#include "apps/robot_app.h"
+#include "apps/splash.h"
+#include "soc/delta_framework.h"
+
+namespace delta::apps {
+namespace {
+
+constexpr double kTol = 0.02;  // 2% drift allowance
+
+void expect_near(double value, double pinned, const char* what) {
+  EXPECT_NEAR(value, pinned, pinned * kTol) << what;
+}
+
+TEST(RegressionPins, Table5) {
+  auto hw = soc::generate(soc::rtos_preset(2));
+  build_jini_app(*hw);
+  const DeadlockAppReport h = run_deadlock_app(*hw);
+  auto sw = soc::generate(soc::rtos_preset(1));
+  build_jini_app(*sw);
+  const DeadlockAppReport s = run_deadlock_app(*sw);
+
+  expect_near(static_cast<double>(h.app_run_time), 26402, "DDU app");
+  expect_near(static_cast<double>(s.app_run_time), 35741, "PDDA app");
+  expect_near(s.algorithm_avg_cycles, 1793.8, "PDDA algo");
+  EXPECT_LT(h.algorithm_avg_cycles, 2.0);
+  EXPECT_EQ(h.invocations, 10u);
+}
+
+TEST(RegressionPins, Table7) {
+  auto hw = soc::generate(soc::rtos_preset(4));
+  build_gdl_app(*hw);
+  const DeadlockAppReport h = run_deadlock_app(*hw);
+  auto sw = soc::generate(soc::rtos_preset(3));
+  build_gdl_app(*sw);
+  const DeadlockAppReport s = run_deadlock_app(*sw);
+
+  expect_near(static_cast<double>(h.app_run_time), 35207, "DAU app");
+  expect_near(static_cast<double>(s.app_run_time), 47237, "DAA app");
+  expect_near(s.algorithm_avg_cycles, 1763.9, "DAA algo");
+  EXPECT_LT(h.algorithm_avg_cycles, 10.0);
+}
+
+TEST(RegressionPins, Table9) {
+  auto hw = soc::generate(soc::rtos_preset(4));
+  build_rdl_app(*hw);
+  const DeadlockAppReport h = run_deadlock_app(*hw);
+  auto sw = soc::generate(soc::rtos_preset(3));
+  build_rdl_app(*sw);
+  const DeadlockAppReport s = run_deadlock_app(*sw);
+
+  expect_near(static_cast<double>(h.app_run_time), 38762, "DAU app");
+  expect_near(static_cast<double>(s.app_run_time), 54108, "DAA app");
+}
+
+TEST(RegressionPins, Table10) {
+  soc::MpsocConfig sw_cfg = soc::rtos_preset(5).to_mpsoc_config();
+  sw_cfg.lock_ceilings = robot_lock_ceilings();
+  soc::Mpsoc sw(sw_cfg);
+  build_robot_app(sw);
+  const RobotReport s = run_robot_app(sw);
+
+  soc::MpsocConfig hw_cfg = soc::rtos_preset(6).to_mpsoc_config();
+  hw_cfg.lock_ceilings = robot_lock_ceilings();
+  soc::Mpsoc hw(hw_cfg);
+  build_robot_app(hw);
+  const RobotReport h = run_robot_app(hw);
+
+  expect_near(s.lock_latency_avg, 570, "sw latency");
+  expect_near(h.lock_latency_avg, 317, "hw latency");
+  expect_near(static_cast<double>(s.overall_execution), 114000,
+              "sw overall");
+  expect_near(static_cast<double>(h.overall_execution), 77050,
+              "hw overall");
+}
+
+TEST(RegressionPins, Tables11And12) {
+  const SplashTrace lu = run_lu_kernel();
+  auto sw = soc::generate(soc::rtos_preset(5));
+  const SplashReport s = run_splash_on(*sw, lu);
+  auto hw = soc::generate(soc::rtos_preset(7));
+  const SplashReport h = run_splash_on(*hw, lu);
+
+  expect_near(static_cast<double>(s.total_cycles), 316445, "LU sw total");
+  expect_near(static_cast<double>(s.mgmt_cycles), 30377, "LU sw mgmt");
+  expect_near(static_cast<double>(h.total_cycles), 287659, "LU hw total");
+  expect_near(static_cast<double>(h.mgmt_cycles), 1591, "LU hw mgmt");
+}
+
+}  // namespace
+}  // namespace delta::apps

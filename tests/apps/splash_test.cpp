@@ -1,0 +1,96 @@
+#include "apps/splash.h"
+
+#include <gtest/gtest.h>
+
+#include "soc/delta_framework.h"
+
+namespace delta::apps {
+namespace {
+
+TEST(SplashKernels, AllSelfVerify) {
+  EXPECT_TRUE(run_lu_kernel(16, 4).verified);
+  EXPECT_TRUE(run_fft_kernel(256).verified);
+  EXPECT_TRUE(run_radix_kernel(1024, 4).verified);
+}
+
+TEST(SplashKernels, DefaultSizesVerify) {
+  EXPECT_TRUE(run_lu_kernel().verified);
+  EXPECT_TRUE(run_fft_kernel().verified);
+  EXPECT_TRUE(run_radix_kernel().verified);
+}
+
+TEST(SplashKernels, RejectBadParameters) {
+  EXPECT_THROW(run_lu_kernel(10, 3), std::invalid_argument);  // 3 !| 10
+  EXPECT_THROW(run_fft_kernel(100), std::invalid_argument);   // not pow2
+  EXPECT_THROW(run_radix_kernel(0), std::invalid_argument);
+  EXPECT_THROW(run_radix_kernel(16, 20), std::invalid_argument);
+}
+
+TEST(SplashKernels, TraceStructureIsBalanced) {
+  for (const SplashTrace& t :
+       {run_lu_kernel(32, 8), run_fft_kernel(512), run_radix_kernel(2048)}) {
+    int allocs = 0, frees = 0;
+    for (const SplashPhase& p : t.phases) {
+      if (p.kind == SplashPhase::Kind::kAlloc) ++allocs;
+      if (p.kind == SplashPhase::Kind::kFree) ++frees;
+    }
+    EXPECT_EQ(allocs, frees) << t.name;  // every buffer is deallocated
+    EXPECT_EQ(static_cast<std::uint64_t>(allocs + frees), t.alloc_calls);
+    EXPECT_GT(t.work_ops, 0u);
+    EXPECT_GT(t.compute_cycles(), 0u);
+  }
+}
+
+TEST(SplashKernels, WorkScalesWithProblemSize) {
+  EXPECT_GT(run_lu_kernel(64, 8).work_ops, 6 * run_lu_kernel(32, 8).work_ops);
+  EXPECT_GT(run_fft_kernel(4096).work_ops,
+            2 * run_fft_kernel(1024).work_ops);
+  EXPECT_GT(run_radix_kernel(16384).work_ops,
+            3 * run_radix_kernel(4096).work_ops);
+}
+
+TEST(SplashKernels, ToProgramMirrorsPhases) {
+  const SplashTrace t = run_lu_kernel(16, 4);
+  EXPECT_EQ(t.to_program().size(), t.phases.size());
+}
+
+TEST(SplashReplay, SocdmmuCutsManagementTime) {
+  const SplashTrace t = run_fft_kernel(1024);
+  auto sw_soc = soc::generate(soc::rtos_preset(5));
+  const SplashReport sw = run_splash_on(*sw_soc, t);
+  auto hw_soc = soc::generate(soc::rtos_preset(7));
+  const SplashReport hw = run_splash_on(*hw_soc, t);
+  // Table 12 shape: >90% management-time reduction, same compute.
+  EXPECT_LT(hw.mgmt_cycles * 10, sw.mgmt_cycles);
+  EXPECT_LT(hw.total_cycles, sw.total_cycles);
+  EXPECT_EQ(hw.mgmt_calls, sw.mgmt_calls);
+}
+
+TEST(SplashReplay, ManagementShareMatchesTable11Band) {
+  // With the default sizes, the malloc/free share of execution time sits
+  // in the band the paper reports (LU ~10%, FFT ~27%, RADIX ~20%).
+  struct Case {
+    SplashTrace trace;
+    double lo, hi;
+  };
+  const Case cases[] = {{run_lu_kernel(), 6.0, 14.0},
+                        {run_fft_kernel(), 18.0, 32.0},
+                        {run_radix_kernel(), 12.0, 25.0}};
+  for (const Case& c : cases) {
+    auto soc = soc::generate(soc::rtos_preset(5));
+    const SplashReport r = run_splash_on(*soc, c.trace);
+    EXPECT_GT(r.mgmt_percent, c.lo) << c.trace.name;
+    EXPECT_LT(r.mgmt_percent, c.hi) << c.trace.name;
+  }
+}
+
+TEST(SplashReplay, Deterministic) {
+  const SplashTrace t = run_radix_kernel(1024);
+  auto a = soc::generate(soc::rtos_preset(7));
+  auto b = soc::generate(soc::rtos_preset(7));
+  EXPECT_EQ(run_splash_on(*a, t).total_cycles,
+            run_splash_on(*b, t).total_cycles);
+}
+
+}  // namespace
+}  // namespace delta::apps

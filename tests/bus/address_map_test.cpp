@@ -1,0 +1,63 @@
+#include "bus/address_map.h"
+
+#include <gtest/gtest.h>
+
+namespace delta::bus {
+namespace {
+
+TEST(AddressMap, AddAndDecode) {
+  AddressMap map;
+  map.add("mem", 0x0, 0x1000);
+  map.add("dev", 0x2000, 0x100);
+  ASSERT_NE(map.decode(0x10), nullptr);
+  EXPECT_EQ(map.decode(0x10)->name, "mem");
+  EXPECT_EQ(map.decode(0xFFF)->name, "mem");
+  EXPECT_EQ(map.decode(0x1000), nullptr);  // hole
+  EXPECT_EQ(map.decode(0x2050)->name, "dev");
+  EXPECT_EQ(map.decode(0x2100), nullptr);
+}
+
+TEST(AddressMap, RejectsOverlap) {
+  AddressMap map;
+  map.add("a", 0x100, 0x100);
+  EXPECT_THROW(map.add("b", 0x180, 0x10), std::invalid_argument);
+  EXPECT_THROW(map.add("c", 0x0, 0x101), std::invalid_argument);
+  EXPECT_NO_THROW(map.add("d", 0x200, 0x10));  // adjacent is fine
+}
+
+TEST(AddressMap, RejectsZeroSizeAndWrap) {
+  AddressMap map;
+  EXPECT_THROW(map.add("z", 0, 0), std::invalid_argument);
+  EXPECT_THROW(map.add("w", ~0ULL, 2), std::invalid_argument);
+}
+
+TEST(AddressMap, RejectsDuplicateName) {
+  AddressMap map;
+  map.add("a", 0, 0x10);
+  EXPECT_THROW(map.add("a", 0x100, 0x10), std::invalid_argument);
+}
+
+TEST(AddressMap, FindByName) {
+  AddressMap map;
+  map.add("soclc", 0x4000'0000, 0x1000);
+  ASSERT_NE(map.find("soclc"), nullptr);
+  EXPECT_EQ(map.find("soclc")->base, 0x4000'0000u);
+  EXPECT_EQ(map.find("nothing"), nullptr);
+}
+
+TEST(AddressMap, BaseMpsocLayout) {
+  const AddressMap map = AddressMap::base_mpsoc();
+  ASSERT_NE(map.find("l2_memory"), nullptr);
+  EXPECT_EQ(map.find("l2_memory")->size, 16ULL * 1024 * 1024);  // §5.1
+  // All four resources and all four hardware RTOS components decode.
+  for (const char* name :
+       {"soclc", "socdmmu", "ddu", "dau", "vi", "mpeg", "dsp", "wi",
+        "interrupt_ctrl"})
+    EXPECT_NE(map.find(name), nullptr) << name;
+  // L2 and device windows are disjoint by construction (add() throws on
+  // overlap), and decoding a device address does not hit memory.
+  EXPECT_EQ(map.decode(map.find("ddu")->base)->name, "ddu");
+}
+
+}  // namespace
+}  // namespace delta::bus

@@ -1,0 +1,61 @@
+#include "bus/arbiter.h"
+
+#include <gtest/gtest.h>
+
+namespace delta::bus {
+namespace {
+
+TEST(Arbiter, RejectsZeroMasters) {
+  EXPECT_THROW(Arbiter(0, ArbitrationPolicy::kFixedPriority),
+               std::invalid_argument);
+}
+
+TEST(Arbiter, EmptyRequestSetGrantsNothing) {
+  Arbiter a(4, ArbitrationPolicy::kFixedPriority);
+  EXPECT_FALSE(a.grant({}).has_value());
+}
+
+TEST(Arbiter, FixedPriorityPicksLowestId) {
+  Arbiter a(4, ArbitrationPolicy::kFixedPriority);
+  EXPECT_EQ(a.grant({2, 1, 3}).value(), 1u);
+  EXPECT_EQ(a.grant({3}).value(), 3u);
+  EXPECT_EQ(a.grant({0, 3}).value(), 0u);
+}
+
+TEST(Arbiter, FixedPriorityCanStarve) {
+  Arbiter a(2, ArbitrationPolicy::kFixedPriority);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.grant({0, 1}).value(), 0u);
+}
+
+TEST(Arbiter, RoundRobinRotates) {
+  Arbiter a(3, ArbitrationPolicy::kRoundRobin);
+  EXPECT_EQ(a.grant({0, 1, 2}).value(), 0u);
+  EXPECT_EQ(a.grant({0, 1, 2}).value(), 1u);
+  EXPECT_EQ(a.grant({0, 1, 2}).value(), 2u);
+  EXPECT_EQ(a.grant({0, 1, 2}).value(), 0u);
+}
+
+TEST(Arbiter, RoundRobinSkipsNonRequestors) {
+  Arbiter a(4, ArbitrationPolicy::kRoundRobin);
+  EXPECT_EQ(a.grant({1, 3}).value(), 1u);  // rr starts at 0 -> nearest is 1
+  EXPECT_EQ(a.grant({1, 3}).value(), 3u);  // pointer at 2 -> nearest is 3
+  EXPECT_EQ(a.grant({1, 3}).value(), 1u);  // wraps
+}
+
+TEST(Arbiter, RoundRobinIsFairUnderSaturation) {
+  Arbiter a(4, ArbitrationPolicy::kRoundRobin);
+  int counts[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 400; ++i) ++counts[a.grant({0, 1, 2, 3}).value()];
+  for (int c : counts) EXPECT_EQ(c, 100);
+}
+
+TEST(Arbiter, RoundRobinStateFrozenWithoutGrant) {
+  Arbiter a(3, ArbitrationPolicy::kRoundRobin);
+  a.grant({0});
+  const MasterId before = a.rr_next();
+  a.grant({});
+  EXPECT_EQ(a.rr_next(), before);
+}
+
+}  // namespace
+}  // namespace delta::bus

@@ -1,0 +1,82 @@
+#include "bus/bus_config.h"
+
+#include <gtest/gtest.h>
+
+namespace delta::bus {
+namespace {
+
+TEST(BusConfig, BaseMpsocValidates) {
+  const BusSystemConfig cfg = BusSystemConfig::base_mpsoc();
+  EXPECT_NO_THROW(cfg.validate());
+  EXPECT_EQ(cfg.total_cpus(), 4u);
+  EXPECT_EQ(cfg.address_bus_width, 32u);
+  EXPECT_EQ(cfg.data_bus_width, 64u);
+}
+
+TEST(BusConfig, RejectsBadWidths) {
+  BusSystemConfig cfg = BusSystemConfig::base_mpsoc();
+  cfg.address_bus_width = 33;  // not a power of two
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.address_bus_width = 8;  // too narrow
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.address_bus_width = 32;
+  cfg.data_bus_width = 256;  // too wide
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(BusConfig, RejectsEmptySystems) {
+  BusSystemConfig cfg;
+  cfg.bans.clear();
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  BanConfig ban;
+  ban.cpu_type = "None";
+  cfg.bans.push_back(ban);
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);  // no CPU master
+}
+
+TEST(BusConfig, RejectsMemoryWiderThanBus) {
+  BusSystemConfig cfg = BusSystemConfig::base_mpsoc();
+  cfg.bans[0].global_memories[0].data_width = 128;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(BusConfig, RejectsZeroCpuCount) {
+  BusSystemConfig cfg = BusSystemConfig::base_mpsoc();
+  cfg.bans[0].cpu_count = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(BusConfig, HierarchicalMultiBanSystem) {
+  // The Figs. 4-6 flow: two BANs, one MPC755 cluster + one ARM920.
+  BusSystemConfig cfg;
+  BanConfig ban1;
+  ban1.cpu_type = "MPC755";
+  ban1.cpu_count = 2;
+  ban1.global_memories.push_back({MemoryType::kSram, 21, 64});
+  BanConfig ban2;
+  ban2.cpu_type = "ARM920";
+  ban2.cpu_count = 1;
+  ban2.local_memories.push_back({MemoryType::kSdram, 20, 32});
+  cfg.bans = {ban1, ban2};
+  EXPECT_NO_THROW(cfg.validate());
+  EXPECT_EQ(cfg.total_cpus(), 3u);
+}
+
+TEST(BusConfig, DescribeMirrorsGuiFields) {
+  const BusSystemConfig cfg = BusSystemConfig::base_mpsoc();
+  const std::string d = cfg.describe();
+  EXPECT_NE(d.find("Number of BANs: 1"), std::string::npos);
+  EXPECT_NE(d.find("Address bus width: 32"), std::string::npos);
+  EXPECT_NE(d.find("Data bus width: 64"), std::string::npos);
+  EXPECT_NE(d.find("MPC755 x4"), std::string::npos);
+  EXPECT_NE(d.find("SRAM"), std::string::npos);
+}
+
+TEST(BusConfig, MemoryTypeNames) {
+  EXPECT_STREQ(memory_type_name(MemoryType::kSram), "SRAM");
+  EXPECT_STREQ(memory_type_name(MemoryType::kDram), "DRAM");
+  EXPECT_STREQ(memory_type_name(MemoryType::kSdram), "SDRAM");
+}
+
+}  // namespace
+}  // namespace delta::bus

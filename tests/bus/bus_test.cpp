@@ -1,0 +1,84 @@
+#include "bus/bus.h"
+
+#include <gtest/gtest.h>
+
+namespace delta::bus {
+namespace {
+
+TEST(SharedBus, RejectsZeroMasters) {
+  EXPECT_THROW(SharedBus(0), std::invalid_argument);
+}
+
+TEST(SharedBus, PaperTiming) {
+  // §5.5: 3 cycles to the first word, one per successive burst word.
+  SharedBus bus(2);
+  EXPECT_EQ(bus.transfer_cycles(1), 3u);
+  EXPECT_EQ(bus.transfer_cycles(4), 6u);
+  EXPECT_EQ(bus.transfer_cycles(8), 10u);
+}
+
+TEST(SharedBus, ZeroWordTransferThrows) {
+  SharedBus bus(2);
+  EXPECT_THROW((void)bus.transfer_cycles(0), std::invalid_argument);
+}
+
+TEST(SharedBus, UncontendedTransferStartsImmediately) {
+  SharedBus bus(2);
+  const BusTransaction tx = bus.transfer(0, 100, 1);
+  EXPECT_EQ(tx.start, 100u);
+  EXPECT_EQ(tx.complete, 103u);
+  EXPECT_EQ(tx.waited, 0u);
+}
+
+TEST(SharedBus, ContendedTransferQueues) {
+  SharedBus bus(2);
+  bus.transfer(0, 100, 4);  // completes at 106
+  const BusTransaction tx = bus.transfer(1, 102, 1);
+  EXPECT_EQ(tx.start, 106u);
+  EXPECT_EQ(tx.waited, 4u);
+  EXPECT_EQ(tx.complete, 109u);
+}
+
+TEST(SharedBus, BusIdleGapsDoNotAccumulate) {
+  SharedBus bus(1);
+  bus.transfer(0, 0, 1);     // busy until 3
+  const BusTransaction tx = bus.transfer(0, 50, 1);
+  EXPECT_EQ(tx.start, 50u);  // idle gap between 3 and 50
+  EXPECT_EQ(tx.waited, 0u);
+}
+
+TEST(SharedBus, StatsPerMaster) {
+  SharedBus bus(2);
+  bus.transfer(0, 0, 4);
+  bus.transfer(0, 10, 1);
+  bus.transfer(1, 10, 1);  // waits until 13
+  const auto& s0 = bus.stats(0);
+  const auto& s1 = bus.stats(1);
+  EXPECT_EQ(s0.transactions, 2u);
+  EXPECT_EQ(s0.words, 5u);
+  EXPECT_EQ(s1.transactions, 1u);
+  EXPECT_EQ(s1.wait_cycles, 3u);
+  EXPECT_EQ(bus.total_transactions(), 3u);
+}
+
+TEST(SharedBus, CustomTiming) {
+  BusTiming t;
+  t.first_word = 5;
+  t.burst_word = 2;
+  SharedBus bus(1, t);
+  EXPECT_EQ(bus.transfer_cycles(3), 9u);
+}
+
+TEST(SharedBus, BackToBackSerializesExactly) {
+  SharedBus bus(4);
+  sim::Cycles expected_start = 0;
+  for (MasterId m = 0; m < 4; ++m) {
+    const BusTransaction tx = bus.transfer(m, 0, 1);
+    EXPECT_EQ(tx.start, expected_start);
+    expected_start += 3;
+  }
+  EXPECT_EQ(bus.busy_until(), 12u);
+}
+
+}  // namespace
+}  // namespace delta::bus

@@ -1,0 +1,143 @@
+#include "deadlock/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "rag/generators.h"
+#include "rag/oracle.h"
+#include "sim/random.h"
+
+namespace delta::deadlock {
+namespace {
+
+using rag::StateMatrix;
+
+TEST(Holt, BasicCases) {
+  EXPECT_FALSE(detect_holt(StateMatrix(4, 4)).deadlock);
+  EXPECT_TRUE(detect_holt(rag::cycle_state(4, 4, 3)).deadlock);
+  EXPECT_FALSE(detect_holt(rag::chain_state(4, 4)).deadlock);
+}
+
+TEST(Shoshani, BasicCases) {
+  EXPECT_FALSE(detect_shoshani(StateMatrix(4, 4)).deadlock);
+  EXPECT_TRUE(detect_shoshani(rag::cycle_state(4, 4, 3)).deadlock);
+  EXPECT_FALSE(detect_shoshani(rag::chain_state(4, 4)).deadlock);
+}
+
+TEST(Leibfried, BasicCases) {
+  EXPECT_FALSE(detect_leibfried(StateMatrix(4, 4)).deadlock);
+  EXPECT_TRUE(detect_leibfried(rag::cycle_state(4, 4, 3)).deadlock);
+  EXPECT_FALSE(detect_leibfried(rag::chain_state(4, 4)).deadlock);
+}
+
+// All three full-state baselines agree with the oracle on random states.
+class BaselinePropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(BaselinePropertyTest, AgreeWithOracle) {
+  sim::Rng rng(GetParam());
+  for (int i = 0; i < 120; ++i) {
+    const std::size_t m = 2 + rng.below(6);
+    const std::size_t n = 2 + rng.below(6);
+    const StateMatrix s = rag::random_state(m, n, rng);
+    const bool truth = rag::oracle_has_cycle(s);
+    EXPECT_EQ(detect_holt(s).deadlock, truth) << "holt\n" << s.to_string();
+    EXPECT_EQ(detect_shoshani(s).deadlock, truth)
+        << "shoshani\n" << s.to_string();
+    EXPECT_EQ(detect_leibfried(s).deadlock, truth)
+        << "leibfried\n" << s.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselinePropertyTest,
+                         ::testing::Values(41, 42, 43, 44, 45));
+
+TEST(BaselineProperty, ExhaustiveTinyAgreement) {
+  rag::for_each_small_state(3, 3, [&](const StateMatrix& s) {
+    const bool truth = rag::oracle_has_cycle(s);
+    ASSERT_EQ(detect_holt(s).deadlock, truth) << s.to_string();
+    ASSERT_EQ(detect_shoshani(s).deadlock, truth) << s.to_string();
+    ASSERT_EQ(detect_leibfried(s).deadlock, truth) << s.to_string();
+  });
+}
+
+TEST(BaselineCosts, ComplexityOrdering) {
+  // On the same large state, the measured op counts must reflect the
+  // asymptotic classes: Holt O(mn) < Shoshani O(mn^2) < Leibfried O(N^3).
+  const StateMatrix s = rag::worst_case_state(24, 24);
+  const auto holt = detect_holt(s).meter.total();
+  const auto shoshani = detect_shoshani(s).meter.total();
+  const auto leibfried = detect_leibfried(s).meter.total();
+  EXPECT_LT(holt, shoshani);
+  EXPECT_LT(shoshani, leibfried);
+}
+
+TEST(KimKoh, PrepareRejectsMultiRequestStates) {
+  StateMatrix s(3, 3);
+  s.add_request(0, 0);
+  s.add_request(0, 1);  // p0 waits on two resources
+  KimKohDetector det(3, 3);
+  EXPECT_FALSE(det.prepare(s));
+}
+
+TEST(KimKoh, DetectsCycleOnRequest) {
+  // p0 holds q0; p1 holds q1 and waits q0. p1's chain: q0 -> p0.
+  StateMatrix s(3, 3);
+  s.add_grant(0, 0);
+  s.add_grant(1, 1);
+  s.add_request(1, 0);  // p1 waits q0
+  KimKohDetector det(3, 3);
+  ASSERT_TRUE(det.prepare(s));
+  // p0 requesting q1 walks q1 -> p1 -> q0 -> p0 == requester: deadlock.
+  EXPECT_TRUE(det.request_creates_deadlock(0, 1));
+  // p2 requesting q1 walks q1 -> p1 -> q0 -> p0 (not waiting): safe.
+  EXPECT_FALSE(det.request_creates_deadlock(2, 1));
+  // Requesting a free resource is always safe.
+  EXPECT_FALSE(det.request_creates_deadlock(0, 2));
+}
+
+TEST(KimKoh, IncrementalEventsTrackState) {
+  KimKohDetector det(2, 2);
+  ASSERT_TRUE(det.prepare(StateMatrix(2, 2)));
+  det.on_grant(0, 0);               // q0 -> p0
+  det.on_grant(1, 1);               // q1 -> p1
+  det.on_request(1, 0);             // p1 waits q0
+  EXPECT_TRUE(det.request_creates_deadlock(0, 1));
+  det.on_release(0);                // p0 releases q0
+  det.on_grant(0, 1);               // q0 -> p1 (its wait is satisfied)
+  EXPECT_FALSE(det.request_creates_deadlock(0, 1));
+}
+
+TEST(KimKoh, AgreesWithOracleOnSingleRequestStates) {
+  sim::Rng rng(77);
+  for (int i = 0; i < 200; ++i) {
+    // Build a random single-request state.
+    const std::size_t m = 3 + rng.below(4);
+    const std::size_t n = 3 + rng.below(4);
+    StateMatrix s(m, n);
+    for (rag::ResId q = 0; q < m; ++q)
+      if (rng.chance(0.6)) s.add_grant(q, rng.below(n));
+    for (rag::ProcId p = 0; p < n; ++p) {
+      if (!rng.chance(0.5)) continue;
+      const rag::ResId q = rng.below(m);
+      if (s.at(q, p) == rag::Edge::kNone) s.add_request(p, q);
+    }
+    KimKohDetector det(m, n);
+    if (!det.prepare(s)) continue;
+    // The incremental scheme only decides whether the *new* edge closes a
+    // cycle; skip states that are already deadlocked.
+    if (rag::oracle_has_cycle(s)) continue;
+    // Pick a process not yet waiting and a resource it doesn't hold.
+    const rag::ProcId p = rng.below(n);
+    if (!s.requested_by(p).empty()) continue;
+    const rag::ResId q = rng.below(m);
+    if (s.at(q, p) != rag::Edge::kNone) continue;
+    StateMatrix with = s;
+    with.add_request(p, q);
+    EXPECT_EQ(det.request_creates_deadlock(p, q),
+              rag::oracle_has_cycle(with))
+        << with.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace delta::deadlock

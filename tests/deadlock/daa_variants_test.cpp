@@ -1,0 +1,91 @@
+// The §4.3.1 variant policies (rejected alternatives to Algorithm 3).
+#include <gtest/gtest.h>
+
+#include "deadlock/daa.h"
+#include "rag/oracle.h"
+#include "rag/reduction.h"
+
+namespace delta::deadlock {
+namespace {
+
+DaaEngine make(DaaPolicy policy) {
+  return DaaEngine(
+      4, 4, [](const rag::StateMatrix& s) { return rag::has_deadlock(s); },
+      policy);
+}
+
+// Build the canonical R-dl: p0 holds q0, p1 holds q1, p0 waits q1;
+// p1 requesting q0 closes the cycle.
+void setup_rdl(DaaEngine& e) {
+  ASSERT_EQ(e.request(0, 0).outcome, RequestOutcome::kGranted);
+  ASSERT_EQ(e.request(1, 1).outcome, RequestOutcome::kGranted);
+  ASSERT_EQ(e.request(0, 1).outcome, RequestOutcome::kPending);
+}
+
+TEST(DaaVariants, DefaultPolicyIsAlgorithm3) {
+  DaaEngine e(4, 4,
+              [](const rag::StateMatrix& s) { return rag::has_deadlock(s); });
+  EXPECT_EQ(e.policy(), DaaPolicy::kAlgorithm3);
+}
+
+TEST(DaaVariants, DenyPolicyRejectsAndRemovesEdge) {
+  DaaEngine e = make(DaaPolicy::kDenyOnRdl);
+  setup_rdl(e);
+  const RequestResult r = e.request(1, 0);
+  EXPECT_EQ(r.outcome, RequestOutcome::kDenied);
+  EXPECT_TRUE(r.r_dl);
+  // The tentative edge is withdrawn: no pending request, no deadlock.
+  EXPECT_FALSE(e.is_pending(1, 0));
+  EXPECT_FALSE(rag::oracle_has_cycle(e.state()));
+  // And a retry is denied again — the livelock hazard.
+  EXPECT_EQ(e.request(1, 0).outcome, RequestOutcome::kDenied);
+}
+
+TEST(DaaVariants, RequesterYieldsIgnoresPriority) {
+  // Under Algorithm 3, the HIGHER-priority requester would make the
+  // owner yield; under kRequesterYields the requester itself yields.
+  DaaEngine alg3 = make(DaaPolicy::kAlgorithm3);
+  ASSERT_EQ(alg3.request(3, 0).outcome, RequestOutcome::kGranted);
+  ASSERT_EQ(alg3.request(0, 1).outcome, RequestOutcome::kGranted);
+  ASSERT_EQ(alg3.request(3, 1).outcome, RequestOutcome::kPending);
+  const RequestResult a3 = alg3.request(0, 0);  // p0 (highest) closes cycle
+  EXPECT_EQ(a3.outcome, RequestOutcome::kOwnerAsked);
+  EXPECT_EQ(a3.asked, 3u);  // the low-priority owner yields
+
+  DaaEngine yields = make(DaaPolicy::kRequesterYields);
+  ASSERT_EQ(yields.request(3, 0).outcome, RequestOutcome::kGranted);
+  ASSERT_EQ(yields.request(0, 1).outcome, RequestOutcome::kGranted);
+  ASSERT_EQ(yields.request(3, 1).outcome, RequestOutcome::kPending);
+  const RequestResult y = yields.request(0, 0);
+  EXPECT_EQ(y.outcome, RequestOutcome::kGiveUpAsked);
+  EXPECT_EQ(y.asked, 0u);  // the highest-priority requester discards work
+  EXPECT_EQ(y.asked_resources, (std::vector<rag::ResId>{1}));
+}
+
+TEST(DaaVariants, AllPoliciesKeepStateSafeAfterCompliance) {
+  for (DaaPolicy policy : {DaaPolicy::kAlgorithm3, DaaPolicy::kDenyOnRdl,
+                           DaaPolicy::kRequesterYields}) {
+    DaaEngine e = make(policy);
+    setup_rdl(e);
+    const RequestResult r = e.request(1, 0);
+    if (r.asked != rag::kNoProc)
+      for (rag::ResId give : r.asked_resources) e.release(r.asked, give);
+    EXPECT_FALSE(rag::oracle_has_cycle(e.state()))
+        << static_cast<int>(policy);
+  }
+}
+
+TEST(DaaVariants, NonRdlPathsUnaffectedByPolicy) {
+  for (DaaPolicy policy : {DaaPolicy::kDenyOnRdl,
+                           DaaPolicy::kRequesterYields}) {
+    DaaEngine e = make(policy);
+    EXPECT_EQ(e.request(0, 0).outcome, RequestOutcome::kGranted);
+    EXPECT_EQ(e.request(1, 0).outcome, RequestOutcome::kPending);
+    const ReleaseResult rel = e.release(0, 0);
+    EXPECT_EQ(rel.outcome, ReleaseOutcome::kGrantedHighest);
+    EXPECT_EQ(rel.grantee, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace delta::deadlock

@@ -1,0 +1,98 @@
+#include "deadlock/pdda.h"
+
+#include <gtest/gtest.h>
+
+#include "rag/generators.h"
+#include "rag/oracle.h"
+#include "rag/reduction.h"
+#include "sim/random.h"
+
+namespace delta::deadlock {
+namespace {
+
+using rag::StateMatrix;
+
+TEST(SoftwarePdda, EmptyStateNoDeadlock) {
+  SoftwarePdda pdda;
+  EXPECT_FALSE(pdda.detect(StateMatrix(5, 5)));
+  EXPECT_EQ(pdda.last_iterations(), 0u);
+}
+
+TEST(SoftwarePdda, DetectsSimpleCycle) {
+  SoftwarePdda pdda;
+  EXPECT_TRUE(pdda.detect(rag::cycle_state(5, 5, 2)));
+}
+
+TEST(SoftwarePdda, ClearsChain) {
+  SoftwarePdda pdda;
+  EXPECT_FALSE(pdda.detect(rag::chain_state(5, 5)));
+  EXPECT_GT(pdda.last_iterations(), 0u);
+}
+
+TEST(SoftwarePdda, MeterIsPopulated) {
+  SoftwarePdda pdda;
+  pdda.detect(rag::cycle_state(5, 5, 3));
+  const OpMeter& m = pdda.last_meter();
+  EXPECT_GT(m.loads, 0u);
+  EXPECT_GT(m.stores, 0u);
+  EXPECT_GT(m.alu, 0u);
+  EXPECT_GT(m.branches, 0u);
+  EXPECT_GT(pdda.last_cycles(), 100u);  // 5x5 detection is hundreds of ops
+}
+
+TEST(SoftwarePdda, MeterResetsBetweenRuns) {
+  SoftwarePdda pdda;
+  pdda.detect(rag::worst_case_state(8, 8));
+  const auto big = pdda.last_meter().total();
+  pdda.detect(StateMatrix(2, 2));
+  const auto small = pdda.last_meter().total();
+  EXPECT_LT(small, big);  // meter reflects only the most recent run
+  pdda.detect(rag::worst_case_state(8, 8));
+  EXPECT_EQ(pdda.last_meter().total(), big);  // identical input, same count
+}
+
+TEST(SoftwarePdda, CostGrowsWithProblemSize) {
+  SoftwarePdda pdda;
+  pdda.detect(rag::worst_case_state(5, 5));
+  const auto small = pdda.last_cycles();
+  pdda.detect(rag::worst_case_state(20, 20));
+  const auto large = pdda.last_cycles();
+  EXPECT_GT(large, 10 * small);  // super-linear growth (O(m*n) per pass)
+}
+
+TEST(SoftwarePdda, IterationsMatchReferenceReduction) {
+  sim::Rng rng(5);
+  SoftwarePdda pdda;
+  for (int i = 0; i < 100; ++i) {
+    const StateMatrix s = rag::random_state(6, 6, rng);
+    pdda.detect(s);
+    EXPECT_EQ(pdda.last_iterations(), rag::reduce(s).steps);
+  }
+}
+
+// Property: software PDDA agrees with the oracle on random states.
+class PddaPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PddaPropertyTest, AgreesWithOracle) {
+  sim::Rng rng(GetParam());
+  SoftwarePdda pdda;
+  for (int i = 0; i < 150; ++i) {
+    const std::size_t m = 2 + rng.below(7);
+    const std::size_t n = 2 + rng.below(7);
+    const StateMatrix s = rag::random_state(m, n, rng);
+    EXPECT_EQ(pdda.detect(s), rag::oracle_has_cycle(s)) << s.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PddaPropertyTest,
+                         ::testing::Values(11, 12, 13, 14, 15, 16));
+
+TEST(SoftwarePdda, ExhaustiveTinyAgreement) {
+  SoftwarePdda pdda;
+  rag::for_each_small_state(3, 3, [&](const StateMatrix& s) {
+    ASSERT_EQ(pdda.detect(s), rag::oracle_has_cycle(s)) << s.to_string();
+  });
+}
+
+}  // namespace
+}  // namespace delta::deadlock

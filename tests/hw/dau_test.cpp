@@ -1,0 +1,122 @@
+#include "hw/dau.h"
+
+#include <gtest/gtest.h>
+
+#include "rag/oracle.h"
+#include "sim/random.h"
+
+namespace delta::hw {
+namespace {
+
+TEST(Dau, GrantsFreeResourceQuickly) {
+  Dau dau(5, 5);
+  const DauStatus st = dau.request(0, 0);
+  EXPECT_TRUE(st.done);
+  EXPECT_TRUE(st.successful);
+  EXPECT_FALSE(st.pending);
+  EXPECT_EQ(dau.owner(0), 0u);
+  EXPECT_EQ(dau.last_cycles(), Dau::kRequestFsmSteps);
+  EXPECT_EQ(dau.last_probes(), 0u);
+}
+
+TEST(Dau, PendingRequestProbesOnce) {
+  Dau dau(5, 5);
+  dau.request(0, 0);
+  const DauStatus st = dau.request(1, 0);
+  EXPECT_TRUE(st.pending);
+  EXPECT_FALSE(st.successful);
+  EXPECT_EQ(dau.last_probes(), 1u);
+  EXPECT_GT(dau.last_cycles(), Dau::kRequestFsmSteps);
+}
+
+TEST(Dau, GrantDeadlockScenarioTable6) {
+  // §5.4.1: p1..p4 -> 0..3; q1..q4 -> 0..3.
+  Dau dau(5, 5);
+  dau.request(0, 0);
+  dau.request(0, 1);
+  dau.request(2, 1);
+  dau.request(2, 3);
+  dau.request(1, 1);
+  dau.request(1, 3);
+  dau.release(0, 0);
+  const DauStatus st = dau.release(0, 1);  // t5: the G-dl moment
+  EXPECT_TRUE(st.successful);
+  EXPECT_TRUE(st.g_dl);
+  EXPECT_EQ(st.which_process, 2u);  // granted to lower-priority p3
+  EXPECT_FALSE(rag::oracle_has_cycle(dau.state()));
+}
+
+TEST(Dau, RequestDeadlockScenarioTable8) {
+  Dau dau(5, 5);
+  dau.request(0, 0);
+  dau.request(1, 1);
+  dau.request(2, 2);
+  dau.request(1, 2);
+  dau.request(2, 0);
+  const DauStatus st = dau.request(0, 1);  // t6: the R-dl moment
+  EXPECT_TRUE(st.r_dl);
+  EXPECT_TRUE(st.give_up);
+  EXPECT_EQ(st.which_process, 1u);  // p2 asked to give up
+  EXPECT_EQ(dau.asked_resources(), (std::vector<rag::ResId>{1}));
+  // p2 complies; q2 goes to p1.
+  const DauStatus rel = dau.release(1, 1);
+  EXPECT_TRUE(rel.successful);
+  EXPECT_EQ(rel.which_process, 0u);
+}
+
+TEST(Dau, ReleaseWithNoWaitersIsCheap) {
+  Dau dau(5, 5);
+  dau.request(0, 0);
+  dau.release(0, 0);
+  EXPECT_EQ(dau.last_probes(), 0u);
+  EXPECT_EQ(dau.last_cycles(), Dau::kRequestFsmSteps);
+}
+
+TEST(Dau, WorstCaseCyclesMatchTable2) {
+  // Table 2: 6 x 5 + 8 = 38 worst-case steps for the 5x5 DAU.
+  Dau dau(5, 5);
+  EXPECT_EQ(dau.worst_case_cycles(), 38u);
+}
+
+TEST(Dau, ObservedCyclesNeverExceedWorstCase) {
+  sim::Rng rng(81);
+  Dau dau(5, 5);
+  for (int step = 0; step < 500; ++step) {
+    const rag::ProcId p = rng.below(5);
+    if (rng.chance(0.45)) {
+      const auto held = dau.state().held_by(p);
+      if (held.empty()) continue;
+      dau.release(p, held[rng.below(held.size())]);
+    } else {
+      const rag::ResId q = rng.below(5);
+      if (dau.state().at(q, p) != rag::Edge::kNone) continue;
+      const DauStatus st = dau.request(p, q);
+      if (st.give_up) {
+        const std::vector<rag::ResId> give_list = dau.asked_resources();
+        for (rag::ResId give : give_list) dau.release(st.which_process, give);
+      }
+    }
+    EXPECT_LE(dau.last_cycles(), dau.worst_case_cycles());
+  }
+}
+
+TEST(Dau, PriorityOverrideChangesArbitration) {
+  Dau dau(5, 5);
+  // Invert priorities: p4 highest.
+  for (rag::ProcId p = 0; p < 5; ++p)
+    dau.set_priority(p, static_cast<int>(4 - p));
+  dau.request(0, 0);
+  dau.request(1, 0);
+  dau.request(4, 0);
+  const DauStatus st = dau.release(0, 0);
+  EXPECT_EQ(st.which_process, 4u);  // p4 now wins the hand-off
+}
+
+TEST(Dau, StatusReportsResource) {
+  Dau dau(5, 5);
+  const DauStatus st = dau.request(2, 3);
+  EXPECT_EQ(st.which_resource, 3u);
+}
+
+}  // namespace
+}  // namespace delta::hw

@@ -1,0 +1,98 @@
+// SoCDMMU shared allocation modes (G_alloc_rw / G_alloc_ro).
+#include <gtest/gtest.h>
+
+#include "hw/socdmmu.h"
+
+namespace delta::hw {
+namespace {
+
+SocdmmuConfig cfg() {
+  SocdmmuConfig c;
+  c.total_blocks = 16;
+  c.block_bytes = 1024;
+  c.pe_count = 4;
+  return c;
+}
+
+TEST(SocdmmuShared, FirstRwAllocCreatesRegion) {
+  Socdmmu u(cfg());
+  const DmmuAlloc a = u.alloc_shared(0, 7, 2048, DmmuMode::kSharedRw);
+  ASSERT_TRUE(a.ok);
+  EXPECT_EQ(a.blocks, 2u);
+  EXPECT_EQ(u.used_blocks(), 2u);
+  EXPECT_TRUE(u.writable(0, a.virtual_addr));
+}
+
+TEST(SocdmmuShared, AttachMapsSamePhysical) {
+  Socdmmu u(cfg());
+  const DmmuAlloc a = u.alloc_shared(0, 7, 2048, DmmuMode::kSharedRw);
+  const DmmuAlloc b = u.alloc_shared(1, 7, 0, DmmuMode::kSharedRw);
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_EQ(a.physical_addr, b.physical_addr);
+  EXPECT_NE(a.virtual_addr, b.virtual_addr);  // separate PE windows
+  EXPECT_EQ(u.used_blocks(), 2u);             // no extra physical blocks
+  // Both PEs translate to the same physical bytes.
+  EXPECT_EQ(u.translate(0, a.virtual_addr + 100),
+            u.translate(1, b.virtual_addr + 100));
+}
+
+TEST(SocdmmuShared, RoAttachIsReadOnly) {
+  Socdmmu u(cfg());
+  u.alloc_shared(0, 3, 1024, DmmuMode::kSharedRw);
+  const DmmuAlloc ro = u.alloc_shared(2, 3, 0, DmmuMode::kSharedRo);
+  ASSERT_TRUE(ro.ok);
+  EXPECT_FALSE(u.writable(2, ro.virtual_addr));
+  EXPECT_TRUE(u.translate(2, ro.virtual_addr).has_value());
+}
+
+TEST(SocdmmuShared, RoCannotCreateRegion) {
+  Socdmmu u(cfg());
+  EXPECT_FALSE(u.alloc_shared(0, 9, 1024, DmmuMode::kSharedRo).ok);
+}
+
+TEST(SocdmmuShared, ExclusiveModeRejectedOnSharedCommand) {
+  Socdmmu u(cfg());
+  EXPECT_FALSE(u.alloc_shared(0, 1, 1024, DmmuMode::kExclusive).ok);
+}
+
+TEST(SocdmmuShared, DoubleAttachSamePeRejected) {
+  Socdmmu u(cfg());
+  u.alloc_shared(0, 5, 1024, DmmuMode::kSharedRw);
+  EXPECT_TRUE(u.alloc_shared(1, 5, 0, DmmuMode::kSharedRw).ok);
+  EXPECT_FALSE(u.alloc_shared(1, 5, 0, DmmuMode::kSharedRw).ok);
+}
+
+TEST(SocdmmuShared, BlocksReclaimedOnLastDetach) {
+  Socdmmu u(cfg());
+  const DmmuAlloc a = u.alloc_shared(0, 2, 3000, DmmuMode::kSharedRw);
+  const DmmuAlloc b = u.alloc_shared(1, 2, 0, DmmuMode::kSharedRw);
+  const DmmuAlloc c = u.alloc_shared(2, 2, 0, DmmuMode::kSharedRo);
+  ASSERT_TRUE(a.ok && b.ok && c.ok);
+  EXPECT_EQ(u.used_blocks(), 3u);
+  ASSERT_TRUE(u.dealloc(0, a.virtual_addr).has_value());
+  EXPECT_EQ(u.used_blocks(), 3u);  // others still attached
+  ASSERT_TRUE(u.dealloc(1, b.virtual_addr).has_value());
+  EXPECT_EQ(u.used_blocks(), 3u);
+  ASSERT_TRUE(u.dealloc(2, c.virtual_addr).has_value());
+  EXPECT_EQ(u.used_blocks(), 0u);  // last detach reclaims
+  EXPECT_EQ(u.free_blocks(), 16u);
+}
+
+TEST(SocdmmuShared, ExclusiveWritableSharedRoNot) {
+  Socdmmu u(cfg());
+  const DmmuAlloc ex = u.alloc(0, 1024);
+  EXPECT_TRUE(u.writable(0, ex.virtual_addr));
+  EXPECT_FALSE(u.writable(0, 0xdeadbeef));
+  EXPECT_FALSE(u.writable(1, ex.virtual_addr));  // other PE unmapped
+}
+
+TEST(SocdmmuShared, DeterministicCommandTime) {
+  Socdmmu u(cfg());
+  const DmmuAlloc a = u.alloc_shared(0, 1, 1024, DmmuMode::kSharedRw);
+  const DmmuAlloc b = u.alloc_shared(1, 1, 0, DmmuMode::kSharedRw);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.cycles, cfg().alloc_cycles);
+}
+
+}  // namespace
+}  // namespace delta::hw

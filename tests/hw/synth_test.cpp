@@ -1,0 +1,86 @@
+#include "hw/synth.h"
+
+#include <gtest/gtest.h>
+
+namespace delta::hw {
+namespace {
+
+TEST(Synth, DduAreaNearPaper5x5) {
+  // Table 1: 364 NAND2 for the 5x5 DDU; structural estimate within 15%.
+  const double a = ddu_area(5, 5).total();
+  EXPECT_GT(a, 364 * 0.85);
+  EXPECT_LT(a, 364 * 1.15);
+}
+
+TEST(Synth, DduAreaGrowsWithCells) {
+  double prev = 0;
+  for (std::size_t k = 2; k <= 50; k += 4) {
+    const double a = ddu_area(k, k).total();
+    EXPECT_GT(a, prev);
+    prev = a;
+  }
+}
+
+TEST(Synth, DduAreaDominatedByMatrixCellsAtScale) {
+  const AreaReport r = ddu_area(50, 50);
+  EXPECT_GT(r.matrix_cells, r.weight_cells);
+  EXPECT_GT(r.matrix_cells, 0.6 * r.total());
+}
+
+TEST(Synth, DauAreaNearPaperTotal) {
+  // Table 2: DDU 364 + others 1472 = 1836 NAND2. Allow 25% (the register
+  // widths are modeled, the paper's exact netlist is not available).
+  const double a = dau_area(5, 5, 4).total();
+  EXPECT_GT(a, 1836 * 0.75);
+  EXPECT_LT(a, 1836 * 1.25);
+}
+
+TEST(Synth, DauRegistersExceedDduCells) {
+  const AreaReport r = dau_area(5, 5, 4);
+  EXPECT_GT(r.registers + r.fsm, r.matrix_cells + r.weight_cells + r.decide);
+}
+
+TEST(Synth, DauPercentOfMpsocMatchesHeadline) {
+  // Paper: "the DAU only consumes .005% of the MPSoC total chip area."
+  const double pct = area_percent_of_mpsoc(dau_area(5, 5, 4).total());
+  EXPECT_GT(pct, 0.003);
+  EXPECT_LT(pct, 0.008);
+}
+
+TEST(Synth, MpsocBudgetMatchesPaper) {
+  // §4.3.3: 4 x 1.7M PE + 33.5M memory ~ 40.344M gates.
+  const MpsocAreaBudget b;
+  EXPECT_NEAR(b.total(), 40.344e6, 0.05e6);
+}
+
+TEST(Synth, SoclcAreaInPaperBallpark) {
+  // §2.3.1: ~10,000 NAND2 for SoCLC with priority inheritance (16 locks).
+  const double a = soclc_area(SoclcConfig{}, 4).total();
+  EXPECT_GT(a, 3000.0);
+  EXPECT_LT(a, 15000.0);
+}
+
+TEST(Synth, SoclcAreaScalesWithLocks) {
+  SoclcConfig small;
+  small.short_locks = 4;
+  small.long_locks = 4;
+  SoclcConfig big;
+  big.short_locks = 64;
+  big.long_locks = 64;
+  EXPECT_GT(soclc_area(big, 4).total(), 4 * soclc_area(small, 4).total());
+}
+
+TEST(Synth, SocdmmuAreaScalesWithBlocks) {
+  SocdmmuConfig a, b;
+  a.total_blocks = 64;
+  b.total_blocks = 512;
+  EXPECT_GT(socdmmu_area(b).total(), socdmmu_area(a).total());
+}
+
+TEST(Synth, AreaPercentHelper) {
+  MpsocAreaBudget b;
+  EXPECT_NEAR(area_percent_of_mpsoc(b.total() / 100.0, b), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace delta::hw

@@ -1,0 +1,146 @@
+#include "mem/heap.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/random.h"
+
+namespace delta::mem {
+namespace {
+
+constexpr std::uint64_t kBase = 0x1000;
+constexpr std::uint64_t kSize = 64 * 1024;
+
+TEST(SoftwareHeap, RejectsTinyArena) {
+  EXPECT_THROW(SoftwareHeap(0, 8), std::invalid_argument);
+}
+
+TEST(SoftwareHeap, AllocatesAlignedInArena) {
+  SoftwareHeap h(kBase, kSize);
+  const HeapCall a = h.malloc(100);
+  ASSERT_TRUE(a.ok);
+  EXPECT_GE(a.addr, kBase);
+  EXPECT_LT(a.addr, kBase + kSize);
+  EXPECT_EQ(a.addr % 8, 0u);
+  EXPECT_GT(a.cycles, 0u);
+  EXPECT_TRUE(h.validate());
+}
+
+TEST(SoftwareHeap, ZeroByteMallocFails) {
+  SoftwareHeap h(kBase, kSize);
+  EXPECT_FALSE(h.malloc(0).ok);
+}
+
+TEST(SoftwareHeap, DistinctBlocksDoNotOverlap) {
+  SoftwareHeap h(kBase, kSize);
+  const HeapCall a = h.malloc(256);
+  const HeapCall b = h.malloc(256);
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_TRUE(a.addr + 256 <= b.addr || b.addr + 256 <= a.addr);
+}
+
+TEST(SoftwareHeap, FreeAndReuse) {
+  SoftwareHeap h(kBase, kSize);
+  const HeapCall a = h.malloc(512);
+  ASSERT_TRUE(h.free(a.addr).ok);
+  const HeapCall b = h.malloc(512);
+  EXPECT_EQ(b.addr, a.addr);  // first fit reuses the hole
+  EXPECT_TRUE(h.validate());
+}
+
+TEST(SoftwareHeap, InvalidFreeRejected) {
+  SoftwareHeap h(kBase, kSize);
+  EXPECT_FALSE(h.free(kBase + 123).ok);
+  const HeapCall a = h.malloc(64);
+  EXPECT_TRUE(h.free(a.addr).ok);
+  EXPECT_FALSE(h.free(a.addr).ok);  // double free detected
+  EXPECT_TRUE(h.validate());
+}
+
+TEST(SoftwareHeap, ExhaustionFailsGracefully) {
+  SoftwareHeap h(kBase, 4096);
+  const HeapCall a = h.malloc(3800);
+  ASSERT_TRUE(a.ok);
+  EXPECT_FALSE(h.malloc(4000).ok);
+  EXPECT_TRUE(h.validate());
+}
+
+TEST(SoftwareHeap, CoalescingRestoresFullArena) {
+  SoftwareHeap h(kBase, kSize);
+  std::vector<std::uint64_t> addrs;
+  for (int i = 0; i < 20; ++i) addrs.push_back(h.malloc(1000).addr);
+  // Free in a scattered order.
+  for (int i = 0; i < 20; i += 2) ASSERT_TRUE(h.free(addrs[i]).ok);
+  for (int i = 1; i < 20; i += 2) ASSERT_TRUE(h.free(addrs[i]).ok);
+  EXPECT_TRUE(h.validate());
+  EXPECT_EQ(h.free_list_length(), 1u);  // fully coalesced
+  EXPECT_EQ(h.live_blocks(), 0u);
+  // Whole arena usable again.
+  EXPECT_TRUE(h.malloc(kSize - 64).ok);
+}
+
+TEST(SoftwareHeap, CyclesGrowWithFreeListLength) {
+  SoftwareHeap h(kBase, 1 << 20);
+  // Fragment the heap: allocate many, free every other one.
+  std::vector<std::uint64_t> addrs;
+  for (int i = 0; i < 200; ++i) addrs.push_back(h.malloc(128).addr);
+  for (int i = 0; i < 200; i += 2) h.free(addrs[i]);
+  // A large allocation must walk past ~100 small holes.
+  const HeapCall big = h.malloc(4096);
+  ASSERT_TRUE(big.ok);
+  // Fresh heap satisfies the same request near-instantly by comparison.
+  SoftwareHeap fresh(kBase, 1 << 20);
+  const HeapCall quick = fresh.malloc(4096);
+  EXPECT_GT(big.cycles, quick.cycles + 200);
+}
+
+TEST(SoftwareHeap, MetersAccumulate) {
+  SoftwareHeap h(kBase, kSize);
+  const auto t0 = h.total_cycles();
+  h.malloc(100);
+  const auto t1 = h.total_cycles();
+  EXPECT_GT(t1, t0);
+  h.malloc(100);
+  EXPECT_GT(h.total_cycles(), t1);
+  EXPECT_GT(h.total_meter().total(), 0u);
+}
+
+// Property test: random malloc/free against a shadow model.
+class HeapPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeapPropertyTest, RandomWorkloadKeepsInvariants) {
+  sim::Rng rng(GetParam());
+  SoftwareHeap h(kBase, 1 << 20);
+  std::map<std::uint64_t, std::uint64_t> live;  // addr -> size
+  for (int step = 0; step < 600; ++step) {
+    if (!live.empty() && rng.chance(0.45)) {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.below(live.size())));
+      ASSERT_TRUE(h.free(it->first).ok);
+      live.erase(it);
+    } else {
+      const std::uint64_t bytes = 1 + rng.below(2048);
+      const HeapCall c = h.malloc(bytes);
+      if (!c.ok) continue;
+      // No overlap with any live block.
+      for (const auto& [addr, size] : live)
+        ASSERT_TRUE(c.addr + bytes <= addr || addr + size <= c.addr)
+            << "overlap at step " << step;
+      live[c.addr] = bytes;
+    }
+    ASSERT_TRUE(h.validate()) << "step " << step;
+  }
+  EXPECT_EQ(h.live_blocks(), live.size());
+  for (const auto& [addr, size] : live) {
+    (void)size;
+    ASSERT_TRUE(h.free(addr).ok);
+  }
+  EXPECT_EQ(h.free_list_length(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeapPropertyTest,
+                         ::testing::Values(101, 102, 103, 104));
+
+}  // namespace
+}  // namespace delta::mem

@@ -1,0 +1,78 @@
+#include "mem/l1_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace delta::mem {
+namespace {
+
+TEST(L1Cache, RejectsBadGeometry) {
+  EXPECT_THROW(L1Cache(0, 32), std::invalid_argument);
+  EXPECT_THROW(L1Cache(1024, 0), std::invalid_argument);
+  EXPECT_THROW(L1Cache(1000, 32), std::invalid_argument);   // not pow2
+  EXPECT_THROW(L1Cache(32, 64), std::invalid_argument);     // line > size
+}
+
+TEST(L1Cache, DefaultGeometryMatchesPaper) {
+  L1Cache c;  // 32 KB, 32 B lines (§5.1 MPC755 L1)
+  EXPECT_EQ(c.lines(), 1024u);
+}
+
+TEST(L1Cache, FirstAccessMissesThenHits) {
+  L1Cache c(1024, 32);
+  EXPECT_FALSE(c.access(0x100));
+  EXPECT_TRUE(c.access(0x100));
+  EXPECT_TRUE(c.access(0x11F));  // same 32-byte line
+  EXPECT_FALSE(c.access(0x120)); // next line
+}
+
+TEST(L1Cache, ConflictEviction) {
+  L1Cache c(1024, 32);  // 32 lines: addresses 1024 apart conflict
+  EXPECT_FALSE(c.access(0x0));
+  EXPECT_FALSE(c.access(0x400));  // same index, different tag: evicts
+  EXPECT_FALSE(c.access(0x0));    // miss again
+}
+
+TEST(L1Cache, HitRateAccounting) {
+  L1Cache c(1024, 32);
+  c.access(0);
+  c.access(0);
+  c.access(0);
+  c.access(32);
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 2u);
+  EXPECT_DOUBLE_EQ(c.hit_rate(), 0.5);
+}
+
+TEST(L1Cache, InvalidateAll) {
+  L1Cache c(1024, 32);
+  c.access(0);
+  c.invalidate();
+  EXPECT_FALSE(c.access(0));
+}
+
+TEST(L1Cache, InvalidateLineIsSelective) {
+  L1Cache c(1024, 32);
+  c.access(0);
+  c.access(64);
+  c.invalidate_line(0);
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(64));
+}
+
+TEST(L1Cache, InvalidateLineIgnoresTagMismatch) {
+  L1Cache c(1024, 32);
+  c.access(0x0);
+  c.invalidate_line(0x400);  // same index, different tag: keep
+  EXPECT_TRUE(c.access(0x0));
+}
+
+TEST(L1Cache, SequentialSweepHitRate) {
+  L1Cache c(1024, 32);
+  // Touch every byte of 1 KB: one miss per 32-byte line.
+  for (std::uint64_t a = 0; a < 1024; ++a) c.access(a);
+  EXPECT_EQ(c.misses(), 32u);
+  EXPECT_EQ(c.hits(), 1024u - 32u);
+}
+
+}  // namespace
+}  // namespace delta::mem

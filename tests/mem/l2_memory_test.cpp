@@ -1,0 +1,67 @@
+#include "mem/l2_memory.h"
+
+#include <gtest/gtest.h>
+
+namespace delta::mem {
+namespace {
+
+TEST(L2Memory, ZeroSizeRejected) {
+  EXPECT_THROW(L2Memory(0), std::invalid_argument);
+}
+
+TEST(L2Memory, ReadsZeroInitially) {
+  L2Memory m(4096);
+  EXPECT_EQ(m.read8(0), 0);
+  EXPECT_EQ(m.read64(1000), 0u);
+  EXPECT_EQ(m.resident_pages(), 0u);  // reads should not materialize...
+}
+
+TEST(L2Memory, ByteRoundTrip) {
+  L2Memory m(4096);
+  m.write8(42, 0xAB);
+  EXPECT_EQ(m.read8(42), 0xAB);
+  EXPECT_EQ(m.read8(41), 0);
+}
+
+TEST(L2Memory, WordRoundTrip) {
+  L2Memory m(1 << 20);
+  m.write32(0x100, 0xDEADBEEF);
+  m.write64(0x200, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(m.read32(0x100), 0xDEADBEEFu);
+  EXPECT_EQ(m.read64(0x200), 0x0123456789ABCDEFULL);
+}
+
+TEST(L2Memory, CrossPageAccess) {
+  L2Memory m(1 << 20);
+  m.write64(4092, 0x1122334455667788ULL);  // straddles 4K page boundary
+  EXPECT_EQ(m.read64(4092), 0x1122334455667788ULL);
+  EXPECT_EQ(m.read8(4095), 0x55);  // little-endian byte 3 of ...55667788
+}
+
+TEST(L2Memory, OutOfRangeThrows) {
+  L2Memory m(4096);
+  EXPECT_THROW(m.read8(4096), std::out_of_range);
+  EXPECT_THROW(m.write8(4096, 1), std::out_of_range);
+  EXPECT_THROW(m.read64(4090), std::out_of_range);
+  EXPECT_NO_THROW(m.read64(4088));
+}
+
+TEST(L2Memory, BulkTransfer) {
+  L2Memory m(1 << 16);
+  std::uint8_t data[256];
+  for (int i = 0; i < 256; ++i) data[i] = static_cast<std::uint8_t>(i);
+  m.write_bytes(1000, data, 256);
+  std::uint8_t out[256] = {};
+  m.read_bytes(1000, out, 256);
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(out[i], data[i]);
+}
+
+TEST(L2Memory, SparsePagesOnlyWhereTouched) {
+  L2Memory m(16ULL * 1024 * 1024);
+  m.write8(0, 1);
+  m.write8(8ULL * 1024 * 1024, 2);
+  EXPECT_LE(m.resident_pages(), 2u);
+}
+
+}  // namespace
+}  // namespace delta::mem

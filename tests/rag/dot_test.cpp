@@ -1,0 +1,61 @@
+#include "rag/dot.h"
+
+#include <gtest/gtest.h>
+
+#include "rag/generators.h"
+
+namespace delta::rag {
+namespace {
+
+TEST(Dot, BasicStructure) {
+  StateMatrix m(2, 2);
+  m.add_grant(0, 0);
+  m.add_request(1, 0);
+  const std::string dot = to_dot(m);
+  EXPECT_NE(dot.find("digraph rag {"), std::string::npos);
+  EXPECT_NE(dot.find("\"p1\" [shape=circle]"), std::string::npos);
+  EXPECT_NE(dot.find("\"q1\" [shape=box]"), std::string::npos);
+  EXPECT_NE(dot.find("\"q1\" -> \"p1\" [label=\"grant\"]"),
+            std::string::npos);
+  EXPECT_NE(dot.find("\"p2\" -> \"q1\" [label=\"request\""),
+            std::string::npos);
+  EXPECT_EQ(dot.find("salmon"), std::string::npos);  // no deadlock
+}
+
+TEST(Dot, CustomNames) {
+  StateMatrix m(2, 1);
+  m.add_grant(1, 0);
+  const std::string dot = to_dot(m, {"decoder"}, {"VI", "IDCT"});
+  EXPECT_NE(dot.find("\"IDCT\" -> \"decoder\""), std::string::npos);
+}
+
+TEST(Dot, HighlightsDeadlockedNodes) {
+  const std::string dot = to_dot(cycle_state(4, 4, 2));
+  // The two cycle members are highlighted; the others are not.
+  std::size_t hot = 0;
+  for (std::size_t p = dot.find("salmon"); p != std::string::npos;
+       p = dot.find("salmon", p + 1))
+    ++hot;
+  EXPECT_EQ(hot, 4u);  // p1, p2, q1, q2
+}
+
+TEST(Dot, HighlightCanBeDisabled) {
+  const std::string dot = to_dot(cycle_state(4, 4, 2), {}, {}, false);
+  EXPECT_EQ(dot.find("salmon"), std::string::npos);
+}
+
+TEST(Dot, EdgeCountsMatchMatrix) {
+  const StateMatrix m = worst_case_state(6, 6);
+  const std::string dot = to_dot(m);
+  std::size_t grants = 0, requests = 0;
+  for (std::size_t p = dot.find("label=\"grant\""); p != std::string::npos;
+       p = dot.find("label=\"grant\"", p + 1))
+    ++grants;
+  for (std::size_t p = dot.find("label=\"request\"");
+       p != std::string::npos; p = dot.find("label=\"request\"", p + 1))
+    ++requests;
+  EXPECT_EQ(grants + requests, m.edge_count());
+}
+
+}  // namespace
+}  // namespace delta::rag

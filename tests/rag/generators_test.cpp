@@ -1,0 +1,94 @@
+#include "rag/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "rag/oracle.h"
+#include "rag/reduction.h"
+#include "sim/random.h"
+
+namespace delta::rag {
+namespace {
+
+// Single-unit invariant: every row has at most one grant.
+void expect_well_formed(const StateMatrix& m) {
+  for (ResId s = 0; s < m.resources(); ++s) {
+    int grants = 0;
+    for (ProcId t = 0; t < m.processes(); ++t)
+      if (m.at(s, t) == Edge::kGrant) ++grants;
+    EXPECT_LE(grants, 1) << "row " << s;
+  }
+}
+
+TEST(RandomState, IsWellFormed) {
+  sim::Rng rng(17);
+  for (int i = 0; i < 100; ++i)
+    expect_well_formed(random_state(6, 6, rng));
+}
+
+TEST(RandomState, DensityRespondsToParameters) {
+  sim::Rng rng(18);
+  std::size_t sparse = 0, dense = 0;
+  for (int i = 0; i < 50; ++i) {
+    sparse += random_state(6, 6, rng, 0.1, 0.05).edge_count();
+    dense += random_state(6, 6, rng, 0.9, 0.5).edge_count();
+  }
+  EXPECT_LT(sparse * 3, dense);
+}
+
+TEST(CycleState, AlwaysDeadlocked) {
+  sim::Rng rng(19);
+  for (std::size_t k = 2; k <= 5; ++k) {
+    const StateMatrix m = cycle_state(5, 5, k, &rng, 0.2);
+    expect_well_formed(m);
+    EXPECT_TRUE(oracle_has_cycle(m));
+  }
+}
+
+TEST(CycleState, RejectsBadK) {
+  EXPECT_THROW(cycle_state(5, 5, 1), std::invalid_argument);
+  EXPECT_THROW(cycle_state(5, 5, 6), std::invalid_argument);
+}
+
+TEST(ChainState, DeadlockFree) {
+  for (std::size_t k = 2; k <= 10; ++k) {
+    const StateMatrix m = chain_state(k, k);
+    expect_well_formed(m);
+    EXPECT_FALSE(oracle_has_cycle(m));
+    EXPECT_TRUE(reduce(m).complete);
+  }
+}
+
+TEST(WorstCaseState, DeadlockedForLargeEnoughSystems) {
+  for (std::size_t k = 4; k <= 12; ++k) {
+    const StateMatrix m = worst_case_state(k, k);
+    expect_well_formed(m);
+    EXPECT_TRUE(oracle_has_cycle(m)) << "k=" << k;
+  }
+}
+
+TEST(WorstCaseState, StepsGrowLinearly) {
+  std::size_t prev = 0;
+  for (std::size_t k = 4; k <= 20; ++k) {
+    const std::size_t steps = reduce(worst_case_state(k, k)).steps;
+    EXPECT_EQ(steps, 2 * (k - 2));
+    EXPECT_GT(steps, prev);
+    prev = steps;
+  }
+}
+
+TEST(ForEachSmallState, EnumeratesAllWellFormed) {
+  // 2x2: each row can be (none|req|req, grant in one of 2 cols ...).
+  // Count must match the combinatorial formula: per row, each of the 2
+  // entries in {0,r} plus grant placements: total per row = 2^2 (no
+  // grant) + 2 * 2 (grant in one cell, other in {0,r}) = 8; two rows
+  // independent -> 64.
+  std::size_t count = 0;
+  for_each_small_state(2, 2, [&](const StateMatrix& m) {
+    expect_well_formed(m);
+    ++count;
+  });
+  EXPECT_EQ(count, 64u);
+}
+
+}  // namespace
+}  // namespace delta::rag

@@ -1,0 +1,98 @@
+// Additional structural properties of the reduction machinery.
+#include <gtest/gtest.h>
+
+#include "rag/generators.h"
+#include "rag/oracle.h"
+#include "rag/reduction.h"
+#include "sim/random.h"
+
+namespace delta::rag {
+namespace {
+
+class RagPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RagPropertyTest, ReductionIsIdempotent) {
+  sim::Rng rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    const StateMatrix s = random_state(6, 6, rng);
+    const ReductionResult once = reduce(s);
+    const ReductionResult twice = reduce(once.final);
+    EXPECT_EQ(twice.steps, 0u);
+    EXPECT_EQ(twice.final, once.final);
+  }
+}
+
+TEST_P(RagPropertyTest, IrreducibleResidueHasOnlyConnectNodes) {
+  sim::Rng rng(GetParam() + 1);
+  for (int i = 0; i < 100; ++i) {
+    const StateMatrix s = random_state(6, 6, rng);
+    const StateMatrix residue = reduce(s).final;
+    for (ResId q = 0; q < residue.resources(); ++q)
+      EXPECT_NE(classify_row(residue, q), NodeKind::kTerminal);
+    for (ProcId p = 0; p < residue.processes(); ++p)
+      EXPECT_NE(classify_col(residue, p), NodeKind::kTerminal);
+  }
+}
+
+TEST_P(RagPropertyTest, DeadlockMonotoneUnderAddedRequests) {
+  // Adding request edges can never *remove* a deadlock.
+  sim::Rng rng(GetParam() + 2);
+  for (int i = 0; i < 100; ++i) {
+    StateMatrix s = random_state(5, 5, rng);
+    if (!oracle_has_cycle(s)) continue;
+    StateMatrix more = s;
+    for (int add = 0; add < 3; ++add) {
+      const ResId q = rng.below(5);
+      const ProcId p = rng.below(5);
+      if (more.at(q, p) == Edge::kNone) more.add_request(p, q);
+    }
+    EXPECT_TRUE(has_deadlock(more)) << more.to_string();
+  }
+}
+
+TEST_P(RagPropertyTest, DeadlockedSetsAreConsistent) {
+  sim::Rng rng(GetParam() + 3);
+  for (int i = 0; i < 100; ++i) {
+    const StateMatrix s = random_state(6, 6, rng);
+    const auto procs = deadlocked_processes(s);
+    const auto ress = deadlocked_resources(s);
+    EXPECT_EQ(procs.empty(), !has_deadlock(s));
+    EXPECT_EQ(procs.empty(), ress.empty());
+    // Every deadlocked process has at least one edge in the residue and
+    // is therefore a connect column there.
+    const StateMatrix residue = reduce(s).final;
+    for (ProcId p : procs)
+      EXPECT_EQ(classify_col(residue, p), NodeKind::kConnect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RagPropertyTest,
+                         ::testing::Values(301, 302, 303, 304));
+
+TEST(RagProperty, ExhaustiveRectangularSystems) {
+  // 2x3 and 3x2 exhaustive agreement with the oracle (the square 3x3
+  // case is covered in reduction_test.cpp).
+  for (auto [m, n] : {std::pair<std::size_t, std::size_t>{2, 3},
+                      std::pair<std::size_t, std::size_t>{3, 2}}) {
+    std::size_t count = 0;
+    for_each_small_state(m, n, [&](const StateMatrix& s) {
+      ASSERT_EQ(has_deadlock(s), oracle_has_cycle(s)) << s.to_string();
+      ++count;
+    });
+    EXPECT_GT(count, 100u);
+  }
+}
+
+TEST(RagProperty, WorstCaseIsActuallyWorstAmongSamples) {
+  // No random 8x8 state needs more reduction steps than the constructed
+  // worst case (sanity for the Table 1 iteration methodology).
+  const std::size_t bound = reduce(worst_case_state(8, 8)).steps;
+  sim::Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    const StateMatrix s = random_state(8, 8, rng);
+    EXPECT_LE(reduce(s).steps, bound);
+  }
+}
+
+}  // namespace
+}  // namespace delta::rag

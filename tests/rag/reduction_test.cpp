@@ -1,0 +1,168 @@
+#include "rag/reduction.h"
+
+#include <gtest/gtest.h>
+
+#include "rag/generators.h"
+#include "rag/oracle.h"
+#include "sim/random.h"
+
+namespace delta::rag {
+namespace {
+
+TEST(Classify, IsolatedTerminalConnect) {
+  StateMatrix m(2, 2);
+  EXPECT_EQ(classify_row(m, 0), NodeKind::kIsolated);
+  m.add_request(0, 0);  // p0 requests q0: row 0 request-only
+  EXPECT_EQ(classify_row(m, 0), NodeKind::kTerminal);
+  EXPECT_EQ(classify_col(m, 0), NodeKind::kTerminal);
+  m.add_grant(0, 1);  // q0 granted to p1: row 0 has both
+  EXPECT_EQ(classify_row(m, 0), NodeKind::kConnect);
+  EXPECT_EQ(classify_col(m, 1), NodeKind::kTerminal);  // grant-only column
+}
+
+TEST(TerminalSets, MatchDefinitions) {
+  // Build: p0 -r-> q0 -g-> p1 -r-> q1 -g-> p2 (chain).
+  StateMatrix m(2, 3);
+  m.add_request(0, 0);
+  m.add_grant(0, 1);
+  m.add_request(1, 1);
+  m.add_grant(1, 2);
+  EXPECT_TRUE(terminal_rows(m).empty());  // both rows are connect
+  EXPECT_EQ(terminal_cols(m), (std::vector<ProcId>{0, 2}));
+}
+
+TEST(ReduceStep, RemovesAllTerminalEdges) {
+  StateMatrix m(2, 3);
+  m.add_request(0, 0);
+  m.add_grant(0, 1);
+  m.add_request(1, 1);
+  m.add_grant(1, 2);
+  EXPECT_TRUE(reduce_step(m));
+  // Terminal cols p0 and p2 cleared: removes r(p0,q0) and g(q1,p2).
+  EXPECT_EQ(m.at(0, 0), Edge::kNone);
+  EXPECT_EQ(m.at(1, 2), Edge::kNone);
+  EXPECT_EQ(m.edge_count(), 2u);
+}
+
+TEST(ReduceStep, IrreducibleReturnsFalse) {
+  StateMatrix m = cycle_state(3, 3, 3);
+  StateMatrix before = m;
+  EXPECT_FALSE(reduce_step(m));
+  EXPECT_EQ(m, before);
+}
+
+TEST(Reduce, EmptyMatrixIsCompleteInZeroSteps) {
+  const ReductionResult r = reduce(StateMatrix(4, 4));
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.steps, 0u);
+}
+
+TEST(Reduce, ChainFullyReduces) {
+  const ReductionResult r = reduce(chain_state(5, 5));
+  EXPECT_TRUE(r.complete);
+  EXPECT_GT(r.steps, 0u);
+}
+
+TEST(Reduce, CycleSurvives) {
+  const ReductionResult r = reduce(cycle_state(5, 5, 3));
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.final.edge_count(), 6u);  // the 3-cycle's edges remain
+}
+
+TEST(Deadlock, DetectsPaperTable4Scenario) {
+  // Events of Table 4 after e5: p1 holds VI(q1); p2 holds IDCT(q2) and
+  // waits WI(q4); p3 holds WI and waits IDCT. (5 processes, 5 resources,
+  // matching the RTOS2 configuration.)
+  StateMatrix m(5, 5);
+  m.add_grant(0, 0);      // VI -> p1
+  m.add_grant(1, 1);      // IDCT -> p2
+  m.add_request(1, 3);    // p2 waits WI
+  m.add_grant(3, 2);      // WI -> p3
+  m.add_request(2, 1);    // p3 waits IDCT
+  EXPECT_TRUE(has_deadlock(m));
+  const auto procs = deadlocked_processes(m);
+  EXPECT_EQ(procs, (std::vector<ProcId>{1, 2}));  // p2 and p3
+  const auto ress = deadlocked_resources(m);
+  EXPECT_EQ(ress, (std::vector<ResId>{1, 3}));  // IDCT and WI
+}
+
+TEST(Deadlock, NoFalsePositiveBeforeFinalGrant) {
+  // Same scenario one event earlier (IDCT released, nothing re-granted):
+  StateMatrix m(5, 5);
+  m.add_grant(0, 0);
+  m.add_request(1, 1);    // p2 waits IDCT (free now)
+  m.add_request(1, 3);
+  m.add_grant(3, 2);
+  m.add_request(2, 1);
+  EXPECT_FALSE(has_deadlock(m));
+}
+
+TEST(WorstCase, IterationCountsMatchTable1) {
+  // Table 1 "worst case # iterations": 5x5 -> 6, 7x7 -> 10, 10x10 -> 16,
+  // 50x50 -> 96; 2 processes x 3 resources -> 2.
+  EXPECT_EQ(reduce(worst_case_state(3, 2)).steps, 2u);
+  EXPECT_EQ(reduce(worst_case_state(5, 5)).steps, 6u);
+  EXPECT_EQ(reduce(worst_case_state(7, 7)).steps, 10u);
+  EXPECT_EQ(reduce(worst_case_state(10, 10)).steps, 16u);
+  EXPECT_EQ(reduce(worst_case_state(50, 50)).steps, 96u);
+}
+
+TEST(WorstCase, StaysWithinProvenBound) {
+  for (std::size_t k = 2; k <= 40; ++k) {
+    const std::size_t steps = reduce(worst_case_state(k, k)).steps;
+    EXPECT_LE(steps, 2 * k - 3 + 1) << "k=" << k;
+  }
+}
+
+// Property: reduction agrees with the cycle oracle on random states.
+class ReductionPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ReductionPropertyTest, AgreesWithOracleOnRandomStates) {
+  sim::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t m = 2 + rng.below(8);
+    const std::size_t n = 2 + rng.below(8);
+    const StateMatrix state = random_state(m, n, rng);
+    EXPECT_EQ(has_deadlock(state), oracle_has_cycle(state))
+        << "seed=" << GetParam() << " i=" << i << "\n"
+        << state.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(ReductionProperty, ExhaustiveTinySystems) {
+  // Every well-formed 2x2 and 3x3 state agrees with the oracle.
+  std::size_t checked = 0;
+  for_each_small_state(2, 2, [&](const StateMatrix& s) {
+    ASSERT_EQ(has_deadlock(s), oracle_has_cycle(s)) << s.to_string();
+    ++checked;
+  });
+  for_each_small_state(3, 3, [&](const StateMatrix& s) {
+    ASSERT_EQ(has_deadlock(s), oracle_has_cycle(s)) << s.to_string();
+    ++checked;
+  });
+  EXPECT_GT(checked, 1000u);
+}
+
+TEST(ReductionProperty, MonotoneUnderEdgeRemovalFromDeadlockFree) {
+  // Removing any edge from a deadlock-free state keeps it deadlock-free
+  // (cycles cannot appear by deleting edges).
+  sim::Rng rng(99);
+  for (int i = 0; i < 100; ++i) {
+    StateMatrix s = random_state(5, 5, rng);
+    if (has_deadlock(s)) continue;
+    for (ResId q = 0; q < 5; ++q)
+      for (ProcId p = 0; p < 5; ++p) {
+        if (s.at(q, p) == Edge::kNone) continue;
+        StateMatrix t = s;
+        t.clear(q, p);
+        EXPECT_FALSE(has_deadlock(t));
+      }
+  }
+}
+
+}  // namespace
+}  // namespace delta::rag

@@ -1,0 +1,78 @@
+// The prior-work detectors dropped into the RTOS resource manager.
+#include <gtest/gtest.h>
+
+#include "rtos/resource_manager.h"
+
+namespace delta::rtos {
+namespace {
+
+std::unique_ptr<DeadlockStrategy> make(BaselineDetector kind) {
+  return make_baseline_detection_strategy(kind, 5, 5, ServiceCosts{});
+}
+
+TEST(BaselineStrategy, NamesIdentifyDetector) {
+  EXPECT_NE(make(BaselineDetector::kHolt)->name().find("holt"),
+            std::string::npos);
+  EXPECT_NE(make(BaselineDetector::kShoshani)->name().find("shoshani"),
+            std::string::npos);
+  EXPECT_NE(make(BaselineDetector::kLeibfried)->name().find("leibfried"),
+            std::string::npos);
+}
+
+TEST(BaselineStrategy, AllDetectTheTable4Deadlock) {
+  for (BaselineDetector kind :
+       {BaselineDetector::kHolt, BaselineDetector::kShoshani,
+        BaselineDetector::kLeibfried}) {
+    auto s = make(kind);
+    s->request(0, 1, 0);
+    s->request(0, 0, 0);
+    s->request(2, 1, 0);
+    s->request(2, 3, 0);
+    s->request(1, 1, 0);
+    s->request(1, 3, 0);
+    const ResourceEvent ev = s->release(0, 1, 0);  // grant closes cycle
+    EXPECT_TRUE(ev.deadlock_detected) << s->name();
+  }
+}
+
+TEST(BaselineStrategy, NoFalsePositives) {
+  for (BaselineDetector kind :
+       {BaselineDetector::kHolt, BaselineDetector::kShoshani,
+        BaselineDetector::kLeibfried}) {
+    auto s = make(kind);
+    EXPECT_FALSE(s->request(0, 0, 0).deadlock_detected);
+    EXPECT_FALSE(s->request(1, 0, 0).deadlock_detected);
+    EXPECT_FALSE(s->release(0, 0, 0).deadlock_detected);
+  }
+}
+
+TEST(BaselineStrategy, CostOrderingMatchesComplexityClasses) {
+  // On identical event sequences, Leibfried must be far costlier.
+  double means[3];
+  int i = 0;
+  for (BaselineDetector kind :
+       {BaselineDetector::kHolt, BaselineDetector::kShoshani,
+        BaselineDetector::kLeibfried}) {
+    auto s = make(kind);
+    s->request(0, 0, 0);
+    s->request(1, 0, 0);
+    s->request(1, 1, 0);
+    s->release(0, 0, 0);
+    means[i++] = s->algorithm_times().mean();
+  }
+  EXPECT_LT(means[0], means[2]);
+  EXPECT_LT(means[1], means[2]);
+  EXPECT_GT(means[2], 10 * means[0]);  // O(N^3) vs O(mn)
+}
+
+TEST(BaselineStrategy, CancelRequestSupported) {
+  auto s = make(BaselineDetector::kHolt);
+  s->request(0, 0, 0);
+  s->request(1, 0, 0);
+  s->cancel_request(1, 0);
+  const ResourceEvent ev = s->release(0, 0, 0);
+  EXPECT_TRUE(ev.grants.empty());  // the cancelled waiter gets nothing
+}
+
+}  // namespace
+}  // namespace delta::rtos

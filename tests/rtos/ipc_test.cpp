@@ -1,0 +1,57 @@
+#include "rtos/ipc.h"
+
+#include <gtest/gtest.h>
+
+namespace delta::rtos {
+namespace {
+
+TEST(WaitList, EmptyPopsNoTask) {
+  WaitList w;
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(w.pop(), kNoTask);
+}
+
+TEST(WaitList, PopsByPriority) {
+  WaitList w;
+  w.add(1, 5);
+  w.add(2, 3);
+  w.add(3, 7);
+  EXPECT_EQ(w.pop(), 2u);
+  EXPECT_EQ(w.pop(), 1u);
+  EXPECT_EQ(w.pop(), 3u);
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(WaitList, FifoAmongEqualPriorities) {
+  WaitList w;
+  w.add(10, 2);
+  w.add(11, 2);
+  w.add(12, 2);
+  EXPECT_EQ(w.pop(), 10u);
+  EXPECT_EQ(w.pop(), 11u);
+  EXPECT_EQ(w.pop(), 12u);
+}
+
+TEST(WaitList, RemoveDeletesAllEntriesOfTask) {
+  WaitList w;
+  w.add(1, 1);
+  w.add(2, 2);
+  w.remove(1);
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_EQ(w.pop(), 2u);
+}
+
+TEST(WaitList, InterleavedAddPop) {
+  WaitList w;
+  w.add(1, 9);
+  EXPECT_EQ(w.pop(), 1u);
+  w.add(2, 1);
+  w.add(3, 0);
+  EXPECT_EQ(w.pop(), 3u);
+  w.add(4, 0);
+  EXPECT_EQ(w.pop(), 4u);
+  EXPECT_EQ(w.pop(), 2u);
+}
+
+}  // namespace
+}  // namespace delta::rtos

@@ -1,0 +1,110 @@
+#include "rtos/locks.h"
+
+#include <gtest/gtest.h>
+
+namespace delta::rtos {
+namespace {
+
+ServiceCosts costs() { return ServiceCosts{}; }
+
+TEST(SoftwarePiLocks, GrantAndQueue) {
+  SoftwarePiLockBackend be(4, costs());
+  const LockAcquire a = be.acquire(0, 1, 1);
+  EXPECT_TRUE(a.granted);
+  EXPECT_FALSE(a.ceiling.has_value());
+  EXPECT_EQ(a.cycles, costs().sw_lock_acquire);
+  const LockAcquire b = be.acquire(0, 2, 2);
+  EXPECT_FALSE(b.granted);
+  EXPECT_EQ(be.waiter_count(0), 1u);
+  EXPECT_EQ(be.owner(0), 1u);
+}
+
+TEST(SoftwarePiLocks, ReleaseHandsToHighestPriority) {
+  SoftwarePiLockBackend be(2, costs());
+  be.acquire(0, 1, 4);
+  be.acquire(0, 2, 3);
+  be.acquire(0, 3, 1);
+  const LockRelease r = be.release(0, 1);
+  EXPECT_EQ(r.next, 3u);
+  EXPECT_EQ(be.owner(0), 3u);
+}
+
+TEST(SoftwarePiLocks, ReleaseByNonOwnerThrows) {
+  SoftwarePiLockBackend be(1, costs());
+  be.acquire(0, 1, 1);
+  EXPECT_THROW(be.release(0, 2), std::logic_error);
+}
+
+TEST(SoftwarePiLocks, TopWaiterReflectsQueue) {
+  SoftwarePiLockBackend be(1, costs());
+  be.acquire(0, 1, 5);
+  EXPECT_FALSE(be.top_waiter(0).has_value());
+  be.acquire(0, 2, 3);
+  be.acquire(0, 3, 4);
+  ASSERT_TRUE(be.top_waiter(0).has_value());
+  EXPECT_EQ(*be.top_waiter(0), 3);
+}
+
+TEST(SoftwarePiLocks, CancelWaitDropsEntry) {
+  SoftwarePiLockBackend be(1, costs());
+  be.acquire(0, 1, 1);
+  be.acquire(0, 2, 2);
+  be.cancel_wait(0, 2);
+  EXPECT_EQ(be.release(0, 1).next, kNoTask);
+}
+
+TEST(SoftwarePiLocks, NoCeilingProvided) {
+  SoftwarePiLockBackend be(1, costs());
+  EXPECT_FALSE(be.provides_ceiling());
+}
+
+hw::SoclcConfig soclc_cfg() {
+  hw::SoclcConfig c;
+  c.short_locks = 2;
+  c.long_locks = 2;
+  return c;
+}
+
+TEST(SoclcLocks, GrantReportsCeiling) {
+  SoclcLockBackend be(soclc_cfg(), costs(), {3, 1, 2, 2});
+  const LockAcquire a = be.acquire(1, 7, 5);
+  EXPECT_TRUE(a.granted);
+  ASSERT_TRUE(a.ceiling.has_value());
+  EXPECT_EQ(*a.ceiling, 1);
+  EXPECT_TRUE(be.provides_ceiling());
+}
+
+TEST(SoclcLocks, AcquireFasterThanSoftware) {
+  SoclcLockBackend be(soclc_cfg(), costs());
+  const LockAcquire a = be.acquire(0, 1, 1);
+  EXPECT_LT(a.cycles, costs().sw_lock_acquire);
+}
+
+TEST(SoclcLocks, ReleaseHandsOffWithCeiling) {
+  SoclcLockBackend be(soclc_cfg(), costs(), {2, 0, 0, 0});
+  be.acquire(0, 1, 3);
+  be.acquire(0, 2, 4);
+  const LockRelease r = be.release(0, 1);
+  EXPECT_EQ(r.next, 2u);
+  ASSERT_TRUE(r.ceiling.has_value());
+  EXPECT_EQ(*r.ceiling, 2);
+  EXPECT_EQ(be.owner(0), 2u);
+}
+
+TEST(SoclcLocks, ReleaseWithoutWaiters) {
+  SoclcLockBackend be(soclc_cfg(), costs());
+  be.acquire(0, 1, 1);
+  const LockRelease r = be.release(0, 1);
+  EXPECT_EQ(r.next, kNoTask);
+  EXPECT_EQ(be.owner(0), kNoTask);
+}
+
+TEST(SoclcLocks, TopWaiterNotProvided) {
+  SoclcLockBackend be(soclc_cfg(), costs());
+  be.acquire(0, 1, 1);
+  be.acquire(0, 2, 2);
+  EXPECT_FALSE(be.top_waiter(0).has_value());
+}
+
+}  // namespace
+}  // namespace delta::rtos

@@ -1,0 +1,61 @@
+#include "sim/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace delta::sim {
+namespace {
+
+TEST(OpMeter, StartsZero) {
+  OpMeter m;
+  EXPECT_EQ(m.total(), 0u);
+}
+
+TEST(OpMeter, TotalsAndReset) {
+  OpMeter m;
+  m.loads = 3;
+  m.stores = 2;
+  m.alu = 5;
+  m.branches = 1;
+  EXPECT_EQ(m.total(), 11u);
+  m.reset();
+  EXPECT_EQ(m.total(), 0u);
+}
+
+TEST(OpMeter, Accumulates) {
+  OpMeter a, b;
+  a.loads = 1;
+  a.alu = 2;
+  b.loads = 3;
+  b.branches = 4;
+  a += b;
+  EXPECT_EQ(a.loads, 4u);
+  EXPECT_EQ(a.alu, 2u);
+  EXPECT_EQ(a.branches, 4u);
+}
+
+TEST(SoftwareCostModel, WeightsApply) {
+  SoftwareCostModel model;
+  model.cycles_per_load = 2.0;
+  model.cycles_per_store = 3.0;
+  model.cycles_per_alu = 1.0;
+  model.cycles_per_branch = 1.5;
+  OpMeter m;
+  m.loads = 10;   // 20
+  m.stores = 4;   // 12
+  m.alu = 6;      // 6
+  m.branches = 2; // 3
+  EXPECT_EQ(model.cycles(m), 41u);
+}
+
+TEST(SoftwareCostModel, RoundsToNearest) {
+  SoftwareCostModel model;
+  model.cycles_per_load = 0.4;
+  OpMeter m;
+  m.loads = 1;
+  EXPECT_EQ(model.cycles(m), 0u);
+  m.loads = 2;  // 0.8 -> 1
+  EXPECT_EQ(model.cycles(m), 1u);
+}
+
+}  // namespace
+}  // namespace delta::sim

@@ -1,0 +1,98 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace delta::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.next_time(), kNeverCycles);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(30, [&] { fired.push_back(3); });
+  q.schedule(10, [&] { fired.push_back(1); });
+  q.schedule(20, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 8; ++i) q.schedule(5, [&fired, i] { fired.push_back(i); });
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeTracksEarliest) {
+  EventQueue q;
+  q.schedule(50, [] {});
+  EXPECT_EQ(q.next_time(), 50u);
+  q.schedule(7, [] {});
+  EXPECT_EQ(q.next_time(), 7u);
+  q.pop();
+  EXPECT_EQ(q.next_time(), 50u);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(10, [&] { fired = true; });
+  q.schedule(20, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.next_time(), 20u);
+  while (!q.empty()) q.pop().second();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  const EventId id = q.schedule(10, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterFireFails) {
+  EventQueue q;
+  const EventId id = q.schedule(10, [] {});
+  q.pop().second();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, PopReturnsTime) {
+  EventQueue q;
+  q.schedule(42, [] {});
+  auto [t, fn] = q.pop();
+  EXPECT_EQ(t, 42u);
+  EXPECT_TRUE(static_cast<bool>(fn));
+}
+
+TEST(EventQueue, ManyInterleavedSchedulesAndCancels) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (Cycles t = 0; t < 100; ++t)
+    ids.push_back(q.schedule(t, [&] { ++fired; }));
+  for (std::size_t i = 0; i < ids.size(); i += 2) q.cancel(ids[i]);
+  EXPECT_EQ(q.size(), 50u);
+  Cycles last = 0;
+  while (!q.empty()) {
+    auto [t, fn] = q.pop();
+    EXPECT_GE(t, last);
+    last = t;
+    fn();
+  }
+  EXPECT_EQ(fired, 50);
+}
+
+}  // namespace
+}  // namespace delta::sim

@@ -1,0 +1,101 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace delta::sim {
+namespace {
+
+TEST(Simulator, TimeAdvancesToEventTimes) {
+  Simulator s;
+  std::vector<Cycles> seen;
+  s.schedule_in(10, [&] { seen.push_back(s.now()); });
+  s.schedule_in(25, [&] { seen.push_back(s.now()); });
+  s.run();
+  EXPECT_EQ(seen, (std::vector<Cycles>{10, 25}));
+  EXPECT_EQ(s.now(), 25u);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator s;
+  int depth = 0;
+  s.schedule_in(1, [&] {
+    ++depth;
+    s.schedule_in(1, [&] {
+      ++depth;
+      s.schedule_in(1, [&] { ++depth; });
+    });
+  });
+  s.run();
+  EXPECT_EQ(depth, 3);
+  EXPECT_EQ(s.now(), 3u);
+}
+
+TEST(Simulator, RunHonorsLimit) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_in(10, [&] { ++fired; });
+  s.schedule_in(100, [&] { ++fired; });
+  s.run(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), 50u);  // clamped to limit with events pending
+  s.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, StepExecutesOneEvent) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_in(1, [&] { ++fired; });
+  s.schedule_in(2, [&] { ++fired; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, ScheduleAtPastThrows) {
+  Simulator s;
+  s.schedule_in(10, [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(5, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, CancelScheduledEvent) {
+  Simulator s;
+  bool fired = false;
+  const EventId id = s.schedule_in(10, [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CountsDispatchedEvents) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) s.schedule_in(static_cast<Cycles>(i), [] {});
+  s.run();
+  EXPECT_EQ(s.events_dispatched(), 7u);
+}
+
+TEST(Simulator, ZeroDelayEventFiresAtCurrentTime) {
+  Simulator s;
+  s.schedule_in(5, [&] {
+    s.schedule_in(0, [&] { EXPECT_EQ(s.now(), 5u); });
+  });
+  s.run();
+  EXPECT_EQ(s.now(), 5u);
+}
+
+TEST(Simulator, TraceIsShared) {
+  Simulator s;
+  s.schedule_in(3, [&] { s.trace().record(s.now(), "test", "hello"); });
+  s.run();
+  ASSERT_EQ(s.trace().size(), 1u);
+  EXPECT_EQ(s.trace().events()[0].time, 3u);
+  EXPECT_EQ(s.trace().events()[0].channel, "test");
+}
+
+}  // namespace
+}  // namespace delta::sim

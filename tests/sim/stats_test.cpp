@@ -1,0 +1,57 @@
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace delta::sim {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.min(), 0.0);
+  EXPECT_EQ(a.max(), 0.0);
+}
+
+TEST(Accumulator, TracksMinMaxMeanSum) {
+  Accumulator a;
+  a.add(2);
+  a.add(8);
+  a.add(5);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 8.0);
+}
+
+TEST(SampleSet, Percentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+}
+
+TEST(SampleSet, PercentileOnEmpty) {
+  SampleSet s;
+  EXPECT_EQ(s.percentile(0.5), 0.0);
+}
+
+TEST(Speedup, MatchesPaperFormulas) {
+  // Table 5: (40523 - 27714) / 27714 = 46%.
+  EXPECT_NEAR(speedup_percent(40523, 27714), 46.2, 0.1);
+  // Table 5: 1830 / 1.3 ~ 1408X.
+  EXPECT_NEAR(speedup_factor(1830, 1.3), 1407.7, 0.1);
+  // Table 9: (55627 - 38508) / 38508 = 44%.
+  EXPECT_NEAR(speedup_percent(55627, 38508), 44.5, 0.1);
+}
+
+TEST(Speedup, ZeroFastIsGuarded) {
+  EXPECT_EQ(speedup_percent(10, 0), 0.0);
+  EXPECT_EQ(speedup_factor(10, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace delta::sim

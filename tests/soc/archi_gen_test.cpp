@@ -1,0 +1,101 @@
+#include "soc/archi_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "hw/verilog_lint.h"
+#include "soc/delta_framework.h"
+
+namespace delta::soc {
+namespace {
+
+TEST(ArchiGen, DescriptionLibraryListsEssentialModules) {
+  const DeltaConfig cfg = rtos_preset(5);
+  const auto mods = description_library_modules(cfg);
+  // Example 1's list: PEs, L2 memory, memory controller, bus arbiter,
+  // interrupt controller (+ clock driver).
+  EXPECT_EQ(std::count(mods.begin(), mods.end(), "pe_MPC755"), 4);
+  for (const char* required :
+       {"l2_memory", "memory_controller", "bus_arbiter",
+        "interrupt_controller", "clock_driver"})
+    EXPECT_NE(std::find(mods.begin(), mods.end(), required), mods.end())
+        << required;
+}
+
+TEST(ArchiGen, SelectedComponentsAppearInLibrary) {
+  DeltaConfig cfg = rtos_preset(6);
+  cfg.memory = MemoryComponent::kSocdmmu;
+  cfg.deadlock = DeadlockComponent::kDau;
+  const auto mods = description_library_modules(cfg);
+  for (const char* c : {"soclc", "socdmmu", "dau"})
+    EXPECT_NE(std::find(mods.begin(), mods.end(), c), mods.end()) << c;
+}
+
+TEST(ArchiGen, TopFileInstantiatesEveryPe) {
+  DeltaConfig cfg;
+  cfg.pe_count = 3;
+  const std::string top = generate_top_verilog(cfg);
+  EXPECT_NE(top.find("module Top;"), std::string::npos);
+  EXPECT_NE(top.find("u_pe0"), std::string::npos);
+  EXPECT_NE(top.find("u_pe2"), std::string::npos);
+  EXPECT_EQ(top.find("u_pe3"), std::string::npos);
+  EXPECT_NE(top.find("endmodule"), std::string::npos);
+}
+
+TEST(ArchiGen, TopFileWiresSelectedUnits) {
+  DeltaConfig cfg = rtos_preset(2);  // DDU
+  std::string top = generate_top_verilog(cfg);
+  EXPECT_NE(top.find("ddu_5x5 u_ddu"), std::string::npos);
+  EXPECT_EQ(top.find("u_dau"), std::string::npos);
+
+  cfg = rtos_preset(6);
+  top = generate_top_verilog(cfg);
+  EXPECT_NE(top.find("soclc u_soclc"), std::string::npos);
+
+  cfg = rtos_preset(7);
+  top = generate_top_verilog(cfg);
+  EXPECT_NE(top.find("socdmmu u_socdmmu"), std::string::npos);
+}
+
+TEST(ArchiGen, TopFileHasInitialization) {
+  const std::string top = generate_top_verilog(rtos_preset(5));
+  EXPECT_NE(top.find("initial begin"), std::string::npos);
+  EXPECT_NE(top.find("rst_n = 1'b1"), std::string::npos);
+  EXPECT_NE(top.find("always #5 clk = ~clk"), std::string::npos);
+}
+
+TEST(ArchiGen, HierarchicalBusSystemEmitsSubsystems) {
+  // The Figs. 4-6 flow: two BANs (an MPC755 cluster + an ARM920), each
+  // behind a bus bridge.
+  DeltaConfig cfg;
+  bus::BanConfig ban1;
+  ban1.cpu_type = "MPC755";
+  ban1.cpu_count = 2;
+  bus::BanConfig ban2;
+  ban2.cpu_type = "ARM920";
+  ban2.cpu_count = 1;
+  ban2.local_memories.push_back({bus::MemoryType::kSdram, 20, 32});
+  cfg.bus.bans = {ban1, ban2};
+  cfg.pe_count = 3;
+  const std::string top = generate_top_verilog(cfg);
+  EXPECT_NE(top.find("Bus subsystem #1 (MPC755)"), std::string::npos);
+  EXPECT_NE(top.find("Bus subsystem #2 (ARM920)"), std::string::npos);
+  EXPECT_NE(top.find("bus_bridge u_bridge0"), std::string::npos);
+  EXPECT_NE(top.find("bus_bridge u_bridge1"), std::string::npos);
+  EXPECT_NE(top.find("pe_MPC755 u_pe0"), std::string::npos);
+  EXPECT_NE(top.find("pe_MPC755 u_pe1"), std::string::npos);
+  EXPECT_NE(top.find("pe_ARM920 u_pe2"), std::string::npos);
+  EXPECT_NE(top.find("local_memory u_lmem1_0"), std::string::npos);
+  // The hierarchical top file still lints clean.
+  EXPECT_TRUE(hw::verilog_clean(
+      top, {"pe_MPC755", "pe_ARM920", "bus_bridge", "local_memory",
+            "l2_memory", "memory_controller", "bus_arbiter",
+            "interrupt_controller", "clock_driver"}));
+}
+
+TEST(ArchiGen, DeterministicOutput) {
+  EXPECT_EQ(generate_top_verilog(rtos_preset(4)),
+            generate_top_verilog(rtos_preset(4)));
+}
+
+}  // namespace
+}  // namespace delta::soc

@@ -1,0 +1,88 @@
+#include "soc/config_io.h"
+
+#include <gtest/gtest.h>
+
+namespace delta::soc {
+namespace {
+
+TEST(ConfigIo, RoundTripAllPresets) {
+  for (int i = 1; i <= 7; ++i) {
+    const DeltaConfig original = rtos_preset(i);
+    const DeltaConfig parsed = read_config(write_config(original));
+    EXPECT_EQ(parsed.cpu_type, original.cpu_type) << i;
+    EXPECT_EQ(parsed.pe_count, original.pe_count) << i;
+    EXPECT_EQ(parsed.task_count, original.task_count) << i;
+    EXPECT_EQ(parsed.resource_count, original.resource_count) << i;
+    EXPECT_EQ(parsed.deadlock, original.deadlock) << i;
+    EXPECT_EQ(parsed.lock, original.lock) << i;
+    EXPECT_EQ(parsed.memory, original.memory) << i;
+    EXPECT_EQ(parsed.soclc.short_locks, original.soclc.short_locks) << i;
+    EXPECT_EQ(parsed.socdmmu.total_blocks, original.socdmmu.total_blocks)
+        << i;
+    EXPECT_EQ(parsed.stop_on_deadlock, original.stop_on_deadlock) << i;
+    EXPECT_NO_THROW(parsed.validate()) << i;
+  }
+}
+
+TEST(ConfigIo, ParsesHandWrittenFile) {
+  const DeltaConfig cfg = read_config(R"(
+# my custom system
+cpu_type = ARM920
+pe_count = 2
+deadlock = dau
+lock = soclc
+soclc.short_locks = 16   # plenty
+bus.data_width = 32
+)");
+  EXPECT_EQ(cfg.cpu_type, "ARM920");
+  EXPECT_EQ(cfg.pe_count, 2u);
+  EXPECT_EQ(cfg.deadlock, DeadlockComponent::kDau);
+  EXPECT_EQ(cfg.lock, LockComponent::kSoclc);
+  EXPECT_EQ(cfg.soclc.short_locks, 16u);
+  EXPECT_EQ(cfg.bus.data_bus_width, 32u);
+  // Unspecified keys keep their defaults.
+  EXPECT_EQ(cfg.task_count, 5u);
+  EXPECT_EQ(cfg.memory, MemoryComponent::kMallocFree);
+}
+
+TEST(ConfigIo, CommentsAndBlankLinesIgnored) {
+  const DeltaConfig cfg = read_config("\n\n# only comments\n\n");
+  EXPECT_EQ(cfg.pe_count, DeltaConfig{}.pe_count);
+}
+
+TEST(ConfigIo, ErrorsCarryLineNumbers) {
+  try {
+    read_config("pe_count = 4\nbogus_key = 1\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bogus_key"), std::string::npos);
+  }
+}
+
+TEST(ConfigIo, RejectsMalformedValues) {
+  EXPECT_THROW(read_config("pe_count = four\n"), std::invalid_argument);
+  EXPECT_THROW(read_config("deadlock = banker\n"), std::invalid_argument);
+  EXPECT_THROW(read_config("lock = spin\n"), std::invalid_argument);
+  EXPECT_THROW(read_config("memory = tlsf\n"), std::invalid_argument);
+  EXPECT_THROW(read_config("stop_on_deadlock = maybe\n"),
+               std::invalid_argument);
+  EXPECT_THROW(read_config("just a line\n"), std::invalid_argument);
+  EXPECT_THROW(read_config("pe_count =\n"), std::invalid_argument);
+}
+
+TEST(ConfigIo, ParsedConfigGeneratesSystem) {
+  const DeltaConfig cfg = read_config(write_config(rtos_preset(4)));
+  auto soc = generate(cfg);
+  ASSERT_NE(soc, nullptr);
+  EXPECT_NE(soc->kernel().strategy().name().find("dau"),
+            std::string::npos);
+}
+
+TEST(ConfigIo, WriteIsStable) {
+  const std::string a = write_config(rtos_preset(6));
+  EXPECT_EQ(a, write_config(read_config(a)));
+}
+
+}  // namespace
+}  // namespace delta::soc

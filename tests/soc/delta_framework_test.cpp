@@ -1,0 +1,93 @@
+#include "soc/delta_framework.h"
+
+#include <gtest/gtest.h>
+
+namespace delta::soc {
+namespace {
+
+TEST(DeltaFramework, AllSevenPresetsValidateAndGenerate) {
+  for (int i = 1; i <= 7; ++i) {
+    const DeltaConfig cfg = rtos_preset(i);
+    EXPECT_NO_THROW(cfg.validate()) << "RTOS" << i;
+    auto soc = generate(cfg);
+    ASSERT_NE(soc, nullptr) << "RTOS" << i;
+  }
+  EXPECT_THROW(rtos_preset(0), std::invalid_argument);
+  EXPECT_THROW(rtos_preset(8), std::invalid_argument);
+}
+
+TEST(DeltaFramework, PresetsMatchTable3) {
+  EXPECT_EQ(rtos_preset(1).deadlock, DeadlockComponent::kPddaSoftware);
+  EXPECT_EQ(rtos_preset(2).deadlock, DeadlockComponent::kDdu);
+  EXPECT_EQ(rtos_preset(3).deadlock, DeadlockComponent::kDaaSoftware);
+  EXPECT_EQ(rtos_preset(4).deadlock, DeadlockComponent::kDau);
+  EXPECT_EQ(rtos_preset(5).deadlock, DeadlockComponent::kNone);
+  EXPECT_EQ(rtos_preset(5).lock, LockComponent::kSoftwarePi);
+  EXPECT_EQ(rtos_preset(6).lock, LockComponent::kSoclc);
+  EXPECT_EQ(rtos_preset(7).memory, MemoryComponent::kSocdmmu);
+}
+
+TEST(DeltaFramework, ValidationCatchesBadInput) {
+  DeltaConfig cfg;
+  cfg.pe_count = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  DeltaConfig cfg2;
+  cfg2.lock = LockComponent::kSoclc;
+  cfg2.soclc.short_locks = 0;
+  cfg2.soclc.long_locks = 0;
+  EXPECT_THROW(cfg2.validate(), std::invalid_argument);
+
+  DeltaConfig cfg3;
+  cfg3.memory = MemoryComponent::kSocdmmu;
+  cfg3.socdmmu.total_blocks = 0;
+  EXPECT_THROW(cfg3.validate(), std::invalid_argument);
+}
+
+TEST(DeltaFramework, DescribeNamesComponents) {
+  const std::string d5 = rtos_preset(5).describe();
+  EXPECT_NE(d5.find("priority inheritance (software)"), std::string::npos);
+  const std::string d4 = rtos_preset(4).describe();
+  EXPECT_NE(d4.find("DAU (hardware)"), std::string::npos);
+  const std::string d6 = rtos_preset(6).describe();
+  EXPECT_NE(d6.find("SoCLC"), std::string::npos);
+}
+
+TEST(DeltaFramework, ToMpsocConfigCarriesSelections) {
+  DeltaConfig cfg = rtos_preset(6);
+  cfg.soclc.short_locks = 8;
+  cfg.soclc.long_locks = 8;
+  const MpsocConfig mc = cfg.to_mpsoc_config();
+  EXPECT_EQ(mc.lock, LockComponent::kSoclc);
+  EXPECT_EQ(mc.soclc.short_locks, 8u);
+  EXPECT_EQ(mc.max_tasks, 5u);
+  EXPECT_EQ(mc.deadlock_unit_resources, 5u);
+}
+
+TEST(DeltaFramework, GeneratedHdlMatchesSelection) {
+  DeltaConfig dau = rtos_preset(4);
+  auto files = generate_hdl(dau);
+  ASSERT_GE(files.size(), 3u);
+  EXPECT_EQ(files[0].name, "Top.v");
+  EXPECT_EQ(files[1].name, "ddu_cells.v");  // leaf-cell library
+  EXPECT_EQ(files[2].name, "dau_5x5.v");
+
+  DeltaConfig full = rtos_preset(6);
+  full.memory = MemoryComponent::kSocdmmu;
+  full.deadlock = DeadlockComponent::kDdu;
+  files = generate_hdl(full);
+  std::vector<std::string> names;
+  for (const auto& f : files) names.push_back(f.name);
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"Top.v", "ddu_cells.v", "ddu_5x5.v",
+                                      "soclc.v", "socdmmu.v"}));
+}
+
+TEST(DeltaFramework, PresetDescriptionsQuoteTable3) {
+  EXPECT_NE(rtos_preset_description(1).find("PDDA"), std::string::npos);
+  EXPECT_NE(rtos_preset_description(4).find("DAU"), std::string::npos);
+  EXPECT_NE(rtos_preset_description(7).find("SoCDMMU"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace delta::soc

@@ -1,0 +1,85 @@
+#include "soc/utilization.h"
+
+#include <gtest/gtest.h>
+
+namespace delta::soc {
+namespace {
+
+TEST(Utilization, SingleBusyTask) {
+  Mpsoc soc{MpsocConfig{}};
+  rtos::Program p;
+  p.compute(10'000);
+  soc.kernel().create_task("t", 0, 1, std::move(p));
+  soc.run();
+  const UtilizationReport r = utilization_report(soc);
+  ASSERT_EQ(r.pes.size(), 4u);
+  EXPECT_GT(r.pes[0].fraction, 0.95);  // PE0 ran the whole horizon
+  EXPECT_EQ(r.pes[1].busy, 0u);
+  EXPECT_TRUE(r.all_finished);
+}
+
+TEST(Utilization, ParallelTasksLoadTheirPes) {
+  Mpsoc soc{MpsocConfig{}};
+  for (int t = 0; t < 4; ++t) {
+    rtos::Program p;
+    p.compute(5'000);
+    soc.kernel().create_task("t" + std::to_string(t),
+                             static_cast<rtos::PeId>(t), 1, std::move(p));
+  }
+  soc.run();
+  const UtilizationReport r = utilization_report(soc);
+  for (const PeUtilization& u : r.pes) EXPECT_GT(u.fraction, 0.9);
+}
+
+TEST(Utilization, BlockedTimeIsNotBusyTime) {
+  Mpsoc soc{MpsocConfig{}};
+  rtos::Program holder;
+  holder.request({0}).compute(8'000).release({0});
+  rtos::Program waiter;
+  waiter.request({0}).compute(100).release({0});
+  soc.kernel().create_task("h", 0, 1, std::move(holder));
+  soc.kernel().create_task("w", 1, 2, std::move(waiter), 100);
+  soc.run();
+  const UtilizationReport r = utilization_report(soc);
+  EXPECT_GT(r.pes[0].fraction, 0.8);
+  EXPECT_LT(r.pes[1].fraction, 0.4);  // mostly blocked
+}
+
+TEST(Utilization, DeviceBusyFractionReported) {
+  Mpsoc soc{MpsocConfig{}};
+  rtos::Program p;
+  p.request({1}).use_device(1, 6'000).release({1}).compute(2'000);
+  soc.kernel().create_task("t", 0, 1, std::move(p));
+  soc.run();
+  const UtilizationReport r = utilization_report(soc);
+  ASSERT_GE(r.device_fraction.size(), 2u);
+  EXPECT_GT(r.device_fraction[1], 0.5);  // IDCT busy most of the run
+  // The PE was largely idle while the device worked.
+  EXPECT_LT(r.pes[0].fraction, 0.5);
+}
+
+TEST(Utilization, ToStringContainsRows) {
+  Mpsoc soc{MpsocConfig{}};
+  rtos::Program p;
+  p.compute(1'000);
+  soc.kernel().create_task("t", 0, 1, std::move(p));
+  soc.run();
+  const std::string s = utilization_report(soc).to_string();
+  EXPECT_NE(s.find("PE0"), std::string::npos);
+  EXPECT_NE(s.find("bus"), std::string::npos);
+  EXPECT_NE(s.find("all tasks finished"), std::string::npos);
+}
+
+TEST(Utilization, ExplicitHorizonOverrides) {
+  Mpsoc soc{MpsocConfig{}};
+  rtos::Program p;
+  p.compute(2'000);
+  soc.kernel().create_task("t", 0, 1, std::move(p));
+  soc.run();
+  const UtilizationReport r = utilization_report(soc, 10'000);
+  EXPECT_EQ(r.horizon, 10'000u);
+  EXPECT_NEAR(r.pes[0].fraction, 0.21, 0.02);  // ~2090/10000
+}
+
+}  // namespace
+}  // namespace delta::soc
