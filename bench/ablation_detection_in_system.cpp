@@ -28,7 +28,7 @@ int main() {
 
   // The DDU and software PDDA via the standard presets:
   for (int preset : {2, 1}) {
-    auto soc = soc::generate(soc::rtos_preset(preset));
+    auto soc = soc::generate(soc::rtos_preset(soc::rtos_preset_from_int(preset)));
     apps::build_jini_app(*soc);
     rows.push_back({preset == 2 ? "DDU (hardware PDDA)" : "PDDA (software)",
                     apps::run_deadlock_app(*soc)});

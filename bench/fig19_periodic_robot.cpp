@@ -102,7 +102,7 @@ int main() {
 
   for (int cfg_i = 0; cfg_i < 2; ++cfg_i) {
     soc::MpsocConfig mc =
-        soc::rtos_preset(cfg_i == 0 ? 5 : 6).to_mpsoc_config();
+        soc::rtos_preset(soc::rtos_preset_from_int(cfg_i == 0 ? 5 : 6)).to_mpsoc_config();
     mc.lock_ceilings = {1, 3, 5};
     soc::Mpsoc soc(mc);
     build(soc.kernel());

@@ -6,17 +6,35 @@
 //  (iii) SoCLC: ~75% lock-handling speed-up, 43% overall;
 //  (iv)  SoCDMMU: ~20% of memory-management time removed, >=9.44%
 //        application reductions.
-// This bench re-runs the four experiments and checks each claim's shape.
+// Each claim pairs a software and a hardware configuration on the same
+// workload, so the whole bench is one experiment sweep: four workloads x
+// their two configurations, fanned out by the parallel runner.
 #include <cstdio>
+#include <string>
 
-#include "apps/deadlock_apps.h"
-#include "apps/robot_app.h"
-#include "apps/splash.h"
 #include "bench/bench_util.h"
+#include "exp/runner.h"
+#include "exp/workloads.h"
 #include "sim/stats.h"
-#include "soc/delta_framework.h"
 
 using namespace delta;
+
+namespace {
+
+/// Run one software-vs-hardware pairing on a workload; returns results
+/// in {software, hardware} order.
+std::pair<exp::RunResult, exp::RunResult> pair_sweep(
+    soc::RtosPreset software, soc::RtosPreset hardware,
+    const exp::Workload& workload) {
+  exp::SweepSpec spec;
+  spec.configs = {exp::preset_point(software), exp::preset_point(hardware)};
+  spec.workloads = {workload};
+  spec.seeds = {0};
+  const exp::SweepReport report = exp::run_sweep(spec);
+  return {report.runs.at(0), report.runs.at(1)};
+}
+
+}  // namespace
 
 int main() {
   bench::header("§6 Conclusions — the four headline claims",
@@ -24,18 +42,15 @@ int main() {
   bool all_ok = true;
 
   {  // (i) DDU
-    auto hw = soc::generate(soc::rtos_preset(2));
-    apps::build_jini_app(*hw);
-    const auto h = apps::run_deadlock_app(*hw);
-    auto sw = soc::generate(soc::rtos_preset(1));
-    apps::build_jini_app(*sw);
-    const auto s = apps::run_deadlock_app(*sw);
+    const auto [s, h] = pair_sweep(soc::RtosPreset::kRtos1,
+                                   soc::RtosPreset::kRtos2,
+                                   exp::jini_workload());
     const double algo_x =
-        sim::speedup_factor(s.algorithm_avg_cycles, h.algorithm_avg_cycles);
+        sim::speedup_factor(s.algorithm_avg, h.algorithm_avg);
     const double app_pct =
         sim::speedup_percent(static_cast<double>(s.app_run_time),
                              static_cast<double>(h.app_run_time));
-    const bool ok = algo_x > 500 && app_pct > 20;
+    const bool ok = s.ok && h.ok && algo_x > 500 && app_pct > 20;
     all_ok &= ok;
     std::printf("(i)   DDU: detection %.0fX faster (paper ~1400X), app "
                 "+%.0f%% (paper 46%%)  [%s]\n",
@@ -43,21 +58,18 @@ int main() {
   }
 
   {  // (ii) DAU (R-dl variant, the 44% row)
-    auto hw = soc::generate(soc::rtos_preset(4));
-    apps::build_rdl_app(*hw);
-    const auto h = apps::run_deadlock_app(*hw);
-    auto sw = soc::generate(soc::rtos_preset(3));
-    apps::build_rdl_app(*sw);
-    const auto s = apps::run_deadlock_app(*sw);
+    const auto [s, h] = pair_sweep(soc::RtosPreset::kRtos3,
+                                   soc::RtosPreset::kRtos4,
+                                   exp::rdl_workload());
     const double algo_x =
-        sim::speedup_factor(s.algorithm_avg_cycles, h.algorithm_avg_cycles);
+        sim::speedup_factor(s.algorithm_avg, h.algorithm_avg);
     const double reduction =
-        100.0 * (1.0 - h.algorithm_avg_cycles / s.algorithm_avg_cycles);
+        100.0 * (1.0 - h.algorithm_avg / s.algorithm_avg);
     const double app_pct =
         sim::speedup_percent(static_cast<double>(s.app_run_time),
                              static_cast<double>(h.app_run_time));
-    const bool ok = algo_x > 100 && reduction > 99.0 && app_pct > 25 &&
-                    h.all_finished && s.all_finished;
+    const bool ok = s.ok && h.ok && algo_x > 100 && reduction > 99.0 &&
+                    app_pct > 25 && h.all_finished && s.all_finished;
     all_ok &= ok;
     std::printf("(ii)  DAU: avoidance %.0fX faster / %.1f%% time removed "
                 "(paper ~300X/99%%), app +%.0f%% (paper 44%%)  [%s]\n",
@@ -65,22 +77,15 @@ int main() {
   }
 
   {  // (iii) SoCLC
-    soc::MpsocConfig sw_cfg = soc::rtos_preset(5).to_mpsoc_config();
-    sw_cfg.lock_ceilings = apps::robot_lock_ceilings();
-    soc::Mpsoc sw(sw_cfg);
-    apps::build_robot_app(sw);
-    const auto s = apps::run_robot_app(sw);
-    soc::MpsocConfig hw_cfg = soc::rtos_preset(6).to_mpsoc_config();
-    hw_cfg.lock_ceilings = apps::robot_lock_ceilings();
-    soc::Mpsoc hw(hw_cfg);
-    apps::build_robot_app(hw);
-    const auto h = apps::run_robot_app(hw);
+    const auto [s, h] = pair_sweep(soc::RtosPreset::kRtos5,
+                                   soc::RtosPreset::kRtos6,
+                                   exp::robot_workload());
     const double lock_pct =
-        sim::speedup_percent(s.lock_latency_avg, h.lock_latency_avg);
-    const double overall_pct = sim::speedup_percent(
-        static_cast<double>(s.overall_execution),
-        static_cast<double>(h.overall_execution));
-    const bool ok = lock_pct > 60 && overall_pct > 30;
+        sim::speedup_percent(s.lock_latency.mean(), h.lock_latency.mean());
+    const double overall_pct =
+        sim::speedup_percent(static_cast<double>(s.last_finish),
+                             static_cast<double>(h.last_finish));
+    const bool ok = s.ok && h.ok && lock_pct > 60 && overall_pct > 30;
     all_ok &= ok;
     std::printf("(iii) SoCLC: lock handling +%.0f%% (paper ~75%%), overall "
                 "+%.0f%% (paper 43%%)  [%s]\n",
@@ -88,20 +93,22 @@ int main() {
   }
 
   {  // (iv) SoCDMMU (LU's 9.44% is the paper's floor)
-    const apps::SplashTrace lu = apps::run_lu_kernel();
-    auto sw = soc::generate(soc::rtos_preset(5));
-    const auto s = apps::run_splash_on(*sw, lu);
-    auto hw = soc::generate(soc::rtos_preset(7));
-    const auto h = apps::run_splash_on(*hw, lu);
+    const auto [s, h] = pair_sweep(soc::RtosPreset::kRtos5,
+                                   soc::RtosPreset::kRtos7,
+                                   exp::splash_workload("lu"));
+    const double mgmt_percent =
+        s.last_finish == 0 ? 0.0
+                           : 100.0 * static_cast<double>(s.mgmt_cycles) /
+                                 static_cast<double>(s.last_finish);
     const double exe_reduction =
-        100.0 * (1.0 - static_cast<double>(h.total_cycles) /
-                           static_cast<double>(s.total_cycles));
-    const bool ok = s.mgmt_percent > 5 && exe_reduction > 7;
+        100.0 * (1.0 - static_cast<double>(h.last_finish) /
+                           static_cast<double>(s.last_finish));
+    const bool ok = s.ok && h.ok && mgmt_percent > 5 && exe_reduction > 7;
     all_ok &= ok;
     std::printf("(iv)  SoCDMMU: LU spends %.1f%% in memory management "
                 "(paper 9.9%%); hardware removes %.1f%% of execution "
                 "(paper 9.44%%)  [%s]\n",
-                s.mgmt_percent, exe_reduction, ok ? "ok" : "FAIL");
+                mgmt_percent, exe_reduction, ok ? "ok" : "FAIL");
   }
 
   std::printf("\nall four conclusions reproduced: %s\n",

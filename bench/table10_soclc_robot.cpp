@@ -18,7 +18,7 @@ int main() {
 
   for (int i = 0; i < 2; ++i) {
     // Program the IPCP ceilings the SoCLC generator would bake in.
-    soc::MpsocConfig mc = soc::rtos_preset(presets[i]).to_mpsoc_config();
+    soc::MpsocConfig mc = soc::rtos_preset(soc::rtos_preset_from_int(presets[i])).to_mpsoc_config();
     mc.lock_ceilings = apps::robot_lock_ceilings();
     soc::Mpsoc system(mc);
     apps::build_robot_app(system);

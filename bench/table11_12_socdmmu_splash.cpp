@@ -25,11 +25,11 @@ int main() {
     all_verified &= trace.verified;
     Row row;
     {
-      auto soc = soc::generate(soc::rtos_preset(5));  // malloc/free
+      auto soc = soc::generate(soc::rtos_preset(soc::RtosPreset::kRtos5));  // malloc/free
       row.sw = apps::run_splash_on(*soc, trace);
     }
     {
-      auto soc = soc::generate(soc::rtos_preset(7));  // SoCDMMU
+      auto soc = soc::generate(soc::rtos_preset(soc::RtosPreset::kRtos7));  // SoCDMMU
       row.hw = apps::run_splash_on(*soc, trace);
     }
     rows.push_back(row);

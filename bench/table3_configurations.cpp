@@ -11,8 +11,8 @@ int main() {
                 "Lee & Mooney, DATE 2003, Table 3");
 
   for (int i = 1; i <= 7; ++i) {
-    std::printf("\nRTOS%d  %s\n", i, soc::rtos_preset_description(i).c_str());
-    const soc::DeltaConfig cfg = soc::rtos_preset(i);
+    std::printf("\nRTOS%d  %s\n", i, soc::rtos_preset_description(soc::rtos_preset_from_int(i)).c_str());
+    const soc::DeltaConfig cfg = soc::rtos_preset(soc::rtos_preset_from_int(i));
     // Generate the configuration to prove it is constructible, and show
     // the framework's summary (the GUI state of Fig. 3).
     auto mpsoc = soc::generate(cfg);

@@ -18,7 +18,7 @@ int main() {
   const char* names[2] = {"DDU (hardware)", "PDDA in software"};
 
   for (int i = 0; i < 2; ++i) {
-    auto soc = soc::generate(soc::rtos_preset(presets[i]));
+    auto soc = soc::generate(soc::rtos_preset(soc::rtos_preset_from_int(presets[i])));
     apps::build_jini_app(*soc);
     reports[i] = apps::run_deadlock_app(*soc);
     if (i == 0) {

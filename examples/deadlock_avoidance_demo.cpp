@@ -15,7 +15,7 @@ void run_scenario(const char* title, void (*builder)(soc::Mpsoc&)) {
   std::printf("\n==== %s ====\n", title);
 
   std::printf("-- with the DAU (RTOS4):\n");
-  auto with = soc::generate(soc::rtos_preset(4));
+  auto with = soc::generate(soc::rtos_preset(soc::RtosPreset::kRtos4));
   builder(*with);
   const apps::DeadlockAppReport avoided = apps::run_deadlock_app(*with);
   for (const auto& e : with->simulator().trace().events())
@@ -29,7 +29,7 @@ void run_scenario(const char* title, void (*builder)(soc::Mpsoc&)) {
               avoided.invocations);
 
   std::printf("-- same workload, detection only (RTOS2):\n");
-  auto without = soc::generate(soc::rtos_preset(2));
+  auto without = soc::generate(soc::rtos_preset(soc::RtosPreset::kRtos2));
   builder(*without);
   const apps::DeadlockAppReport crashed = apps::run_deadlock_app(*without);
   std::printf("  => %s\n",

@@ -24,10 +24,12 @@ using namespace delta;
 namespace {
 
 int generate_into(const soc::DeltaConfig& cfg, const std::string& out_dir) {
-  try {
-    cfg.validate();
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "invalid configuration: %s\n", e.what());
+  const std::vector<soc::ConfigError> errors = cfg.validate();
+  if (!errors.empty()) {
+    std::fprintf(stderr, "invalid configuration (%zu problems):\n",
+                 errors.size());
+    for (const soc::ConfigError& e : errors)
+      std::fprintf(stderr, "  %s\n", soc::to_string(e).c_str());
     return 1;
   }
   std::filesystem::create_directories(out_dir);
@@ -79,7 +81,7 @@ int main(int argc, char** argv) {
   if (argc == 1) {
     std::printf("# sample delta framework configuration "
                 "(save and pass to delta_gen)\n%s",
-                soc::write_config(soc::rtos_preset(4)).c_str());
+                soc::write_config(soc::rtos_preset(soc::RtosPreset::kRtos4)).c_str());
     return 0;
   }
   if (argc == 4 && std::strcmp(argv[1], "--preset") == 0) {
@@ -88,7 +90,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "preset must be 1..7 (Table 3)\n");
       return 1;
     }
-    return generate_into(soc::rtos_preset(preset), argv[3]);
+    return generate_into(soc::rtos_preset(soc::rtos_preset_from_int(preset)), argv[3]);
   }
   if (argc == 3) {
     std::ifstream in(argv[1]);

@@ -1,75 +1,63 @@
 // Design-space exploration — what the delta framework is for (§2.2):
-// sweep the seven Table 3 configurations over a common workload, print a
-// comparison table, and emit the HDL for a chosen configuration the way
-// Archi_gen would (Fig. 7 / Example 1).
+// sweep the seven Table 3 configurations over a common workload through
+// the parallel experiment runner, print a comparison table, and emit the
+// HDL for a chosen configuration the way Archi_gen would (Fig. 7 /
+// Example 1).
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 
+#include "exp/runner.h"
+#include "exp/workloads.h"
 #include "hw/synth.h"
-#include "soc/utilization.h"
 #include "hw/verilog_gen.h"
 #include "soc/archi_gen.h"
 #include "soc/delta_framework.h"
+#include "soc/utilization.h"
 
 using namespace delta;
 
-namespace {
-
-// A mixed workload touching resources, locks and the allocator, so every
-// configuration axis matters.
-void build_workload(soc::Mpsoc& soc) {
-  rtos::Kernel& k = soc.kernel();
-  const rtos::ResourceId idct = soc.resource("IDCT");
-  const rtos::ResourceId dsp = soc.resource("DSP");
-
-  for (int t = 0; t < 4; ++t) {
-    rtos::Program p;
-    for (int i = 0; i < 4; ++i) {
-      p.alloc(4096, "work")
-          .request({t % 2 ? dsp : idct})
-          .lock(0)
-          .compute(600)
-          .unlock(0)
-          .compute(1200)
-          .release({t % 2 ? dsp : idct})
-          .free("work");
-    }
-    k.create_task("task" + std::to_string(t + 1), static_cast<size_t>(t),
-                  t + 1, std::move(p), static_cast<sim::Cycles>(200 * t));
-  }
-}
-
-}  // namespace
-
 int main() {
-  std::string last_util;
   std::printf("delta framework design-space exploration\n");
+
+  // The sweep: all seven Table 3 rows x the mixed workload, one seed,
+  // fanned out across hardware threads by the experiment runner.
+  exp::SweepSpec spec;
+  spec.configs = exp::all_preset_points();
+  for (exp::ConfigPoint& cp : spec.configs)
+    cp.config.stop_on_deadlock = false;  // common workload is deadlock-free
+  spec.workloads = {exp::mixed_workload()};
+  spec.seeds = {42};
+  spec.run_limit = 5'000'000;
+  const exp::SweepReport report = exp::run_sweep(spec);
+
   std::printf("%-7s %-52s %10s %8s %7s\n", "config", "components",
               "exec(cyc)", "lockLat", "done");
+  for (std::size_t i = 0; i < report.runs.size(); ++i) {
+    const exp::RunResult& r = report.runs[i];
+    const soc::RtosPreset p = soc::kAllRtosPresets[i];
+    std::printf("%-7s %-52s %10llu %8.0f %7s\n", r.config.c_str(),
+                soc::rtos_preset_description(p).substr(0, 52).c_str(),
+                static_cast<unsigned long long>(r.last_finish),
+                r.lock_latency.mean(), r.all_finished ? "yes" : "NO");
+  }
+  std::printf("(%zu runs on %zu threads, %.2f s)\n", report.runs.size(),
+              report.threads_used, report.wall_seconds);
 
-  for (int i = 1; i <= 7; ++i) {
-    soc::DeltaConfig cfg = soc::rtos_preset(i);
-    cfg.stop_on_deadlock = false;  // common workload is deadlock-free
+  // One utilization breakdown (the baseline), from a direct single run.
+  {
+    soc::DeltaConfig cfg = soc::rtos_preset(soc::RtosPreset::kRtos4);
+    cfg.stop_on_deadlock = false;
     auto soc = soc::generate(cfg);
-    build_workload(*soc);
+    sim::Rng rng(exp::derive_run_seed(spec.base_seed, 3, 0, 42));
+    exp::mixed_workload().build(*soc, rng);
     soc->run(5'000'000);
-    if (i == 4) {  // show one utilization breakdown (the baseline)
-      last_util = soc::utilization_report(*soc).to_string();
-    }
-    std::printf("RTOS%-3d %-52s %10llu %8.0f %7s\n", i,
-                soc::rtos_preset_description(i).substr(0, 52).c_str(),
-                static_cast<unsigned long long>(
-                    soc->kernel().last_finish_time()),
-                soc->kernel().lock_latency().mean(),
-                soc->kernel().all_finished() ? "yes" : "NO");
+    std::printf("\nbaseline (RTOS4) utilization breakdown:\n%s",
+                soc::utilization_report(*soc).to_string().c_str());
   }
 
-  std::printf("\nbaseline (RTOS4) utilization breakdown:\n%s",
-              last_util.c_str());
-
   // Pick a configuration and generate its HDL, like the GUI's last step.
-  soc::DeltaConfig chosen = soc::rtos_preset(4);  // DAU
+  soc::DeltaConfig chosen = soc::rtos_preset(soc::RtosPreset::kRtos4);
   chosen.lock = soc::LockComponent::kSoclc;
   const auto files = soc::generate_hdl(chosen);
   std::filesystem::create_directories("generated_hdl");

@@ -19,7 +19,7 @@ using namespace delta::rtos;
 int main() {
   std::printf("Shared-memory video pipeline (SoCDMMU G_alloc_rw/ro)\n\n");
 
-  soc::MpsocConfig mc = soc::rtos_preset(7).to_mpsoc_config();  // SoCDMMU
+  soc::MpsocConfig mc = soc::rtos_preset(soc::RtosPreset::kRtos7).to_mpsoc_config();  // SoCDMMU
   soc::Mpsoc soc(mc);
   Kernel& k = soc.kernel();
   const SemId captured = k.create_semaphore(0);

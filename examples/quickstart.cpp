@@ -14,7 +14,7 @@ using namespace delta;
 
 int main() {
   // 1. Framework configuration: the paper's RTOS4 (DAU in hardware).
-  soc::DeltaConfig cfg = soc::rtos_preset(4);
+  soc::DeltaConfig cfg = soc::rtos_preset(soc::RtosPreset::kRtos4);
   std::printf("%s\n", cfg.describe().c_str());
 
   // 2. Generate the simulatable RTOS/MPSoC.

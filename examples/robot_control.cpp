@@ -15,7 +15,7 @@ int main() {
   const char* names[2] = {"software priority inheritance (RTOS5)",
                           "SoCLC with hardware IPCP (RTOS6)"};
   for (int i = 0; i < 2; ++i) {
-    soc::MpsocConfig mc = soc::rtos_preset(i == 0 ? 5 : 6).to_mpsoc_config();
+    soc::MpsocConfig mc = soc::rtos_preset(soc::rtos_preset_from_int(i == 0 ? 5 : 6)).to_mpsoc_config();
     mc.lock_ceilings = apps::robot_lock_ceilings();
     soc::Mpsoc soc(mc);
     apps::build_robot_app(soc);

@@ -22,7 +22,7 @@ int main() {
                 static_cast<unsigned long long>(trace.alloc_calls),
                 trace.verified ? "yes" : "NO");
     for (int preset : {5, 7}) {
-      auto soc = soc::generate(soc::rtos_preset(preset));
+      auto soc = soc::generate(soc::rtos_preset(soc::rtos_preset_from_int(preset)));
       const apps::SplashReport r = apps::run_splash_on(*soc, trace);
       std::printf("  %-12s total %8llu cycles, memory mgmt %7llu "
                   "(%5.2f%%)\n",

@@ -1,0 +1,276 @@
+#include "exp/json.h"
+
+#include <cstdio>
+#include <map>
+
+namespace delta::exp {
+
+// ------------------------------------------------------------ writer --
+
+void JsonWriter::comma_and_indent() {
+  if (pending_key_) {  // value directly after "key":
+    pending_key_ = false;
+    return;
+  }
+  if (!has_items_.empty()) {
+    if (has_items_.back()) out_ += ',';
+    has_items_.back() = true;
+    out_ += '\n';
+    out_.append(2 * has_items_.size(), ' ');
+  }
+}
+
+void JsonWriter::append_escaped(const std::string& s) {
+  out_ += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\t': out_ += "\\t"; break;
+      case '\r': out_ += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_and_indent();
+  out_ += '{';
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool had = has_items_.back();
+  has_items_.pop_back();
+  if (had) {
+    out_ += '\n';
+    out_.append(2 * has_items_.size(), ' ');
+  }
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma_and_indent();
+  out_ += '[';
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const bool had = has_items_.back();
+  has_items_.pop_back();
+  if (had) {
+    out_ += '\n';
+    out_.append(2 * has_items_.size(), ' ');
+  }
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  comma_and_indent();
+  append_escaped(k);
+  out_ += ": ";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  comma_and_indent();
+  append_escaped(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) {
+  return value(std::string(v));
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma_and_indent();
+  out_ += format_double(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma_and_indent();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma_and_indent();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma_and_indent();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+std::string format_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+// ------------------------------------------------------------ report --
+
+namespace {
+
+void write_sample_set(JsonWriter& w, const sim::SampleSet& s) {
+  w.begin_object();
+  w.key("count").value(s.count());
+  w.key("mean").value(s.mean());
+  w.key("min").value(s.min());
+  w.key("max").value(s.max());
+  w.key("stddev").value(s.stddev());
+  w.key("p95").value(s.percentile(0.95));
+  w.end_object();
+}
+
+void write_accumulator(JsonWriter& w, const sim::Accumulator& a) {
+  w.begin_object();
+  w.key("count").value(a.count());
+  w.key("mean").value(a.mean());
+  w.key("min").value(a.min());
+  w.key("max").value(a.max());
+  w.key("stddev").value(a.stddev());
+  w.end_object();
+}
+
+void write_run(JsonWriter& w, const RunResult& r) {
+  w.begin_object();
+  w.key("config").value(r.config);
+  w.key("workload").value(r.workload);
+  w.key("seed").value(r.seed);
+  w.key("run_seed").value(r.run_seed);
+  w.key("ok").value(r.ok);
+  if (!r.ok) {
+    w.key("error").value(r.error);
+    w.end_object();
+    return;
+  }
+  w.key("sim_cycles").value(static_cast<std::uint64_t>(r.sim_cycles));
+  w.key("last_finish").value(static_cast<std::uint64_t>(r.last_finish));
+  w.key("app_run_time").value(static_cast<std::uint64_t>(r.app_run_time));
+  w.key("all_finished").value(r.all_finished);
+  w.key("deadlock_detected").value(r.deadlock_detected);
+  w.key("deadlock_time").value(static_cast<std::uint64_t>(r.deadlock_time));
+  w.key("recoveries").value(r.recoveries);
+  w.key("deadline_misses")
+      .value(static_cast<std::uint64_t>(r.deadline_misses));
+  w.key("algorithm").begin_object();
+  w.key("invocations").value(r.algorithm_invocations);
+  w.key("avg_cycles").value(r.algorithm_avg);
+  w.end_object();
+  w.key("lock_latency");
+  write_sample_set(w, r.lock_latency);
+  w.key("lock_delay");
+  write_sample_set(w, r.lock_delay);
+  w.key("alloc_latency");
+  write_sample_set(w, r.alloc_latency);
+  w.key("memory").begin_object();
+  w.key("mgmt_cycles").value(static_cast<std::uint64_t>(r.mgmt_cycles));
+  w.key("calls").value(r.mgmt_calls);
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+std::string report_to_json(const SweepSpec& spec,
+                           const SweepReport& report) {
+  JsonWriter w;
+  w.begin_object();
+
+  w.key("sweep").begin_object();
+  w.key("configs").begin_array();
+  for (const ConfigPoint& c : spec.configs) w.value(c.name);
+  w.end_array();
+  w.key("workloads").begin_array();
+  for (const Workload& wl : spec.workloads) w.value(wl.name);
+  w.end_array();
+  w.key("seeds").begin_array();
+  for (const std::uint64_t s : spec.seeds) w.value(s);
+  w.end_array();
+  w.key("base_seed").value(spec.base_seed);
+  w.key("run_limit").value(static_cast<std::uint64_t>(spec.run_limit));
+  w.key("runs").value(static_cast<std::uint64_t>(report.runs.size()));
+  w.end_object();
+
+  w.key("runs").begin_array();
+  for (const RunResult& r : report.runs) write_run(w, r);
+  w.end_array();
+
+  // Aggregates across seeds, keyed by (config, workload) in expansion
+  // order. std::map iteration would sort by name; preserve run order
+  // instead so the report reads like the spec.
+  struct Agg {
+    std::size_t runs = 0;
+    sim::Accumulator last_finish;
+    sim::Accumulator app_run_time;
+    sim::Accumulator lock_latency_mean;
+    sim::Accumulator algorithm_avg;
+    std::size_t finished = 0;
+    std::size_t deadlocked = 0;
+  };
+  std::vector<std::pair<std::pair<std::string, std::string>, Agg>> aggs;
+  for (const RunResult& r : report.runs) {
+    if (!r.ok) continue;
+    const auto key = std::make_pair(r.config, r.workload);
+    Agg* agg = nullptr;
+    for (auto& [k, a] : aggs)
+      if (k == key) agg = &a;
+    if (!agg) {
+      aggs.emplace_back(key, Agg{});
+      agg = &aggs.back().second;
+    }
+    ++agg->runs;
+    agg->last_finish.add(static_cast<double>(r.last_finish));
+    agg->app_run_time.add(static_cast<double>(r.app_run_time));
+    agg->lock_latency_mean.add(r.lock_latency.mean());
+    agg->algorithm_avg.add(r.algorithm_avg);
+    agg->finished += r.all_finished ? 1 : 0;
+    agg->deadlocked += r.deadlock_detected ? 1 : 0;
+  }
+
+  w.key("aggregates").begin_array();
+  for (const auto& [key, agg] : aggs) {
+    w.begin_object();
+    w.key("config").value(key.first);
+    w.key("workload").value(key.second);
+    w.key("runs").value(static_cast<std::uint64_t>(agg.runs));
+    w.key("finished").value(static_cast<std::uint64_t>(agg.finished));
+    w.key("deadlocked").value(static_cast<std::uint64_t>(agg.deadlocked));
+    w.key("last_finish");
+    write_accumulator(w, agg.last_finish);
+    w.key("app_run_time");
+    write_accumulator(w, agg.app_run_time);
+    w.key("lock_latency_mean");
+    write_accumulator(w, agg.lock_latency_mean);
+    w.key("algorithm_avg");
+    write_accumulator(w, agg.algorithm_avg);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+  std::string out = w.str();
+  out += '\n';
+  return out;
+}
+
+}  // namespace delta::exp

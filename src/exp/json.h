@@ -1,0 +1,54 @@
+// Structured JSON reports for sweep results.
+//
+// A deliberately small streaming writer (the repo has no JSON
+// dependency) plus the report serializer. Number formatting is fixed
+// ("%.12g" doubles, decimal integers) so that the same results always
+// produce the same bytes — the property the determinism tests pin.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/runner.h"
+
+namespace delta::exp {
+
+/// Minimal streaming JSON writer with 2-space pretty printing.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  /// Key inside an object; follow with a value or begin_*.
+  JsonWriter& key(const std::string& k);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  void comma_and_indent();
+  void append_escaped(const std::string& s);
+
+  std::string out_;
+  std::vector<bool> has_items_;  ///< per open scope
+  bool pending_key_ = false;
+};
+
+/// Stable text rendering of a double ("%.12g").
+[[nodiscard]] std::string format_double(double v);
+
+/// Serialize a finished sweep: the spec echo, every run, and per
+/// (config, workload) aggregates with mean/stddev across seeds.
+/// Deliberately excludes wall time and thread count so the bytes are
+/// identical for identical results.
+[[nodiscard]] std::string report_to_json(const SweepSpec& spec,
+                                         const SweepReport& report);
+
+}  // namespace delta::exp

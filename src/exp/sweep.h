@@ -1,0 +1,121 @@
+// Experiment sweeps — the paper's evaluation method as a subsystem.
+//
+// Table 3's seven RTOS/MPSoC configurations are evaluated against
+// workloads and seeds as a cross product: every (configuration,
+// workload, seed) cell is one share-nothing Mpsoc simulation. SweepSpec
+// describes the matrix, expand() flattens it into RunSpecs with
+// deterministic per-run seeds, and execute_run() turns one RunSpec into
+// a RunResult. The thread-pool fan-out lives in exp/runner.h; JSON
+// reporting in exp/json.h; the built-in workload library in
+// exp/workloads.h.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/stats.h"
+#include "soc/delta_framework.h"
+
+namespace delta::exp {
+
+/// A workload that can be instantiated on any configured Mpsoc.
+struct Workload {
+  std::string name;
+  /// Optional MpsocConfig adjustment applied before construction
+  /// (lock ceilings, resource tables, ...).
+  std::function<void(soc::MpsocConfig&)> tune;
+  /// Create the tasks into a freshly built Mpsoc. `rng` is seeded with
+  /// the run's derived seed, so a builder that draws from it yields a
+  /// different-but-reproducible task mix per seed.
+  std::function<void(soc::Mpsoc&, sim::Rng&)> build;
+};
+
+/// One point of the configuration axis: a named DeltaConfig plus an
+/// optional low-level MpsocConfig adjustment (applied after the
+/// workload's tune hook, so config points have the last word).
+struct ConfigPoint {
+  std::string name;
+  soc::DeltaConfig config;
+  std::function<void(soc::MpsocConfig&)> tune;
+};
+
+/// The Table 3 row `p` as a config point named to_string(p).
+[[nodiscard]] ConfigPoint preset_point(soc::RtosPreset p);
+
+/// All seven Table 3 rows, in paper order.
+[[nodiscard]] std::vector<ConfigPoint> all_preset_points();
+
+/// A cross product of configurations x workloads x seeds.
+struct SweepSpec {
+  std::vector<ConfigPoint> configs;
+  std::vector<Workload> workloads;
+  std::vector<std::uint64_t> seeds = {0};  ///< one run per seed
+  std::uint64_t base_seed = 0xde17a;       ///< mixed into every run seed
+  sim::Cycles run_limit = 50'000'000;      ///< per-run simulation cap
+  bool trace = false;  ///< enable per-run kernel/bus tracing (slow)
+};
+
+/// Derive the seed for one cell. Pure function of the cell coordinates
+/// only — never of thread ids or execution order — which is what makes
+/// sweep output independent of the thread count.
+[[nodiscard]] std::uint64_t derive_run_seed(std::uint64_t base_seed,
+                                            std::size_t config_index,
+                                            std::size_t workload_index,
+                                            std::uint64_t seed);
+
+/// A fully resolved cell of the cross product. Holds pointers into the
+/// owning SweepSpec; valid only while that spec is alive.
+struct RunSpec {
+  std::size_t index = 0;  ///< position in expansion order
+  const ConfigPoint* config = nullptr;
+  const Workload* workload = nullptr;
+  std::uint64_t seed = 0;      ///< the user-supplied seed value
+  std::uint64_t run_seed = 0;  ///< derived: seeds the run's Rng
+};
+
+/// Flatten the spec in config-major, then workload, then seed order.
+[[nodiscard]] std::vector<RunSpec> expand(const SweepSpec& spec);
+
+/// Measurements of one simulation run. Everything the paper's tables
+/// quote, collected generically from the kernel and its backends.
+struct RunResult {
+  std::size_t index = 0;
+  std::string config;
+  std::string workload;
+  std::uint64_t seed = 0;
+  std::uint64_t run_seed = 0;
+
+  bool ok = false;     ///< run constructed and simulated without throwing
+  std::string error;   ///< exception text when !ok
+
+  sim::Cycles sim_cycles = 0;     ///< simulator time when the run ended
+  sim::Cycles last_finish = 0;    ///< last task completion time
+  sim::Cycles app_run_time = 0;   ///< deadlock_time if halted, else last_finish
+  bool all_finished = false;
+  bool deadlock_detected = false;
+  sim::Cycles deadlock_time = 0;
+  std::uint64_t recoveries = 0;
+  std::size_t deadline_misses = 0;
+
+  double algorithm_avg = 0.0;  ///< deadlock-strategy mean cycles
+  std::uint64_t algorithm_invocations = 0;
+
+  sim::SampleSet lock_latency;   ///< uncontended acquire service time
+  sim::SampleSet lock_delay;     ///< contended request-to-grant time
+  sim::SampleSet alloc_latency;  ///< allocator per-call PE cycles
+
+  sim::Cycles mgmt_cycles = 0;   ///< total memory-management time
+  std::uint64_t mgmt_calls = 0;
+};
+
+/// Execute one cell: build the Mpsoc, instantiate the workload, run the
+/// simulation, and collect the result. Exceptions are captured into
+/// RunResult::error rather than propagated, so one bad cell cannot take
+/// down a batch.
+[[nodiscard]] RunResult execute_run(const RunSpec& rs,
+                                    const SweepSpec& spec);
+
+}  // namespace delta::exp

@@ -1,0 +1,59 @@
+// Built-in sweep workloads.
+//
+// The paper's evaluation applications (jini / G-dl / R-dl deadlock
+// scenarios, the robot controller, the SPLASH kernels) plus two
+// synthetic generators, packaged as exp::Workloads so any of them can
+// ride a SweepSpec. Workload::build draws everything variable from the
+// per-run Rng, which keeps runs reproducible and thread-count
+// independent.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/sweep.h"
+
+namespace delta::exp {
+
+/// The design_space_explorer mix: four tasks touching resources, locks
+/// and the allocator, with rng-jittered compute phases and releases so
+/// every seed exercises a different interleaving.
+[[nodiscard]] Workload mixed_workload();
+
+/// Random two-resource contention patterns sized from the target
+/// geometry (one task per MpsocConfig::max_tasks slot, resources drawn
+/// from the config's resource table) — the scaling_system_size bench
+/// generator. `rounds` is the request/release rounds per task.
+[[nodiscard]] Workload random_workload(int rounds = 3);
+
+/// §5.3 Table 4 Jini-lookup scenario (ends in deadlock at t5).
+[[nodiscard]] Workload jini_workload();
+/// §5.4.1 Table 6 grant-deadlock scenario.
+[[nodiscard]] Workload gdl_workload();
+/// §5.4.3 Table 8 request-deadlock scenario.
+[[nodiscard]] Workload rdl_workload();
+
+/// §5.5 robot controller + MPEG decoder (tunes in the IPCP ceilings).
+[[nodiscard]] Workload robot_workload();
+
+/// §5.6 SPLASH kernel replay; `kernel` is "lu", "fft" or "radix". The
+/// trace is computed host-side once, at workload-construction time.
+[[nodiscard]] Workload splash_workload(const std::string& kernel);
+
+/// Look up any of the above by name ("mixed", "random", "jini", "gdl",
+/// "rdl", "robot", "splash-lu", "splash-fft", "splash-radix"). Throws
+/// std::invalid_argument on unknown names.
+[[nodiscard]] Workload find_workload(const std::string& name);
+
+/// The names find_workload() accepts.
+[[nodiscard]] std::vector<std::string> workload_names();
+
+/// Config tune hook replacing the resource table with `n` generic
+/// resources ("q1".."qn"), for geometry sweeps beyond the paper's four
+/// devices.
+[[nodiscard]] std::function<void(soc::MpsocConfig&)> generic_resources(
+    std::size_t n);
+
+}  // namespace delta::exp

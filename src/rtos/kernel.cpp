@@ -899,6 +899,7 @@ void Kernel::recompute_inherited_priority(TaskId id) {
 void Kernel::op_alloc(Task& t, const op::Alloc& a) {
   const TaskId id = t.id;
   const MemResult res = memory_->alloc(t.pe, a.bytes, sim_.now());
+  alloc_latency_.add(static_cast<double>(res.pe_cycles));
   const std::string slot = a.slot;
   service(t.pe, cfg_.costs.kernel_entry + res.pe_cycles,
           [this, id, slot, res] {
@@ -917,6 +918,7 @@ void Kernel::op_alloc_shared(Task& t, const op::AllocShared& a) {
   const TaskId id = t.id;
   const MemResult res =
       memory_->alloc_shared(t.pe, a.region, a.bytes, a.writable, sim_.now());
+  alloc_latency_.add(static_cast<double>(res.pe_cycles));
   const std::string slot = a.slot;
   service(t.pe, cfg_.costs.kernel_entry + res.pe_cycles,
           [this, id, slot, res] {
@@ -943,6 +945,7 @@ void Kernel::op_free(Task& t, const op::Free& f) {
     return;
   }
   const MemResult res = memory_->free(t.pe, it->second, sim_.now());
+  alloc_latency_.add(static_cast<double>(res.pe_cycles));
   t.allocations.erase(it);
   service(t.pe, cfg_.costs.kernel_entry + res.pe_cycles, [this, id] {
     Task& tk = task(id);

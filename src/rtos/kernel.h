@@ -146,6 +146,12 @@ class Kernel {
     return lock_delay_;
   }
 
+  /// Allocator service latencies: the backend-reported PE cycles of every
+  /// alloc/alloc_shared/free call (Tables 11/12 raw samples).
+  [[nodiscard]] const sim::SampleSet& alloc_latency() const {
+    return alloc_latency_;
+  }
+
   [[nodiscard]] TaskId running_on(PeId pe) const { return running_.at(pe); }
 
   /// Structured task-state transition log (drives rtos/timeline.h).
@@ -193,6 +199,7 @@ class Kernel {
   std::map<TaskId, std::uint64_t> queue_send_payload_;
 
   sim::SampleSet lock_latency_, lock_delay_;
+  sim::SampleSet alloc_latency_;
 
   bool deadlock_detected_ = false;
   sim::Cycles deadlock_time_ = 0;

@@ -4,9 +4,14 @@
 
 namespace delta::sim {
 
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
 double SampleSet::percentile(double p) const {
   if (samples_.empty()) return 0.0;
-  std::sort(samples_.begin(), samples_.end());
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
   const double clamped = std::clamp(p, 0.0, 1.0);
   const auto rank = static_cast<std::size_t>(
       std::ceil(clamped * static_cast<double>(samples_.size())));

@@ -12,7 +12,9 @@
 
 namespace delta::sim {
 
-/// Streaming min/max/mean/sum accumulator over cycle measurements.
+/// Streaming min/max/mean/sum/variance accumulator over cycle
+/// measurements. Variance uses Welford's online algorithm, so it stays
+/// numerically stable over long sweeps.
 class Accumulator {
  public:
   void add(double v) {
@@ -20,6 +22,9 @@ class Accumulator {
     sum_ += v;
     min_ = std::min(min_, v);
     max_ = std::max(max_, v);
+    const double delta = v - welford_mean_;
+    welford_mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (v - welford_mean_);
   }
 
   [[nodiscard]] std::uint64_t count() const { return n_; }
@@ -28,11 +33,20 @@ class Accumulator {
   [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
   [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
 
+  /// Population variance (÷n). Returns 0 when fewer than two samples.
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  /// Population standard deviation.
+  [[nodiscard]] double stddev() const;
+
  private:
   std::uint64_t n_ = 0;
   double sum_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+  double welford_mean_ = 0.0;
+  double m2_ = 0.0;
 };
 
 /// Accumulator that also retains samples for percentile queries.
@@ -41,6 +55,7 @@ class SampleSet {
   void add(double v) {
     acc_.add(v);
     samples_.push_back(v);
+    sorted_ = false;
   }
 
   [[nodiscard]] const Accumulator& summary() const { return acc_; }
@@ -48,13 +63,17 @@ class SampleSet {
   [[nodiscard]] double mean() const { return acc_.mean(); }
   [[nodiscard]] double max() const { return acc_.max(); }
   [[nodiscard]] double min() const { return acc_.min(); }
+  [[nodiscard]] double stddev() const { return acc_.stddev(); }
 
-  /// p in [0,1]; nearest-rank percentile. Returns 0 when empty.
+  /// p in [0,1]; nearest-rank percentile. Returns 0 when empty. The
+  /// sample vector is sorted lazily on first query and the order is
+  /// cached until the next add().
   [[nodiscard]] double percentile(double p) const;
 
  private:
   Accumulator acc_;
   mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
 };
 
 /// Speed-up per Hennessy & Patterson as used in Tables 5/7/9:

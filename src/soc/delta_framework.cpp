@@ -1,5 +1,6 @@
 #include "soc/delta_framework.h"
 
+#include <cctype>
 #include <sstream>
 #include <stdexcept>
 
@@ -29,21 +30,42 @@ const char* memory_name(MemoryComponent m) {
 }
 }  // namespace
 
-void DeltaConfig::validate() const {
-  if (pe_count == 0) throw std::invalid_argument("delta: zero PEs");
-  if (task_count == 0) throw std::invalid_argument("delta: zero tasks");
+std::string to_string(const ConfigError& e) {
+  return e.field + ": " + e.message;
+}
+
+std::vector<ConfigError> DeltaConfig::validate() const {
+  std::vector<ConfigError> errors;
+  if (pe_count == 0)
+    errors.push_back({"pe_count", "zero PEs"});
+  if (task_count == 0)
+    errors.push_back({"task_count", "zero tasks"});
   if (resource_count == 0)
-    throw std::invalid_argument("delta: zero resources");
+    errors.push_back({"resource_count", "zero resources"});
   if (lock == LockComponent::kSoclc &&
       soclc.short_locks + soclc.long_locks == 0)
-    throw std::invalid_argument("delta: SoCLC selected with zero locks");
+    errors.push_back({"soclc", "SoCLC selected with zero locks"});
   if (memory == MemoryComponent::kSocdmmu && socdmmu.total_blocks == 0)
-    throw std::invalid_argument("delta: SoCDMMU selected with zero blocks");
-  bus.validate();
+    errors.push_back({"socdmmu", "SoCDMMU selected with zero blocks"});
+  try {
+    bus.validate();
+  } catch (const std::exception& e) {
+    errors.push_back({"bus", e.what()});
+  }
+  return errors;
+}
+
+void DeltaConfig::validate_or_throw() const {
+  const std::vector<ConfigError> errors = validate();
+  if (errors.empty()) return;
+  std::ostringstream os;
+  os << "delta: invalid configuration";
+  for (const ConfigError& e : errors) os << "; " << to_string(e);
+  throw std::invalid_argument(os.str());
 }
 
 MpsocConfig DeltaConfig::to_mpsoc_config() const {
-  validate();
+  validate_or_throw();
   MpsocConfig mc;
   mc.pe_count = pe_count;
   mc.max_tasks = task_count;
@@ -76,48 +98,86 @@ std::string DeltaConfig::describe() const {
   return os.str();
 }
 
-DeltaConfig rtos_preset(int index) {
+std::string to_string(RtosPreset p) {
+  return "RTOS" + std::to_string(static_cast<int>(p));
+}
+
+RtosPreset rtos_preset_from_int(int index) {
+  if (index < 1 || index > 7)
+    throw std::invalid_argument("rtos_preset: index must be 1..7, got " +
+                                std::to_string(index));
+  return static_cast<RtosPreset>(index);
+}
+
+RtosPreset rtos_preset_from_string(std::string_view s) {
+  std::string upper;
+  for (char c : s)
+    upper.push_back(
+        static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  std::string_view digits = upper;
+  if (digits.rfind("RTOS", 0) == 0) digits.remove_prefix(4);
+  if (digits.size() == 1 && digits[0] >= '1' && digits[0] <= '7')
+    return static_cast<RtosPreset>(digits[0] - '0');
+  throw std::invalid_argument("rtos_preset_from_string: expected "
+                              "'RTOS1'..'RTOS7' or '1'..'7', got '" +
+                              std::string(s) + "'");
+}
+
+DeltaConfig rtos_preset(RtosPreset p) {
   DeltaConfig cfg;  // the base system: 4 x MPC755, 5x5 deadlock geometry
-  switch (index) {
-    case 1:
+  switch (p) {
+    case RtosPreset::kRtos1:
       cfg.deadlock = DeadlockComponent::kPddaSoftware;
       break;
-    case 2:
+    case RtosPreset::kRtos2:
       cfg.deadlock = DeadlockComponent::kDdu;
       break;
-    case 3:
+    case RtosPreset::kRtos3:
       cfg.deadlock = DeadlockComponent::kDaaSoftware;
       cfg.stop_on_deadlock = false;  // avoidance keeps the system running
       break;
-    case 4:
+    case RtosPreset::kRtos4:
       cfg.deadlock = DeadlockComponent::kDau;
       cfg.stop_on_deadlock = false;
       break;
-    case 5:
+    case RtosPreset::kRtos5:
       break;  // pure RTOS with software priority inheritance
-    case 6:
+    case RtosPreset::kRtos6:
       cfg.lock = LockComponent::kSoclc;
       break;
-    case 7:
+    case RtosPreset::kRtos7:
       cfg.memory = MemoryComponent::kSocdmmu;
       break;
-    default:
-      throw std::invalid_argument("rtos_preset: index must be 1..7");
   }
   return cfg;
 }
 
-std::string rtos_preset_description(int index) {
-  switch (index) {
-    case 1: return "PDDA (Algorithms 1 and 2) in software (Section 4.2.1)";
-    case 2: return "DDU in hardware (Sections 4.2.2 and 4.2.3)";
-    case 3: return "DAA (Algorithm 3) in software (Section 4.3.1)";
-    case 4: return "DAU in hardware (Section 4.3.2)";
-    case 5: return "Pure RTOS with priority inheritance support";
-    case 6: return "SoCLC with immediate priority ceiling protocol in hardware";
-    case 7: return "SoCDMMU in hardware";
-    default: throw std::invalid_argument("rtos_preset_description: 1..7");
+std::string rtos_preset_description(RtosPreset p) {
+  switch (p) {
+    case RtosPreset::kRtos1:
+      return "PDDA (Algorithms 1 and 2) in software (Section 4.2.1)";
+    case RtosPreset::kRtos2:
+      return "DDU in hardware (Sections 4.2.2 and 4.2.3)";
+    case RtosPreset::kRtos3:
+      return "DAA (Algorithm 3) in software (Section 4.3.1)";
+    case RtosPreset::kRtos4:
+      return "DAU in hardware (Section 4.3.2)";
+    case RtosPreset::kRtos5:
+      return "Pure RTOS with priority inheritance support";
+    case RtosPreset::kRtos6:
+      return "SoCLC with immediate priority ceiling protocol in hardware";
+    case RtosPreset::kRtos7:
+      return "SoCDMMU in hardware";
   }
+  throw std::invalid_argument("rtos_preset_description: unknown preset");
+}
+
+DeltaConfig rtos_preset(int index) {
+  return rtos_preset(rtos_preset_from_int(index));
+}
+
+std::string rtos_preset_description(int index) {
+  return rtos_preset_description(rtos_preset_from_int(index));
 }
 
 std::unique_ptr<Mpsoc> generate(const DeltaConfig& cfg) {
@@ -125,7 +185,7 @@ std::unique_ptr<Mpsoc> generate(const DeltaConfig& cfg) {
 }
 
 std::vector<GeneratedFile> generate_hdl(const DeltaConfig& cfg) {
-  cfg.validate();
+  cfg.validate_or_throw();
   std::vector<GeneratedFile> files;
   files.push_back({"Top.v", generate_top_verilog(cfg)});
   if (cfg.deadlock == DeadlockComponent::kDdu ||

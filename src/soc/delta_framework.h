@@ -9,14 +9,25 @@
 // Fig. 7). DeltaConfig is the programmatic form of that GUI state.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bus/bus_config.h"
 #include "soc/mpsoc.h"
 
 namespace delta::soc {
+
+/// One violated configuration constraint: which field is wrong and why.
+struct ConfigError {
+  std::string field;    ///< e.g. "pe_count", "soclc", "bus"
+  std::string message;  ///< human-readable explanation
+};
+
+/// "field: message" rendering for error lists.
+[[nodiscard]] std::string to_string(const ConfigError& e);
 
 /// Framework configuration state (Fig. 3's windows).
 struct DeltaConfig {
@@ -39,8 +50,15 @@ struct DeltaConfig {
   rtos::ServiceCosts costs;
   bool stop_on_deadlock = true;
 
-  /// Consistency checks mirroring the GUI's input validation.
-  void validate() const;
+  /// Consistency checks mirroring the GUI's input validation. Collects
+  /// *every* violated constraint (empty vector = valid) so a sweep
+  /// author sees all problems in one pass instead of fixing them one
+  /// throw at a time.
+  [[nodiscard]] std::vector<ConfigError> validate() const;
+
+  /// Old-style validation: throws std::invalid_argument listing all
+  /// collected errors when the configuration is invalid.
+  void validate_or_throw() const;
 
   /// The MpsocConfig this framework state generates.
   [[nodiscard]] MpsocConfig to_mpsoc_config() const;
@@ -49,12 +67,48 @@ struct DeltaConfig {
   [[nodiscard]] std::string describe() const;
 };
 
+/// Table 3 rows as a typed identifier. The enumerator value is the
+/// paper's row number, so `static_cast<int>(RtosPreset::kRtos4) == 4`.
+enum class RtosPreset : std::uint8_t {
+  kRtos1 = 1,  ///< PDDA (deadlock detection) in software
+  kRtos2 = 2,  ///< DDU in hardware
+  kRtos3 = 3,  ///< DAA (deadlock avoidance) in software
+  kRtos4 = 4,  ///< DAU in hardware
+  kRtos5 = 5,  ///< pure RTOS, software priority inheritance
+  kRtos6 = 6,  ///< SoCLC with hardware IPCP
+  kRtos7 = 7,  ///< SoCDMMU in hardware
+};
+
+/// All seven Table 3 rows in paper order, for range-for sweeps.
+inline constexpr std::array<RtosPreset, 7> kAllRtosPresets = {
+    RtosPreset::kRtos1, RtosPreset::kRtos2, RtosPreset::kRtos3,
+    RtosPreset::kRtos4, RtosPreset::kRtos5, RtosPreset::kRtos6,
+    RtosPreset::kRtos7};
+
+/// "RTOS4" spelling used in tables, configs and sweep reports.
+[[nodiscard]] std::string to_string(RtosPreset p);
+
+/// Parse "RTOS4" / "rtos4" / "4" back to the enum. Throws
+/// std::invalid_argument on anything else.
+[[nodiscard]] RtosPreset rtos_preset_from_string(std::string_view s);
+
+/// Checked conversion from the paper's 1..7 row number. Throws
+/// std::invalid_argument outside that range.
+[[nodiscard]] RtosPreset rtos_preset_from_int(int index);
+
 /// Table 3 presets: configured components on top of the pure software
-/// RTOS. `index` is the paper's row number (1..7).
-DeltaConfig rtos_preset(int index);
+/// RTOS.
+[[nodiscard]] DeltaConfig rtos_preset(RtosPreset p);
 
 /// Short description of a Table 3 row ("PDDA in software", ...).
-std::string rtos_preset_description(int index);
+[[nodiscard]] std::string rtos_preset_description(RtosPreset p);
+
+/// Deprecated magic-int entry points, kept so out-of-tree callers keep
+/// compiling; `index` is the paper's row number (1..7).
+[[deprecated("use rtos_preset(RtosPreset)")]] DeltaConfig rtos_preset(
+    int index);
+[[deprecated("use rtos_preset_description(RtosPreset)")]] std::string
+rtos_preset_description(int index);
 
 /// Generate (configure + construct) the simulatable RTOS/MPSoC.
 std::unique_ptr<Mpsoc> generate(const DeltaConfig& cfg);

@@ -10,7 +10,7 @@ namespace delta::apps {
 namespace {
 
 DeadlockAppReport run(int preset, void (*builder)(soc::Mpsoc&)) {
-  auto soc = soc::generate(soc::rtos_preset(preset));
+  auto soc = soc::generate(soc::rtos_preset(soc::rtos_preset_from_int(preset)));
   builder(*soc);
   return run_deadlock_app(*soc);
 }
@@ -70,7 +70,7 @@ TEST(GdlApp, DauFasterThanSoftwareDaa) {
 
 TEST(RdlApp, GiveUpProtocolResolvesRequestDeadlock) {
   for (int preset : {3, 4}) {
-    auto soc = soc::generate(soc::rtos_preset(preset));
+    auto soc = soc::generate(soc::rtos_preset(soc::rtos_preset_from_int(preset)));
     build_rdl_app(*soc);
     const DeadlockAppReport r = run_deadlock_app(*soc);
     EXPECT_TRUE(r.all_finished) << "RTOS" << preset;

@@ -18,10 +18,10 @@ void expect_near(double value, double pinned, const char* what) {
 }
 
 TEST(RegressionPins, Table5) {
-  auto hw = soc::generate(soc::rtos_preset(2));
+  auto hw = soc::generate(soc::rtos_preset(soc::RtosPreset::kRtos2));
   build_jini_app(*hw);
   const DeadlockAppReport h = run_deadlock_app(*hw);
-  auto sw = soc::generate(soc::rtos_preset(1));
+  auto sw = soc::generate(soc::rtos_preset(soc::RtosPreset::kRtos1));
   build_jini_app(*sw);
   const DeadlockAppReport s = run_deadlock_app(*sw);
 
@@ -33,10 +33,10 @@ TEST(RegressionPins, Table5) {
 }
 
 TEST(RegressionPins, Table7) {
-  auto hw = soc::generate(soc::rtos_preset(4));
+  auto hw = soc::generate(soc::rtos_preset(soc::RtosPreset::kRtos4));
   build_gdl_app(*hw);
   const DeadlockAppReport h = run_deadlock_app(*hw);
-  auto sw = soc::generate(soc::rtos_preset(3));
+  auto sw = soc::generate(soc::rtos_preset(soc::RtosPreset::kRtos3));
   build_gdl_app(*sw);
   const DeadlockAppReport s = run_deadlock_app(*sw);
 
@@ -47,10 +47,10 @@ TEST(RegressionPins, Table7) {
 }
 
 TEST(RegressionPins, Table9) {
-  auto hw = soc::generate(soc::rtos_preset(4));
+  auto hw = soc::generate(soc::rtos_preset(soc::RtosPreset::kRtos4));
   build_rdl_app(*hw);
   const DeadlockAppReport h = run_deadlock_app(*hw);
-  auto sw = soc::generate(soc::rtos_preset(3));
+  auto sw = soc::generate(soc::rtos_preset(soc::RtosPreset::kRtos3));
   build_rdl_app(*sw);
   const DeadlockAppReport s = run_deadlock_app(*sw);
 
@@ -59,13 +59,13 @@ TEST(RegressionPins, Table9) {
 }
 
 TEST(RegressionPins, Table10) {
-  soc::MpsocConfig sw_cfg = soc::rtos_preset(5).to_mpsoc_config();
+  soc::MpsocConfig sw_cfg = soc::rtos_preset(soc::RtosPreset::kRtos5).to_mpsoc_config();
   sw_cfg.lock_ceilings = robot_lock_ceilings();
   soc::Mpsoc sw(sw_cfg);
   build_robot_app(sw);
   const RobotReport s = run_robot_app(sw);
 
-  soc::MpsocConfig hw_cfg = soc::rtos_preset(6).to_mpsoc_config();
+  soc::MpsocConfig hw_cfg = soc::rtos_preset(soc::RtosPreset::kRtos6).to_mpsoc_config();
   hw_cfg.lock_ceilings = robot_lock_ceilings();
   soc::Mpsoc hw(hw_cfg);
   build_robot_app(hw);
@@ -81,9 +81,9 @@ TEST(RegressionPins, Table10) {
 
 TEST(RegressionPins, Tables11And12) {
   const SplashTrace lu = run_lu_kernel();
-  auto sw = soc::generate(soc::rtos_preset(5));
+  auto sw = soc::generate(soc::rtos_preset(soc::RtosPreset::kRtos5));
   const SplashReport s = run_splash_on(*sw, lu);
-  auto hw = soc::generate(soc::rtos_preset(7));
+  auto hw = soc::generate(soc::rtos_preset(soc::RtosPreset::kRtos7));
   const SplashReport h = run_splash_on(*hw, lu);
 
   expect_near(static_cast<double>(s.total_cycles), 316445, "LU sw total");

@@ -8,7 +8,7 @@ namespace delta::apps {
 namespace {
 
 RobotReport run(int preset) {
-  soc::MpsocConfig mc = soc::rtos_preset(preset).to_mpsoc_config();
+  soc::MpsocConfig mc = soc::rtos_preset(soc::rtos_preset_from_int(preset)).to_mpsoc_config();
   mc.lock_ceilings = robot_lock_ceilings();
   soc::Mpsoc soc(mc);
   build_robot_app(soc);
@@ -56,7 +56,7 @@ TEST(RobotApp, Table10OverallShape) {
 TEST(RobotApp, IpcpPreventsMidPriorityPreemption) {
   // Fig. 20's property: with the SoCLC's IPCP, task2 never preempts
   // task3 while task3 holds the position lock.
-  soc::MpsocConfig mc = soc::rtos_preset(6).to_mpsoc_config();
+  soc::MpsocConfig mc = soc::rtos_preset(soc::RtosPreset::kRtos6).to_mpsoc_config();
   mc.lock_ceilings = robot_lock_ceilings();
   soc::Mpsoc soc(mc);
   build_robot_app(soc);
@@ -75,7 +75,7 @@ TEST(RobotApp, IpcpPreventsMidPriorityPreemption) {
 }
 
 TEST(RobotApp, SoftwarePiBoostsTask3WhenTask1Blocks) {
-  soc::MpsocConfig mc = soc::rtos_preset(5).to_mpsoc_config();
+  soc::MpsocConfig mc = soc::rtos_preset(soc::RtosPreset::kRtos5).to_mpsoc_config();
   soc::Mpsoc soc(mc);
   build_robot_app(soc);
   run_robot_app(soc);

@@ -56,9 +56,9 @@ TEST(SplashKernels, ToProgramMirrorsPhases) {
 
 TEST(SplashReplay, SocdmmuCutsManagementTime) {
   const SplashTrace t = run_fft_kernel(1024);
-  auto sw_soc = soc::generate(soc::rtos_preset(5));
+  auto sw_soc = soc::generate(soc::rtos_preset(soc::RtosPreset::kRtos5));
   const SplashReport sw = run_splash_on(*sw_soc, t);
-  auto hw_soc = soc::generate(soc::rtos_preset(7));
+  auto hw_soc = soc::generate(soc::rtos_preset(soc::RtosPreset::kRtos7));
   const SplashReport hw = run_splash_on(*hw_soc, t);
   // Table 12 shape: >90% management-time reduction, same compute.
   EXPECT_LT(hw.mgmt_cycles * 10, sw.mgmt_cycles);
@@ -77,7 +77,7 @@ TEST(SplashReplay, ManagementShareMatchesTable11Band) {
                         {run_fft_kernel(), 18.0, 32.0},
                         {run_radix_kernel(), 12.0, 25.0}};
   for (const Case& c : cases) {
-    auto soc = soc::generate(soc::rtos_preset(5));
+    auto soc = soc::generate(soc::rtos_preset(soc::RtosPreset::kRtos5));
     const SplashReport r = run_splash_on(*soc, c.trace);
     EXPECT_GT(r.mgmt_percent, c.lo) << c.trace.name;
     EXPECT_LT(r.mgmt_percent, c.hi) << c.trace.name;
@@ -86,8 +86,8 @@ TEST(SplashReplay, ManagementShareMatchesTable11Band) {
 
 TEST(SplashReplay, Deterministic) {
   const SplashTrace t = run_radix_kernel(1024);
-  auto a = soc::generate(soc::rtos_preset(7));
-  auto b = soc::generate(soc::rtos_preset(7));
+  auto a = soc::generate(soc::rtos_preset(soc::RtosPreset::kRtos7));
+  auto b = soc::generate(soc::rtos_preset(soc::RtosPreset::kRtos7));
   EXPECT_EQ(run_splash_on(*a, t).total_cycles,
             run_splash_on(*b, t).total_cycles);
 }

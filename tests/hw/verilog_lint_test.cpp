@@ -99,7 +99,7 @@ TEST(VerilogLint, CellLibraryIsClean) {
 TEST(VerilogLint, GeneratedTopFilesAreClean) {
   using namespace delta::soc;
   for (int preset = 1; preset <= 7; ++preset) {
-    const DeltaConfig cfg = rtos_preset(preset);
+    const DeltaConfig cfg = rtos_preset(rtos_preset_from_int(preset));
     // The top file instantiates PEs/memory/etc. defined in the simulation
     // library, plus the selected units defined in their own files.
     const std::vector<std::string> known = {

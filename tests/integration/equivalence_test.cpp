@@ -78,12 +78,12 @@ INSTANTIATE_TEST_SUITE_P(Seeds, DauEquivalenceTest,
 TEST(ConfigFlow, ParsedConfigBehavesLikeDirectPreset) {
   // Round-trip RTOS4 through the config file format and run the full
   // R-dl scenario on both instances: identical measurements.
-  auto direct = soc::generate(soc::rtos_preset(4));
+  auto direct = soc::generate(soc::rtos_preset(soc::RtosPreset::kRtos4));
   apps::build_rdl_app(*direct);
   const apps::DeadlockAppReport a = apps::run_deadlock_app(*direct);
 
   const soc::DeltaConfig parsed =
-      soc::read_config(soc::write_config(soc::rtos_preset(4)));
+      soc::read_config(soc::write_config(soc::rtos_preset(soc::RtosPreset::kRtos4)));
   auto from_file = soc::generate(parsed);
   apps::build_rdl_app(*from_file);
   const apps::DeadlockAppReport b = apps::run_deadlock_app(*from_file);
@@ -98,7 +98,7 @@ TEST(ConfigFlow, EveryPresetRoundTripsBehaviour) {
   // Weaker cross-check over all presets with the G-dl scenario (presets
   // 1/2 halt on the deadlock; 3/4 avoid it; 5/6/7 run unmanaged).
   for (int preset = 1; preset <= 7; ++preset) {
-    soc::DeltaConfig cfg = soc::rtos_preset(preset);
+    soc::DeltaConfig cfg = soc::rtos_preset(soc::rtos_preset_from_int(preset));
     auto direct = soc::generate(cfg);
     auto roundtrip = soc::generate(soc::read_config(soc::write_config(cfg)));
     apps::build_gdl_app(*direct);

@@ -13,7 +13,7 @@ namespace delta::rtos {
 namespace {
 
 soc::Mpsoc make_soc(RecoveryPolicy policy, int preset = 2) {
-  soc::MpsocConfig mc = soc::rtos_preset(preset).to_mpsoc_config();
+  soc::MpsocConfig mc = soc::rtos_preset(soc::rtos_preset_from_int(preset)).to_mpsoc_config();
   mc.recovery = policy;
   mc.stop_on_deadlock = true;  // recovery overrides the halt
   return soc::Mpsoc(mc);
@@ -63,7 +63,7 @@ TEST(Recovery, YoungestPolicyPicksLatestRelease) {
   // In the Jini app the cycle members are p2 and p3; both release at 0,
   // so "youngest" falls back to the first participant ordering. Exercise
   // the policy with distinct release times instead.
-  soc::MpsocConfig mc = soc::rtos_preset(2).to_mpsoc_config();
+  soc::MpsocConfig mc = soc::rtos_preset(soc::RtosPreset::kRtos2).to_mpsoc_config();
   mc.recovery = RecoveryPolicy::kAbortYoungest;
   soc::Mpsoc soc(mc);
   Kernel& k = soc.kernel();
@@ -80,7 +80,7 @@ TEST(Recovery, YoungestPolicyPicksLatestRelease) {
 }
 
 TEST(Recovery, RestartReexecutesProgramFromTop) {
-  soc::MpsocConfig mc = soc::rtos_preset(2).to_mpsoc_config();
+  soc::MpsocConfig mc = soc::rtos_preset(soc::RtosPreset::kRtos2).to_mpsoc_config();
   mc.recovery = RecoveryPolicy::kAbortLowestPriority;
   soc::Mpsoc soc(mc);
   Kernel& k = soc.kernel();

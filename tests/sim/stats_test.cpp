@@ -25,6 +25,54 @@ TEST(Accumulator, TracksMinMaxMeanSum) {
   EXPECT_DOUBLE_EQ(a.max(), 8.0);
 }
 
+TEST(Accumulator, VarianceAndStddev) {
+  Accumulator a;
+  EXPECT_EQ(a.variance(), 0.0);
+  EXPECT_EQ(a.stddev(), 0.0);
+  a.add(5);
+  EXPECT_EQ(a.variance(), 0.0);  // a single sample has no spread
+  a.add(5);
+  a.add(5);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+
+  Accumulator b;
+  // Population variance of {2, 4, 4, 4, 5, 5, 7, 9} is exactly 4.
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) b.add(x);
+  EXPECT_NEAR(b.variance(), 4.0, 1e-12);
+  EXPECT_NEAR(b.stddev(), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(b.mean(), 5.0);
+}
+
+TEST(Accumulator, VarianceIsStableForLargeOffsets) {
+  // Welford's update must not cancel catastrophically when the values
+  // share a huge common offset.
+  Accumulator a;
+  const double offset = 1e12;
+  for (double x : {1.0, 2.0, 3.0}) a.add(offset + x);
+  EXPECT_NEAR(a.variance(), 2.0 / 3.0, 1e-6);
+}
+
+TEST(SampleSet, StddevMatchesAccumulator) {
+  SampleSet s;
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+    a.add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.stddev(), a.stddev());
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+}
+
+TEST(SampleSet, PercentileCacheSurvivesInterleavedAdds) {
+  SampleSet s;
+  for (int i = 100; i >= 1; --i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.95), 95.0);  // cached sort reused
+  s.add(0.5);  // invalidates the cached order
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+}
+
 TEST(SampleSet, Percentiles) {
   SampleSet s;
   for (int i = 1; i <= 100; ++i) s.add(i);

@@ -9,7 +9,7 @@ namespace delta::soc {
 namespace {
 
 TEST(ArchiGen, DescriptionLibraryListsEssentialModules) {
-  const DeltaConfig cfg = rtos_preset(5);
+  const DeltaConfig cfg = rtos_preset(RtosPreset::kRtos5);
   const auto mods = description_library_modules(cfg);
   // Example 1's list: PEs, L2 memory, memory controller, bus arbiter,
   // interrupt controller (+ clock driver).
@@ -22,7 +22,7 @@ TEST(ArchiGen, DescriptionLibraryListsEssentialModules) {
 }
 
 TEST(ArchiGen, SelectedComponentsAppearInLibrary) {
-  DeltaConfig cfg = rtos_preset(6);
+  DeltaConfig cfg = rtos_preset(RtosPreset::kRtos6);
   cfg.memory = MemoryComponent::kSocdmmu;
   cfg.deadlock = DeadlockComponent::kDau;
   const auto mods = description_library_modules(cfg);
@@ -42,22 +42,22 @@ TEST(ArchiGen, TopFileInstantiatesEveryPe) {
 }
 
 TEST(ArchiGen, TopFileWiresSelectedUnits) {
-  DeltaConfig cfg = rtos_preset(2);  // DDU
+  DeltaConfig cfg = rtos_preset(RtosPreset::kRtos2);  // DDU
   std::string top = generate_top_verilog(cfg);
   EXPECT_NE(top.find("ddu_5x5 u_ddu"), std::string::npos);
   EXPECT_EQ(top.find("u_dau"), std::string::npos);
 
-  cfg = rtos_preset(6);
+  cfg = rtos_preset(RtosPreset::kRtos6);
   top = generate_top_verilog(cfg);
   EXPECT_NE(top.find("soclc u_soclc"), std::string::npos);
 
-  cfg = rtos_preset(7);
+  cfg = rtos_preset(RtosPreset::kRtos7);
   top = generate_top_verilog(cfg);
   EXPECT_NE(top.find("socdmmu u_socdmmu"), std::string::npos);
 }
 
 TEST(ArchiGen, TopFileHasInitialization) {
-  const std::string top = generate_top_verilog(rtos_preset(5));
+  const std::string top = generate_top_verilog(rtos_preset(RtosPreset::kRtos5));
   EXPECT_NE(top.find("initial begin"), std::string::npos);
   EXPECT_NE(top.find("rst_n = 1'b1"), std::string::npos);
   EXPECT_NE(top.find("always #5 clk = ~clk"), std::string::npos);
@@ -93,8 +93,8 @@ TEST(ArchiGen, HierarchicalBusSystemEmitsSubsystems) {
 }
 
 TEST(ArchiGen, DeterministicOutput) {
-  EXPECT_EQ(generate_top_verilog(rtos_preset(4)),
-            generate_top_verilog(rtos_preset(4)));
+  EXPECT_EQ(generate_top_verilog(rtos_preset(RtosPreset::kRtos4)),
+            generate_top_verilog(rtos_preset(RtosPreset::kRtos4)));
 }
 
 }  // namespace

@@ -7,7 +7,7 @@ namespace {
 
 TEST(ConfigIo, RoundTripAllPresets) {
   for (int i = 1; i <= 7; ++i) {
-    const DeltaConfig original = rtos_preset(i);
+    const DeltaConfig original = rtos_preset(rtos_preset_from_int(i));
     const DeltaConfig parsed = read_config(write_config(original));
     EXPECT_EQ(parsed.cpu_type, original.cpu_type) << i;
     EXPECT_EQ(parsed.pe_count, original.pe_count) << i;
@@ -20,7 +20,7 @@ TEST(ConfigIo, RoundTripAllPresets) {
     EXPECT_EQ(parsed.socdmmu.total_blocks, original.socdmmu.total_blocks)
         << i;
     EXPECT_EQ(parsed.stop_on_deadlock, original.stop_on_deadlock) << i;
-    EXPECT_NO_THROW(parsed.validate()) << i;
+    EXPECT_TRUE(parsed.validate().empty()) << i;
   }
 }
 
@@ -72,7 +72,7 @@ TEST(ConfigIo, RejectsMalformedValues) {
 }
 
 TEST(ConfigIo, ParsedConfigGeneratesSystem) {
-  const DeltaConfig cfg = read_config(write_config(rtos_preset(4)));
+  const DeltaConfig cfg = read_config(write_config(rtos_preset(RtosPreset::kRtos4)));
   auto soc = generate(cfg);
   ASSERT_NE(soc, nullptr);
   EXPECT_NE(soc->kernel().strategy().name().find("dau"),
@@ -80,7 +80,7 @@ TEST(ConfigIo, ParsedConfigGeneratesSystem) {
 }
 
 TEST(ConfigIo, WriteIsStable) {
-  const std::string a = write_config(rtos_preset(6));
+  const std::string a = write_config(rtos_preset(RtosPreset::kRtos6));
   EXPECT_EQ(a, write_config(read_config(a)));
 }
 

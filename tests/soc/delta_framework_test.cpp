@@ -6,55 +6,137 @@ namespace delta::soc {
 namespace {
 
 TEST(DeltaFramework, AllSevenPresetsValidateAndGenerate) {
-  for (int i = 1; i <= 7; ++i) {
-    const DeltaConfig cfg = rtos_preset(i);
-    EXPECT_NO_THROW(cfg.validate()) << "RTOS" << i;
+  for (RtosPreset p : kAllRtosPresets) {
+    const DeltaConfig cfg = rtos_preset(p);
+    EXPECT_TRUE(cfg.validate().empty()) << to_string(p);
     auto soc = generate(cfg);
-    ASSERT_NE(soc, nullptr) << "RTOS" << i;
+    ASSERT_NE(soc, nullptr) << to_string(p);
   }
-  EXPECT_THROW(rtos_preset(0), std::invalid_argument);
-  EXPECT_THROW(rtos_preset(8), std::invalid_argument);
+  EXPECT_THROW((void)rtos_preset_from_int(0), std::invalid_argument);
+  EXPECT_THROW((void)rtos_preset_from_int(8), std::invalid_argument);
 }
 
 TEST(DeltaFramework, PresetsMatchTable3) {
-  EXPECT_EQ(rtos_preset(1).deadlock, DeadlockComponent::kPddaSoftware);
-  EXPECT_EQ(rtos_preset(2).deadlock, DeadlockComponent::kDdu);
-  EXPECT_EQ(rtos_preset(3).deadlock, DeadlockComponent::kDaaSoftware);
+  EXPECT_EQ(rtos_preset(RtosPreset::kRtos1).deadlock,
+            DeadlockComponent::kPddaSoftware);
+  EXPECT_EQ(rtos_preset(RtosPreset::kRtos2).deadlock,
+            DeadlockComponent::kDdu);
+  EXPECT_EQ(rtos_preset(RtosPreset::kRtos3).deadlock,
+            DeadlockComponent::kDaaSoftware);
+  EXPECT_EQ(rtos_preset(RtosPreset::kRtos4).deadlock,
+            DeadlockComponent::kDau);
+  EXPECT_EQ(rtos_preset(RtosPreset::kRtos5).deadlock,
+            DeadlockComponent::kNone);
+  EXPECT_EQ(rtos_preset(RtosPreset::kRtos5).lock,
+            LockComponent::kSoftwarePi);
+  EXPECT_EQ(rtos_preset(RtosPreset::kRtos6).lock, LockComponent::kSoclc);
+  EXPECT_EQ(rtos_preset(RtosPreset::kRtos7).memory,
+            MemoryComponent::kSocdmmu);
+}
+
+TEST(DeltaFramework, PresetNamesRoundTrip) {
+  for (RtosPreset p : kAllRtosPresets) {
+    EXPECT_EQ(rtos_preset_from_string(to_string(p)), p);
+    EXPECT_EQ(rtos_preset_from_string(
+                  std::to_string(static_cast<int>(p))),
+              p);
+  }
+  EXPECT_EQ(to_string(RtosPreset::kRtos4), "RTOS4");
+  EXPECT_EQ(rtos_preset_from_string("rtos6"), RtosPreset::kRtos6);
+  EXPECT_THROW((void)rtos_preset_from_string("RTOS8"), std::invalid_argument);
+  EXPECT_THROW((void)rtos_preset_from_string("bogus"), std::invalid_argument);
+  EXPECT_THROW((void)rtos_preset_from_string(""), std::invalid_argument);
+}
+
+TEST(DeltaFramework, DeprecatedIntShimStillWorks) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   EXPECT_EQ(rtos_preset(4).deadlock, DeadlockComponent::kDau);
-  EXPECT_EQ(rtos_preset(5).deadlock, DeadlockComponent::kNone);
-  EXPECT_EQ(rtos_preset(5).lock, LockComponent::kSoftwarePi);
-  EXPECT_EQ(rtos_preset(6).lock, LockComponent::kSoclc);
-  EXPECT_EQ(rtos_preset(7).memory, MemoryComponent::kSocdmmu);
+  EXPECT_NE(rtos_preset_description(2).find("DDU"), std::string::npos);
+  EXPECT_THROW(rtos_preset(0), std::invalid_argument);
+  EXPECT_THROW(rtos_preset(8), std::invalid_argument);
+#pragma GCC diagnostic pop
 }
 
 TEST(DeltaFramework, ValidationCatchesBadInput) {
   DeltaConfig cfg;
   cfg.pe_count = 0;
-  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  const auto errors = cfg.validate();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].field, "pe_count");
+  EXPECT_THROW(cfg.validate_or_throw(), std::invalid_argument);
 
   DeltaConfig cfg2;
   cfg2.lock = LockComponent::kSoclc;
   cfg2.soclc.short_locks = 0;
   cfg2.soclc.long_locks = 0;
-  EXPECT_THROW(cfg2.validate(), std::invalid_argument);
+  ASSERT_EQ(cfg2.validate().size(), 1u);
+  EXPECT_EQ(cfg2.validate()[0].field, "soclc");
 
   DeltaConfig cfg3;
   cfg3.memory = MemoryComponent::kSocdmmu;
   cfg3.socdmmu.total_blocks = 0;
-  EXPECT_THROW(cfg3.validate(), std::invalid_argument);
+  ASSERT_EQ(cfg3.validate().size(), 1u);
+  EXPECT_EQ(cfg3.validate()[0].field, "socdmmu");
+}
+
+TEST(DeltaFramework, ValidationCollectsEveryViolation) {
+  DeltaConfig cfg;
+  cfg.pe_count = 0;
+  cfg.task_count = 0;
+  cfg.resource_count = 0;
+  cfg.lock = LockComponent::kSoclc;
+  cfg.soclc.short_locks = 0;
+  cfg.soclc.long_locks = 0;
+  cfg.memory = MemoryComponent::kSocdmmu;
+  cfg.socdmmu.total_blocks = 0;
+
+  const std::vector<ConfigError> errors = cfg.validate();
+  ASSERT_EQ(errors.size(), 5u);
+  std::vector<std::string> fields;
+  for (const ConfigError& e : errors) fields.push_back(e.field);
+  EXPECT_EQ(fields,
+            (std::vector<std::string>{"pe_count", "task_count",
+                                      "resource_count", "soclc",
+                                      "socdmmu"}));
+
+  // The throwing wrapper mentions every field at once.
+  try {
+    cfg.validate_or_throw();
+    FAIL() << "validate_or_throw did not throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    for (const std::string& f : fields)
+      EXPECT_NE(what.find(f), std::string::npos) << f;
+  }
+}
+
+TEST(DeltaFramework, ValidationReportsBadBusConfig) {
+  DeltaConfig cfg;
+  cfg.bus.data_bus_width = 0;
+  const auto errors = cfg.validate();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].field, "bus");
+  EXPECT_FALSE(errors[0].message.empty());
+}
+
+TEST(DeltaFramework, ValidConfigHasNoErrorsAndDoesNotThrow) {
+  const DeltaConfig cfg = rtos_preset(RtosPreset::kRtos6);
+  EXPECT_TRUE(cfg.validate().empty());
+  EXPECT_NO_THROW(cfg.validate_or_throw());
 }
 
 TEST(DeltaFramework, DescribeNamesComponents) {
-  const std::string d5 = rtos_preset(5).describe();
+  const std::string d5 = rtos_preset(RtosPreset::kRtos5).describe();
   EXPECT_NE(d5.find("priority inheritance (software)"), std::string::npos);
-  const std::string d4 = rtos_preset(4).describe();
+  const std::string d4 = rtos_preset(RtosPreset::kRtos4).describe();
   EXPECT_NE(d4.find("DAU (hardware)"), std::string::npos);
-  const std::string d6 = rtos_preset(6).describe();
+  const std::string d6 = rtos_preset(RtosPreset::kRtos6).describe();
   EXPECT_NE(d6.find("SoCLC"), std::string::npos);
 }
 
 TEST(DeltaFramework, ToMpsocConfigCarriesSelections) {
-  DeltaConfig cfg = rtos_preset(6);
+  DeltaConfig cfg = rtos_preset(RtosPreset::kRtos6);
   cfg.soclc.short_locks = 8;
   cfg.soclc.long_locks = 8;
   const MpsocConfig mc = cfg.to_mpsoc_config();
@@ -64,15 +146,21 @@ TEST(DeltaFramework, ToMpsocConfigCarriesSelections) {
   EXPECT_EQ(mc.deadlock_unit_resources, 5u);
 }
 
+TEST(DeltaFramework, ToMpsocConfigRejectsInvalid) {
+  DeltaConfig cfg;
+  cfg.task_count = 0;
+  EXPECT_THROW(cfg.to_mpsoc_config(), std::invalid_argument);
+}
+
 TEST(DeltaFramework, GeneratedHdlMatchesSelection) {
-  DeltaConfig dau = rtos_preset(4);
+  DeltaConfig dau = rtos_preset(RtosPreset::kRtos4);
   auto files = generate_hdl(dau);
   ASSERT_GE(files.size(), 3u);
   EXPECT_EQ(files[0].name, "Top.v");
   EXPECT_EQ(files[1].name, "ddu_cells.v");  // leaf-cell library
   EXPECT_EQ(files[2].name, "dau_5x5.v");
 
-  DeltaConfig full = rtos_preset(6);
+  DeltaConfig full = rtos_preset(RtosPreset::kRtos6);
   full.memory = MemoryComponent::kSocdmmu;
   full.deadlock = DeadlockComponent::kDdu;
   files = generate_hdl(full);
@@ -84,9 +172,12 @@ TEST(DeltaFramework, GeneratedHdlMatchesSelection) {
 }
 
 TEST(DeltaFramework, PresetDescriptionsQuoteTable3) {
-  EXPECT_NE(rtos_preset_description(1).find("PDDA"), std::string::npos);
-  EXPECT_NE(rtos_preset_description(4).find("DAU"), std::string::npos);
-  EXPECT_NE(rtos_preset_description(7).find("SoCDMMU"), std::string::npos);
+  EXPECT_NE(rtos_preset_description(RtosPreset::kRtos1).find("PDDA"),
+            std::string::npos);
+  EXPECT_NE(rtos_preset_description(RtosPreset::kRtos4).find("DAU"),
+            std::string::npos);
+  EXPECT_NE(rtos_preset_description(RtosPreset::kRtos7).find("SoCDMMU"),
+            std::string::npos);
 }
 
 }  // namespace
