@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "obs/observer.h"
 #include "rtos/kernel.h"
 
 using namespace delta;
@@ -20,11 +21,15 @@ struct Result {
   sim::Cycles data_wait = 0;      ///< bus wait suffered by PE0's data task
   sim::Cycles makespan = 0;
   bool finished = false;
+  std::uint64_t spin_polls = 0;   ///< obs counter lock.spins
+  std::uint64_t contended = 0;    ///< obs counter lock.contended
 };
 
 Result run(bool soclc) {
   sim::Simulator sim;
+  obs::Observer obs;
   bus::SharedBus bus(5);
+  bus.set_observer(&obs);
   KernelConfig cfg;
   cfg.spin_short_locks = true;
   std::unique_ptr<LockBackend> locks;
@@ -39,6 +44,7 @@ Result run(bool soclc) {
                 std::move(locks),
                 std::make_unique<SoftwareHeapBackend>(0x1000, 1 << 20,
                                                       cfg.costs));
+  kernel.set_observer(&obs);
 
   // Three PEs contend on one short lock in tight loops: at any moment at
   // least one PE is spinning, which pounds the bus in the software
@@ -68,6 +74,8 @@ Result run(bool soclc) {
   r.data_wait = bus.stats(0).wait_cycles;
   r.makespan = kernel.last_finish_time();
   r.finished = kernel.all_finished();
+  r.spin_polls = obs.metrics.counter("lock.spins").value();
+  r.contended = obs.metrics.counter("lock.contended").value();
   return r;
 }
 
@@ -91,6 +99,12 @@ int main() {
   std::printf("%-28s %14llu %14llu\n", "workload makespan (cyc)",
               static_cast<unsigned long long>(sw.makespan),
               static_cast<unsigned long long>(hw.makespan));
+  std::printf("%-28s %14llu %14llu\n", "spin polls (lock.spins)",
+              static_cast<unsigned long long>(sw.spin_polls),
+              static_cast<unsigned long long>(hw.spin_polls));
+  std::printf("%-28s %14llu %14llu\n", "contended acquires",
+              static_cast<unsigned long long>(sw.contended),
+              static_cast<unsigned long long>(hw.contended));
   std::printf("%-28s %14s %14s\n", "all tasks finished",
               sw.finished ? "yes" : "NO", hw.finished ? "yes" : "NO");
 

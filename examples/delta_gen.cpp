@@ -6,6 +6,12 @@
 //
 //   $ ./build/examples/delta_gen my_system.cfg out/
 //   $ ./build/examples/delta_gen --preset 4 out/   # Table 3's RTOS4
+//   $ ./build/examples/delta_gen --preset 4 --metrics out/
+//
+// --metrics / --trace additionally smoke-simulate the configured system
+// (the "mixed" sweep workload) and report its metrics registry / write a
+// Chrome trace-event JSON — a quick sanity check that the generated
+// configuration actually behaves before committing to synthesis.
 //
 // With no arguments it prints a sample configuration file to stdout.
 #include <cstdio>
@@ -13,11 +19,17 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "exp/workloads.h"
 #include "hw/synth.h"
 #include "hw/verilog_gen.h"
 #include "hw/verilog_lint.h"
+#include "obs/chrome_trace.h"
+#include "sim/random.h"
 #include "soc/config_io.h"
+#include "soc/mpsoc.h"
 
 using namespace delta;
 
@@ -75,6 +87,65 @@ int generate_into(const soc::DeltaConfig& cfg, const std::string& out_dir) {
   return clean ? 0 : 2;
 }
 
+/// Smoke-simulate the configuration with the "mixed" sweep workload and
+/// surface the observability layer: the metrics registry on stdout
+/// and/or a Chrome trace-event file.
+int observe(const soc::DeltaConfig& cfg, bool metrics,
+            const std::string& trace_path) {
+  try {
+    soc::MpsocConfig mc = cfg.to_mpsoc_config();
+    // The smoke workload is deadlock-free by construction; don't freeze
+    // a detection preset on a false positive-free run.
+    mc.stop_on_deadlock = false;
+    const exp::Workload w = exp::find_workload("mixed");
+    if (w.tune) w.tune(mc);
+    if (!trace_path.empty()) mc.trace_capacity = 65536;
+
+    soc::Mpsoc soc(mc);
+    sim::Rng rng(1);
+    w.build(soc, rng);
+    soc.run(50'000'000);
+
+    if (metrics) {
+      const obs::MetricsSnapshot snap = soc.observer().metrics.snapshot();
+      std::printf("metrics (smoke run, workload mixed):\n");
+      for (const auto& [name, value] : snap.counters)
+        std::printf("  %-24s %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      for (const auto& [name, h] : snap.histograms)
+        std::printf("  %-24s n=%llu mean=%.1f p95=%.1f\n", name.c_str(),
+                    static_cast<unsigned long long>(h.count), h.mean,
+                    h.p95);
+    }
+    if (!trace_path.empty()) {
+      obs::ProcessTrace pt;
+      pt.name = cfg.describe();
+      pt.events = soc.observer().trace.events();
+      pt.dropped = soc.observer().trace.dropped();
+      const std::string json = obs::chrome_trace_json({pt});
+      std::ofstream out(trace_path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+        return 1;
+      }
+      out << json;
+      std::printf("  wrote %s (%zu bytes; open in ui.perfetto.dev)\n",
+                  trace_path.c_str(), json.size());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "smoke simulation failed: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: delta_gen [<config-file> <out-dir> | --preset <1-7> "
+               "<out-dir>] [--metrics] [--trace FILE]\n");
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -84,31 +155,58 @@ int main(int argc, char** argv) {
                 soc::write_config(soc::rtos_preset(soc::RtosPreset::kRtos4)).c_str());
     return 0;
   }
-  if (argc == 4 && std::strcmp(argv[1], "--preset") == 0) {
-    const int preset = std::atoi(argv[2]);
+
+  int preset = 0;
+  bool metrics = false;
+  std::string trace_path;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--preset") preset = std::atoi(next());
+    else if (arg == "--metrics") metrics = true;
+    else if (arg == "--trace") trace_path = next();
+    else if (!arg.empty() && arg[0] == '-') return usage();
+    else positional.push_back(arg);
+  }
+
+  soc::DeltaConfig cfg;
+  std::string out_dir;
+  if (preset != 0) {
     if (preset < 1 || preset > 7) {
       std::fprintf(stderr, "preset must be 1..7 (Table 3)\n");
       return 1;
     }
-    return generate_into(soc::rtos_preset(soc::rtos_preset_from_int(preset)), argv[3]);
-  }
-  if (argc == 3) {
-    std::ifstream in(argv[1]);
+    if (positional.size() != 1) return usage();
+    cfg = soc::rtos_preset(soc::rtos_preset_from_int(preset));
+    out_dir = positional[0];
+  } else {
+    if (positional.size() != 2) return usage();
+    std::ifstream in(positional[0]);
     if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", positional[0].c_str());
       return 1;
     }
     std::stringstream buf;
     buf << in.rdbuf();
     try {
-      return generate_into(soc::read_config(buf.str()), argv[2]);
+      cfg = soc::read_config(buf.str());
     } catch (const std::exception& e) {
       std::fprintf(stderr, "%s\n", e.what());
       return 1;
     }
+    out_dir = positional[1];
   }
-  std::fprintf(stderr,
-               "usage: delta_gen [<config-file> <out-dir> | --preset <1-7> "
-               "<out-dir>]\n");
-  return 1;
+
+  const int rc = generate_into(cfg, out_dir);
+  if (rc != 0) return rc;
+  if (metrics || !trace_path.empty())
+    return observe(cfg, metrics, trace_path);
+  return 0;
 }

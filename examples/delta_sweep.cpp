@@ -13,12 +13,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "exp/json.h"
 #include "exp/runner.h"
+#include "exp/trace_export.h"
 #include "exp/workloads.h"
+#include "obs/metrics.h"
 
 using namespace delta;
 
@@ -51,6 +54,11 @@ int usage(const char* argv0) {
       "  --base-seed N    sweep-level seed mixed into every run\n"
       "  --out FILE       JSON report path (default sweep_report.json,\n"
       "                   '-' for stdout)\n"
+      "  --trace FILE     write a Chrome trace-event JSON of every run\n"
+      "                   (load in Perfetto or chrome://tracing)\n"
+      "  --trace-capacity N  per-run trace ring size (default 65536;\n"
+      "                   oldest events drop first)\n"
+      "  --metrics        print the summed metrics registry after the run\n"
       "  --quiet          no per-run progress lines\n"
       "workloads: ",
       argv0);
@@ -68,6 +76,9 @@ int main(int argc, char** argv) {
   std::string presets;  // empty = all
   std::string workloads = "mixed";
   std::string out_path = "sweep_report.json";
+  std::string trace_path;
+  std::size_t trace_capacity = 65536;
+  bool metrics = false;
   exp::SweepSpec spec;
   bool quiet = false;
 
@@ -87,6 +98,10 @@ int main(int argc, char** argv) {
     else if (arg == "--limit") spec.run_limit = std::strtoull(next(), nullptr, 10);
     else if (arg == "--base-seed") spec.base_seed = std::strtoull(next(), nullptr, 10);
     else if (arg == "--out") out_path = next();
+    else if (arg == "--trace") trace_path = next();
+    else if (arg == "--trace-capacity")
+      trace_capacity = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--metrics") metrics = true;
     else if (arg == "--quiet") quiet = true;
     else return usage(argv[0]);
   }
@@ -116,6 +131,7 @@ int main(int argc, char** argv) {
   spec.seeds.clear();
   for (int s = 1; s <= seeds; ++s)
     spec.seeds.push_back(static_cast<std::uint64_t>(s));
+  if (!trace_path.empty()) spec.trace_capacity = trace_capacity;
 
   exp::RunnerOptions opt;
   opt.threads = threads;
@@ -162,6 +178,33 @@ int main(int argc, char** argv) {
     out << json;
     std::printf("report written to %s (%zu bytes)\n", out_path.c_str(),
                 json.size());
+  }
+
+  if (!trace_path.empty()) {
+    const std::string trace = exp::report_trace_to_chrome_json(report);
+    std::ofstream tout(trace_path, std::ios::binary);
+    if (!tout) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    tout << trace;
+    std::printf("trace written to %s (%zu bytes; open in "
+                "ui.perfetto.dev)\n",
+                trace_path.c_str(), trace.size());
+  }
+
+  if (metrics) {
+    // Sum each counter over all runs. The registry keys are sorted, so
+    // this table is deterministic for any --threads value too.
+    std::map<std::string, std::uint64_t> totals;
+    for (const exp::RunResult& r : report.runs)
+      for (const auto& [name, value] : r.metrics.counters)
+        totals[name] += value;
+    std::printf("metrics (counters summed over %zu runs):\n",
+                report.runs.size() - report.failed());
+    for (const auto& [name, value] : totals)
+      std::printf("  %-24s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
   }
   return report.failed() == 0 ? 0 : 1;
 }

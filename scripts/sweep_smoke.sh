@@ -2,8 +2,9 @@
 # Smoke test for the exp/ parallel sweep runner.
 #
 # 1. Release build + the tier-1 ctest suite.
-# 2. A tiny sweep at 1 and 2 threads; the JSON reports must be
-#    byte-identical (deterministic seeding is schedule-independent).
+# 2. A tiny sweep at 1 and 2 threads; the JSON reports AND the Chrome
+#    trace exports must be byte-identical (deterministic seeding is
+#    schedule-independent, and so is the observability layer).
 # 3. The same tiny sweep under a ThreadSanitizer build (-DDELTA_TSAN=ON)
 #    to catch data races in the thread pool.
 set -euo pipefail
@@ -20,11 +21,18 @@ ctest --test-dir build-smoke --output-on-failure -j"$(nproc)"
 echo "== determinism: 1 thread vs 2 threads =="
 SWEEP=build-smoke/examples/delta_sweep
 "$SWEEP" --presets RTOS4,RTOS6 --seeds 2 --limit 5000000 \
-  --threads 1 --out build-smoke/sweep_t1.json --quiet
+  --threads 1 --out build-smoke/sweep_t1.json \
+  --trace build-smoke/trace_t1.json --quiet
 "$SWEEP" --presets RTOS4,RTOS6 --seeds 2 --limit 5000000 \
-  --threads 2 --out build-smoke/sweep_t2.json --quiet
+  --threads 2 --out build-smoke/sweep_t2.json \
+  --trace build-smoke/trace_t2.json --quiet
 cmp build-smoke/sweep_t1.json build-smoke/sweep_t2.json
-echo "reports identical"
+cmp build-smoke/trace_t1.json build-smoke/trace_t2.json
+grep -q '"metrics"' build-smoke/sweep_t1.json
+grep -q '"cat": "bus"' build-smoke/trace_t1.json
+grep -q '"cat": "lock"' build-smoke/trace_t1.json
+grep -q '"cat": "deadlock"' build-smoke/trace_t1.json
+echo "reports and traces identical"
 
 echo "== TSan build + 2-thread sweep =="
 cmake -B build-tsan "${GEN[@]}" -DDELTA_TSAN=ON >/dev/null

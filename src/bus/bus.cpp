@@ -30,7 +30,30 @@ BusTransaction SharedBus::transfer(MasterId master, sim::Cycles now,
   st.words += words;
   st.wait_cycles += tx.waited;
   st.busy_cycles += dur;
+
+  if (obs_ != nullptr) {
+    ctr_transactions_->add();
+    ctr_words_->add(words);
+    ctr_wait_cycles_->add(static_cast<std::uint64_t>(tx.waited));
+    ctr_busy_cycles_->add(static_cast<std::uint64_t>(dur));
+    obs_->trace.record(obs::EventKind::kBusTransfer,
+                       static_cast<std::uint16_t>(master), tx.start, dur,
+                       words, static_cast<std::uint64_t>(tx.waited));
+  }
   return tx;
+}
+
+void SharedBus::set_observer(obs::Observer* o) {
+  obs_ = o;
+  if (o == nullptr) {
+    ctr_transactions_ = ctr_words_ = ctr_wait_cycles_ = ctr_busy_cycles_ =
+        nullptr;
+    return;
+  }
+  ctr_transactions_ = &o->metrics.counter("bus.transactions");
+  ctr_words_ = &o->metrics.counter("bus.words");
+  ctr_wait_cycles_ = &o->metrics.counter("bus.wait_cycles");
+  ctr_busy_cycles_ = &o->metrics.counter("bus.busy_cycles");
 }
 
 std::uint64_t SharedBus::total_transactions() const {

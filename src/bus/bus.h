@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bus/arbiter.h"
+#include "obs/observer.h"
 #include "sim/sim_time.h"
 
 namespace delta::bus {
@@ -63,10 +64,23 @@ class SharedBus {
   }
   [[nodiscard]] std::uint64_t total_transactions() const;
 
+  /// Attach an observer; every transfer then bumps "bus.*" counters and,
+  /// when the recorder is enabled, records a kBusTransfer event.
+  /// The observer must outlive the bus. Pass nullptr to detach.
+  void set_observer(obs::Observer* o);
+
  private:
   BusTiming timing_;
   sim::Cycles busy_until_ = 0;
   std::vector<MasterStats> stats_;
+
+  obs::Observer* obs_ = nullptr;
+  // Counters resolved once at attach time: std::map node stability makes
+  // the pointers safe to cache for the registry's lifetime.
+  obs::Counter* ctr_transactions_ = nullptr;
+  obs::Counter* ctr_words_ = nullptr;
+  obs::Counter* ctr_wait_cycles_ = nullptr;
+  obs::Counter* ctr_busy_cycles_ = nullptr;
 };
 
 }  // namespace delta::bus

@@ -1,5 +1,6 @@
 #include "exp/json.h"
 
+#include <cmath>
 #include <cstdio>
 #include <map>
 
@@ -29,14 +30,21 @@ void JsonWriter::append_escaped(const std::string& s) {
       case '\n': out_ += "\\n"; break;
       case '\t': out_ += "\\t"; break;
       case '\r': out_ += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
+      default: {
+        // Escape through unsigned char: a signed `c` would sign-extend in
+        // snprintf and emit garbage like "￿ff8e" for bytes >= 0x80.
+        // Bytes outside printable ASCII are \u-escaped (treated as
+        // Latin-1), so the output is always pure-ASCII valid JSON even
+        // for arbitrary byte strings.
+        const unsigned int u = static_cast<unsigned char>(c);
+        if (u < 0x20 || u >= 0x7f) {
           char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          std::snprintf(buf, sizeof buf, "\\u%04x", u);
           out_ += buf;
         } else {
           out_ += c;
         }
+      }
     }
   }
   out_ += '"';
@@ -98,7 +106,13 @@ JsonWriter& JsonWriter::value(const char* v) {
 
 JsonWriter& JsonWriter::value(double v) {
   comma_and_indent();
-  out_ += format_double(v);
+  // JSON has no NaN/Infinity literals; "%.12g" would happily print them
+  // and corrupt the document for strict parsers and report diffing.
+  if (std::isfinite(v)) {
+    out_ += format_double(v);
+  } else {
+    out_ += "null";
+  }
   return *this;
 }
 
@@ -185,6 +199,27 @@ void write_run(JsonWriter& w, const RunResult& r) {
   w.key("memory").begin_object();
   w.key("mgmt_cycles").value(static_cast<std::uint64_t>(r.mgmt_cycles));
   w.key("calls").value(r.mgmt_calls);
+  w.end_object();
+  // The full registry snapshot. Keys are already name-sorted
+  // (obs::MetricsRegistry iterates a std::map), so the bytes stay
+  // deterministic across thread counts.
+  w.key("metrics").begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : r.metrics.counters)
+    w.key(name).value(value);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : r.metrics.histograms) {
+    w.key(name).begin_object();
+    w.key("count").value(h.count);
+    w.key("mean").value(h.mean);
+    w.key("min").value(h.min);
+    w.key("max").value(h.max);
+    w.key("stddev").value(h.stddev);
+    w.key("p95").value(h.p95);
+    w.end_object();
+  }
+  w.end_object();
   w.end_object();
   w.end_object();
 }

@@ -71,6 +71,7 @@ RunResult execute_run(const RunSpec& rs, const SweepSpec& spec) {
     if (rs.workload->tune) rs.workload->tune(mc);
     if (rs.config->tune) rs.config->tune(mc);
     mc.trace = spec.trace;
+    mc.trace_capacity = spec.trace_capacity;
 
     soc::Mpsoc soc(mc);
     sim::Rng rng(rs.run_seed);
@@ -93,6 +94,11 @@ RunResult execute_run(const RunSpec& rs, const SweepSpec& spec) {
     r.alloc_latency = k.alloc_latency();
     r.mgmt_cycles = k.memory().total_mgmt_cycles();
     r.mgmt_calls = k.memory().call_count();
+    r.metrics = soc.observer().metrics.snapshot();
+    if (soc.observer().trace.enabled()) {
+      r.trace_events = soc.observer().trace.events();
+      r.trace_dropped = soc.observer().trace.dropped();
+    }
     r.ok = true;
   } catch (const std::exception& e) {
     r.ok = false;

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/random.h"
 #include "sim/stats.h"
 #include "soc/delta_framework.h"
@@ -56,6 +58,10 @@ struct SweepSpec {
   std::uint64_t base_seed = 0xde17a;       ///< mixed into every run seed
   sim::Cycles run_limit = 50'000'000;      ///< per-run simulation cap
   bool trace = false;  ///< enable per-run kernel/bus tracing (slow)
+  /// Structured-trace ring capacity per run (obs::TraceRecorder); 0
+  /// keeps tracing disabled. Enabled runs carry their retained events in
+  /// RunResult::trace_events for the Chrome exporter (exp/trace_export.h).
+  std::size_t trace_capacity = 0;
 };
 
 /// Derive the seed for one cell. Pure function of the cell coordinates
@@ -109,6 +115,14 @@ struct RunResult {
 
   sim::Cycles mgmt_cycles = 0;   ///< total memory-management time
   std::uint64_t mgmt_calls = 0;
+
+  /// Full metrics-registry snapshot of the run's Mpsoc (every subsystem
+  /// counter/histogram, name-sorted; deterministic).
+  obs::MetricsSnapshot metrics;
+
+  /// Structured trace (only when SweepSpec::trace_capacity > 0).
+  std::vector<obs::Event> trace_events;
+  std::uint64_t trace_dropped = 0;
 };
 
 /// Execute one cell: build the Mpsoc, instantiate the workload, run the

@@ -1,0 +1,21 @@
+#include "exp/trace_export.h"
+
+#include "obs/chrome_trace.h"
+
+namespace delta::exp {
+
+std::string report_trace_to_chrome_json(const SweepReport& report) {
+  std::vector<obs::ProcessTrace> processes;
+  for (const RunResult& r : report.runs) {
+    if (!r.ok || r.trace_events.empty()) continue;
+    obs::ProcessTrace pt;
+    pt.pid = static_cast<std::uint32_t>(r.index);
+    pt.name = r.config + "/" + r.workload + "/s" + std::to_string(r.seed);
+    pt.events = r.trace_events;
+    pt.dropped = r.trace_dropped;
+    processes.push_back(std::move(pt));
+  }
+  return obs::chrome_trace_json(processes);
+}
+
+}  // namespace delta::exp

@@ -1,0 +1,24 @@
+// Sweep-report structured-trace export.
+//
+// When a sweep runs with SweepSpec::trace_capacity > 0, every RunResult
+// carries its retained obs::Events. This module folds those per-run
+// traces into one Chrome trace-event document: each run becomes a trace
+// "process" (pid = expansion index, named "<config>/<workload>/s<seed>")
+// and each PE a thread within it, so a whole design-space sweep can be
+// inspected side by side in Perfetto.
+#pragma once
+
+#include <string>
+
+#include "exp/runner.h"
+#include "exp/sweep.h"
+
+namespace delta::exp {
+
+/// Chrome trace-event JSON for every ok run of `report` that retained
+/// events. Deterministic: output depends only on the report contents
+/// (which are thread-count independent), never on execution order.
+[[nodiscard]] std::string report_trace_to_chrome_json(
+    const SweepReport& report);
+
+}  // namespace delta::exp

@@ -83,6 +83,7 @@ DauStatus Dau::request(rag::ProcId p, rag::ResId q) {
   last_probes_ = engine_->last_detect_calls();
   last_cycles_ = kRequestFsmSteps + probe_cycles_;
   asked_resources_ = r.asked_resources;
+  note_command();
   return from_request(r, q);
 }
 
@@ -94,6 +95,7 @@ DauStatus Dau::release(rag::ProcId p, rag::ResId q) {
   const sim::Cycles fsm = last_probes_ == 0 ? kRequestFsmSteps : kReleaseFsmSteps;
   last_cycles_ = fsm + probe_cycles_;
   asked_resources_ = r.asked_resources;
+  note_command();
   return from_release(r, q);
 }
 
@@ -103,11 +105,23 @@ DauStatus Dau::retry_grant(rag::ResId q) {
   last_probes_ = engine_->last_detect_calls();
   last_cycles_ = kReleaseFsmSteps + probe_cycles_;
   asked_resources_ = r.asked_resources;
+  note_command();
   return from_release(r, q);
 }
 
 void Dau::cancel_request(rag::ProcId p, rag::ResId q) {
   engine_->cancel_request(p, q);
+}
+
+void Dau::attach_metrics(obs::MetricsRegistry& m) {
+  ctr_commands_ = &m.counter("dau.commands");
+  ctr_probes_ = &m.counter("dau.ddu_probes");
+}
+
+void Dau::note_command() {
+  if (ctr_commands_ == nullptr) return;
+  ctr_commands_->add();
+  ctr_probes_->add(last_probes_);
 }
 
 sim::Cycles Dau::worst_case_cycles() const {

@@ -16,6 +16,7 @@
 
 #include "deadlock/daa.h"
 #include "hw/ddu.h"
+#include "obs/metrics.h"
 #include "sim/sim_time.h"
 
 namespace delta::hw {
@@ -86,13 +87,21 @@ class Dau {
   /// Worst-case cycles for one command on this geometry (Table 2).
   [[nodiscard]] sim::Cycles worst_case_cycles() const;
 
+  /// Register "dau.commands"/"dau.ddu_probes" counters; every command
+  /// (request/release/retry_grant) then bumps them.
+  void attach_metrics(obs::MetricsRegistry& m);
+
  private:
+  void note_command();
+
   std::unique_ptr<deadlock::DaaEngine> engine_;
   std::size_t m_, n_;
   sim::Cycles last_cycles_ = 0;
   sim::Cycles probe_cycles_ = 0;  // accumulated DDU time per event
   std::size_t last_probes_ = 0;
   std::vector<rag::ResId> asked_resources_;
+  obs::Counter* ctr_commands_ = nullptr;
+  obs::Counter* ctr_probes_ = nullptr;
 };
 
 }  // namespace delta::hw

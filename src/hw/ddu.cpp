@@ -73,6 +73,18 @@ DduResult Ddu::evaluate(const rag::StateMatrix& state) {
   return result;
 }
 
-DduResult Ddu::run() const { return evaluate(cells_); }
+DduResult Ddu::run() const {
+  const DduResult r = evaluate(cells_);
+  if (ctr_runs_ != nullptr) {
+    ctr_runs_->add();
+    ctr_iterations_->add(r.iterations);
+  }
+  return r;
+}
+
+void Ddu::attach_metrics(obs::MetricsRegistry& m) {
+  ctr_runs_ = &m.counter("ddu.runs");
+  ctr_iterations_ = &m.counter("ddu.iterations");
+}
 
 }  // namespace delta::hw

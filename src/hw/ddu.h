@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "obs/metrics.h"
 #include "rag/state_matrix.h"
 #include "sim/sim_time.h"
 
@@ -61,8 +62,14 @@ class Ddu {
   /// Proven upper bound on iterations: 2*min(m,n) - 3 (paper §4.2.1).
   [[nodiscard]] std::size_t iteration_bound() const;
 
+  /// Register "ddu.runs"/"ddu.iterations" counters; every run() then
+  /// bumps them. The registry must outlive the unit.
+  void attach_metrics(obs::MetricsRegistry& m);
+
  private:
   rag::StateMatrix cells_;
+  obs::Counter* ctr_runs_ = nullptr;
+  obs::Counter* ctr_iterations_ = nullptr;
 };
 
 }  // namespace delta::hw

@@ -27,6 +27,12 @@ std::optional<std::size_t> Socdmmu::find_run(std::size_t blocks) const {
 }
 
 DmmuAlloc Socdmmu::alloc(std::size_t pe, std::size_t bytes) {
+  const DmmuAlloc out = alloc_impl(pe, bytes);
+  note_alloc(out);
+  return out;
+}
+
+DmmuAlloc Socdmmu::alloc_impl(std::size_t pe, std::size_t bytes) {
   DmmuAlloc out;
   out.cycles = cfg_.alloc_cycles;
   if (pe >= cfg_.pe_count || bytes == 0) return out;
@@ -74,6 +80,13 @@ DmmuAlloc Socdmmu::attach(std::size_t pe, const Mapping& base,
 
 DmmuAlloc Socdmmu::alloc_shared(std::size_t pe, std::size_t region,
                                 std::size_t bytes, DmmuMode mode) {
+  const DmmuAlloc out = alloc_shared_impl(pe, region, bytes, mode);
+  note_alloc(out);
+  return out;
+}
+
+DmmuAlloc Socdmmu::alloc_shared_impl(std::size_t pe, std::size_t region,
+                                     std::size_t bytes, DmmuMode mode) {
   DmmuAlloc out;
   out.cycles = cfg_.alloc_cycles;
   if (pe >= cfg_.pe_count || mode == DmmuMode::kExclusive) return out;
@@ -131,7 +144,20 @@ std::optional<sim::Cycles> Socdmmu::dealloc(std::size_t pe,
       used_[b] = 0;
     free_count_ += gone.blocks;
   }
+  if (ctr_deallocs_ != nullptr) ctr_deallocs_->add();
   return cfg_.dealloc_cycles;
+}
+
+void Socdmmu::attach_metrics(obs::MetricsRegistry& m) {
+  ctr_allocs_ = &m.counter("socdmmu.allocs");
+  ctr_alloc_failures_ = &m.counter("socdmmu.alloc_failures");
+  ctr_deallocs_ = &m.counter("socdmmu.deallocs");
+}
+
+void Socdmmu::note_alloc(const DmmuAlloc& out) {
+  if (ctr_allocs_ == nullptr) return;
+  ctr_allocs_->add();
+  if (!out.ok) ctr_alloc_failures_->add();
 }
 
 std::optional<std::uint64_t> Socdmmu::translate(std::size_t pe,

@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/sim_time.h"
 
 namespace delta::hw {
@@ -85,7 +86,15 @@ class Socdmmu {
     return cfg_.total_blocks - free_count_;
   }
 
+  /// Register "socdmmu.*" counters (allocs/alloc_failures/deallocs).
+  void attach_metrics(obs::MetricsRegistry& m);
+
  private:
+  DmmuAlloc alloc_impl(std::size_t pe, std::size_t bytes);
+  DmmuAlloc alloc_shared_impl(std::size_t pe, std::size_t region,
+                              std::size_t bytes, DmmuMode mode);
+  void note_alloc(const DmmuAlloc& out);
+
   struct Mapping {
     std::size_t pe;
     std::uint64_t vaddr;
@@ -107,6 +116,10 @@ class Socdmmu {
   /// Existing mapping of a shared region, if any.
   [[nodiscard]] const Mapping* find_region(std::size_t region) const;
   DmmuAlloc attach(std::size_t pe, const Mapping& base, DmmuMode mode);
+
+  obs::Counter* ctr_allocs_ = nullptr;
+  obs::Counter* ctr_alloc_failures_ = nullptr;
+  obs::Counter* ctr_deallocs_ = nullptr;
 };
 
 }  // namespace delta::hw

@@ -20,14 +20,17 @@ SoclcGrant Soclc::acquire(LockId id, LockOwnerTag who, int priority) {
   Lock& lk = locks_.at(id);
   SoclcGrant g;
   g.cycles = cfg_.access_cycles;
+  if (ctr_acquires_ != nullptr) ctr_acquires_->add();
   if (lk.owner == kNoOwner) {
     lk.owner = who;
     g.granted = true;
     g.ceiling = lk.ceiling;
+    if (ctr_grants_ != nullptr) ctr_grants_->add();
     return g;
   }
   assert(lk.owner != who && "recursive acquire not supported");
   lk.queue.push_back(Waiter{who, priority, seq_++});
+  if (ctr_queued_ != nullptr) ctr_queued_->add();
   return g;
 }
 
@@ -48,8 +51,16 @@ LockOwnerTag Soclc::release(LockId id, LockOwnerTag who) {
   const LockOwnerTag next = best->who;
   lk.queue.erase(best);
   lk.owner = next;
+  if (ctr_handoffs_ != nullptr) ctr_handoffs_->add();
   if (on_grant) on_grant(id, next, lk.ceiling);
   return next;
+}
+
+void Soclc::attach_metrics(obs::MetricsRegistry& m) {
+  ctr_acquires_ = &m.counter("soclc.acquires");
+  ctr_grants_ = &m.counter("soclc.grants");
+  ctr_queued_ = &m.counter("soclc.queued");
+  ctr_handoffs_ = &m.counter("soclc.handoffs");
 }
 
 void Soclc::cancel_wait(LockId id, LockOwnerTag who) {

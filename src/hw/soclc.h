@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/sim_time.h"
 
 namespace delta::hw {
@@ -83,6 +84,9 @@ class Soclc {
   /// Wake-up hook: (lock, new owner tag, ceiling).
   std::function<void(LockId, LockOwnerTag, int)> on_grant;
 
+  /// Register "soclc.*" counters (acquires/grants/queued/handoffs).
+  void attach_metrics(obs::MetricsRegistry& m);
+
  private:
   struct Waiter {
     LockOwnerTag who;
@@ -98,6 +102,10 @@ class Soclc {
   SoclcConfig cfg_;
   std::vector<Lock> locks_;
   std::uint64_t seq_ = 0;
+  obs::Counter* ctr_acquires_ = nullptr;
+  obs::Counter* ctr_grants_ = nullptr;
+  obs::Counter* ctr_queued_ = nullptr;
+  obs::Counter* ctr_handoffs_ = nullptr;
 };
 
 }  // namespace delta::hw

@@ -1,0 +1,130 @@
+#include "obs/chrome_trace.h"
+
+#include <cstdio>
+
+namespace delta::obs {
+
+namespace {
+
+// Argument labels for the two payload slots, per kind. nullptr = omit.
+struct ArgNames {
+  const char* a0 = nullptr;
+  const char* a1 = nullptr;
+};
+
+ArgNames arg_names(EventKind kind) {
+  switch (kind) {
+    case EventKind::kBusTransfer: return {"words", "wait_cycles"};
+    case EventKind::kLockAcquire: return {"lock", "contended"};
+    case EventKind::kLockRelease: return {"lock", nullptr};
+    case EventKind::kLockSpin: return {"lock", "polls"};
+    case EventKind::kDeadlockRequest: return {"resource", "unit_cycles"};
+    case EventKind::kDeadlockRelease: return {"resource", "unit_cycles"};
+    case EventKind::kAlloc: return {"bytes", "shared"};
+    case EventKind::kFree: return {"addr", nullptr};
+    case EventKind::kContextSwitch: return {"task", nullptr};
+  }
+  return {};
+}
+
+// Process/thread names come from fixed vocabulary plus config names; the
+// escaping here only has to keep the document well-formed.
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    const unsigned int u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (u < 0x20 || u >= 0x7f) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", u);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+const char* event_category(EventKind kind) {
+  switch (kind) {
+    case EventKind::kBusTransfer: return "bus";
+    case EventKind::kLockAcquire:
+    case EventKind::kLockRelease:
+    case EventKind::kLockSpin: return "lock";
+    case EventKind::kDeadlockRequest:
+    case EventKind::kDeadlockRelease: return "deadlock";
+    case EventKind::kAlloc:
+    case EventKind::kFree: return "mem";
+    case EventKind::kContextSwitch: return "sched";
+  }
+  return "other";
+}
+
+std::string chrome_trace_json(const std::vector<ProcessTrace>& processes) {
+  std::string out;
+  out += "{\"displayTimeUnit\": \"ns\",\n\"traceEvents\": [";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ',';
+    first = false;
+    out += '\n';
+  };
+  for (const ProcessTrace& p : processes) {
+    // Metadata: name the process after the run so sweep traces are
+    // navigable, and surface ring overflow where a human will see it.
+    sep();
+    out += "{\"ph\": \"M\", \"pid\": ";
+    append_u64(out, p.pid);
+    out += ", \"name\": \"process_name\", \"args\": {\"name\": \"";
+    append_escaped(out, p.name);
+    if (p.dropped != 0) {
+      out += " (dropped ";
+      append_u64(out, p.dropped);
+      out += " events)";
+    }
+    out += "\"}}";
+    for (const Event& e : p.events) {
+      sep();
+      out += "{\"ph\": \"X\", \"pid\": ";
+      append_u64(out, p.pid);
+      out += ", \"tid\": ";
+      append_u64(out, e.pe);
+      out += ", \"ts\": ";
+      append_u64(out, static_cast<std::uint64_t>(e.start));
+      out += ", \"dur\": ";
+      append_u64(out, static_cast<std::uint64_t>(e.dur));
+      out += ", \"name\": \"";
+      out += event_kind_name(e.kind);
+      out += "\", \"cat\": \"";
+      out += event_category(e.kind);
+      out += "\"";
+      const ArgNames names = arg_names(e.kind);
+      if (names.a0 != nullptr) {
+        out += ", \"args\": {\"";
+        out += names.a0;
+        out += "\": ";
+        append_u64(out, e.a0);
+        if (names.a1 != nullptr) {
+          out += ", \"";
+          out += names.a1;
+          out += "\": ";
+          append_u64(out, e.a1);
+        }
+        out += "}";
+      }
+      out += "}";
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace delta::obs

@@ -1,0 +1,34 @@
+// Chrome trace-event ("Trace Event Format") exporter.
+//
+// The produced JSON loads directly in Perfetto (https://ui.perfetto.dev)
+// or chrome://tracing: every recorded obs::Event becomes a complete
+// duration event ("ph":"X") with pid = the simulation/run id, tid = the
+// PE (bus master) id, ts/dur in simulated cycles (labelled via the
+// displayTimeUnit hint), and kind-specific argument names.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace delta::obs {
+
+/// One simulation's worth of events, exported as one trace "process".
+struct ProcessTrace {
+  std::uint32_t pid = 0;      ///< run id; distinguishes sweeps' runs
+  std::string name;           ///< shown as the process name in the UI
+  std::vector<Event> events;  ///< chronological (TraceRecorder::events())
+  std::uint64_t dropped = 0;  ///< ring overflow count, surfaced as metadata
+};
+
+/// Category string used for the "cat" field, e.g. "bus", "lock".
+[[nodiscard]] const char* event_category(EventKind kind);
+
+/// Render the full trace document. Deterministic: depends only on the
+/// argument, never on wall time or iteration order of hashed containers.
+[[nodiscard]] std::string chrome_trace_json(
+    const std::vector<ProcessTrace>& processes);
+
+}  // namespace delta::obs

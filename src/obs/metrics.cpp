@@ -1,0 +1,25 @@
+#include "obs/metrics.h"
+
+namespace delta::obs {
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c.value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSummary s;
+    s.count = h.count();
+    s.mean = h.mean();
+    s.min = h.min();
+    s.max = h.max();
+    s.stddev = h.stddev();
+    s.p95 = h.percentile(0.95);
+    snap.histograms.emplace_back(name, s);
+  }
+  return snap;
+}
+
+}  // namespace delta::obs

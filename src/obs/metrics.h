@@ -1,0 +1,71 @@
+// Lightweight metrics registry: named monotonic counters plus
+// SampleSet-backed latency histograms that subsystems register into.
+//
+// One MetricsRegistry lives per Mpsoc (inside obs::Observer), never in a
+// global — sweeps run many simulations concurrently and per-run state is
+// what keeps reports byte-identical at any thread count. Registration
+// returns stable references (std::map nodes do not move), so hot paths
+// resolve a name once and bump a cached pointer afterwards.
+//
+// Naming convention (see docs/OBSERVABILITY.md): dot-separated
+// "<unit>.<metric>", lower_snake_case leaves, e.g. "bus.wait_cycles",
+// "lock.acquires", "ddu.runs", "mem.alloc_latency".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/stats.h"
+
+namespace delta::obs {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_ += delta; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Fixed-shape summary of a histogram, detached from its sample storage.
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;
+  double p95 = 0.0;
+};
+
+/// Point-in-time copy of every registered metric, sorted by name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, HistogramSummary>> histograms;
+};
+
+/// Registry of named counters and histograms. counter()/histogram()
+/// create on first use and always return the same object for a name, so
+/// callers may cache the reference across the whole simulation.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  sim::SampleSet& histogram(const std::string& name) {
+    return histograms_[name];
+  }
+
+  /// Deterministic (name-sorted) copy of the current values.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  // std::map: sorted iteration for deterministic snapshots, and node
+  // stability so the references handed out above never dangle.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, sim::SampleSet> histograms_;
+};
+
+}  // namespace delta::obs

@@ -1,0 +1,22 @@
+// The per-simulation observability bundle: one trace recorder plus one
+// metrics registry, attached to a simulation by pointer so disabled runs
+// share the exact same code path as instrumented ones.
+//
+// Ownership: Mpsoc owns an Observer and hands `&observer()` to its bus,
+// kernel, and (through the kernel) the lock/memory/deadlock backends and
+// their hardware units. Components that can live without an Mpsoc (unit
+// tests, benches) default to a private fallback Observer so their hot
+// paths never null-check.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace delta::obs {
+
+struct Observer {
+  TraceRecorder trace;
+  MetricsRegistry metrics;
+};
+
+}  // namespace delta::obs

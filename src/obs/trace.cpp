@@ -1,0 +1,41 @@
+#include "obs/trace.h"
+
+namespace delta::obs {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kBusTransfer: return "bus_transfer";
+    case EventKind::kLockAcquire: return "lock_acquire";
+    case EventKind::kLockRelease: return "lock_release";
+    case EventKind::kLockSpin: return "lock_spin";
+    case EventKind::kDeadlockRequest: return "deadlock_request";
+    case EventKind::kDeadlockRelease: return "deadlock_release";
+    case EventKind::kAlloc: return "alloc";
+    case EventKind::kFree: return "free";
+    case EventKind::kContextSwitch: return "context_switch";
+  }
+  return "unknown";
+}
+
+void TraceRecorder::enable(std::size_t capacity) {
+  cap_ = capacity;
+  ring_.assign(capacity, Event{});
+  next_ = 0;
+  recorded_ = 0;
+}
+
+std::vector<Event> TraceRecorder::events() const {
+  std::vector<Event> out;
+  if (cap_ == 0 || recorded_ == 0) return out;
+  const std::size_t kept =
+      recorded_ < cap_ ? static_cast<std::size_t>(recorded_) : cap_;
+  out.reserve(kept);
+  // When the ring has wrapped, the oldest retained event sits at next_.
+  const std::size_t first = recorded_ < cap_ ? 0 : next_;
+  for (std::size_t i = 0; i < kept; ++i) {
+    out.push_back(ring_[(first + i) % cap_]);
+  }
+  return out;
+}
+
+}  // namespace delta::obs

@@ -1,0 +1,92 @@
+// Structured trace recorder: a bounded ring buffer of typed events
+// stamped with simulation time and the PE (bus master) that caused them.
+//
+// Disabled recorders (the default) cost one predictable branch per
+// record() call — no allocation, no formatting, no virtual dispatch — so
+// instrumentation can stay compiled into the hot paths. Enabled
+// recorders overwrite the oldest events once full (drop-oldest ring),
+// keeping memory bounded on arbitrarily long runs; dropped() reports how
+// many fell off the front.
+//
+// Events carry two uninterpreted u64 payload slots (a0/a1) whose meaning
+// depends on the kind; chrome_trace.h knows how to label them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/sim_time.h"
+
+namespace delta::obs {
+
+/// What happened. Values are stable — they appear in exported traces.
+enum class EventKind : std::uint8_t {
+  kBusTransfer,      ///< a0 = words, a1 = cycles spent waiting for grant
+  kLockAcquire,      ///< a0 = lock id, a1 = 1 if the grant was contended
+  kLockRelease,      ///< a0 = lock id
+  kLockSpin,         ///< a0 = lock id, a1 = polls so far
+  kDeadlockRequest,  ///< a0 = resource id, a1 = unit (hw) cycles
+  kDeadlockRelease,  ///< a0 = resource id, a1 = unit (hw) cycles
+  kAlloc,            ///< a0 = size in bytes, a1 = 1 if shared region
+  kFree,             ///< a0 = virtual address being freed
+  kContextSwitch,    ///< a0 = incoming task id
+};
+
+/// Human-readable identifier, e.g. "bus_transfer". Never returns null.
+[[nodiscard]] const char* event_kind_name(EventKind kind);
+
+/// One recorded occurrence. Kept flat and trivially copyable; 40 bytes.
+struct Event {
+  sim::Cycles start = 0;  ///< sim time the activity began
+  sim::Cycles dur = 0;    ///< cycles it took (0 = instantaneous)
+  std::uint64_t a0 = 0;   ///< kind-specific payload (see EventKind)
+  std::uint64_t a1 = 0;   ///< kind-specific payload (see EventKind)
+  EventKind kind = EventKind::kBusTransfer;
+  std::uint16_t pe = 0;  ///< bus master / PE id that caused the event
+};
+
+/// Bounded drop-oldest ring of Events. Disabled until enable().
+class TraceRecorder {
+ public:
+  /// Start recording, keeping at most `capacity` most-recent events.
+  /// enable(0) disables recording again (and clears the buffer).
+  void enable(std::size_t capacity);
+
+  [[nodiscard]] bool enabled() const { return cap_ != 0; }
+
+  /// Record one event. When disabled this is a single branch.
+  void record(EventKind kind, std::uint16_t pe, sim::Cycles start,
+              sim::Cycles dur, std::uint64_t a0 = 0, std::uint64_t a1 = 0) {
+    if (cap_ == 0) return;
+    Event& e = ring_[next_];
+    e.start = start;
+    e.dur = dur;
+    e.a0 = a0;
+    e.a1 = a1;
+    e.kind = kind;
+    e.pe = pe;
+    next_ = next_ + 1 == cap_ ? 0 : next_ + 1;
+    ++recorded_;
+  }
+
+  /// Total record() calls while enabled (including dropped ones).
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+
+  /// Events that fell off the front of the ring.
+  [[nodiscard]] std::uint64_t dropped() const {
+    return recorded_ > cap_ ? recorded_ - cap_ : 0;
+  }
+
+  /// Retained events in chronological (recording) order; unrolls the
+  /// ring, so the oldest retained event comes first.
+  [[nodiscard]] std::vector<Event> events() const;
+
+ private:
+  std::vector<Event> ring_;
+  std::size_t cap_ = 0;        ///< 0 == disabled
+  std::size_t next_ = 0;       ///< ring slot the next event lands in
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace delta::obs

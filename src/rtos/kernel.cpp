@@ -43,6 +43,30 @@ Kernel::Kernel(sim::Simulator& sim, bus::SharedBus& bus, KernelConfig cfg,
          i < cfg_.resource_count; ++i)
       cfg_.resource_names.push_back("q" + std::to_string(i + 1));
   }
+  own_obs_ = std::make_unique<obs::Observer>();
+  set_observer(own_obs_.get());
+}
+
+void Kernel::set_observer(obs::Observer* o) {
+  obs_ = o != nullptr ? o : own_obs_.get();
+  obs::MetricsRegistry& m = obs_->metrics;
+  lock_latency_ = &m.histogram("lock.latency");
+  lock_delay_ = &m.histogram("lock.delay");
+  alloc_latency_ = &m.histogram("mem.alloc_latency");
+  ctr_ctx_switches_ = &m.counter("kernel.context_switches");
+  ctr_preemptions_ = &m.counter("kernel.preemptions");
+  ctr_lock_acquires_ = &m.counter("lock.acquires");
+  ctr_lock_releases_ = &m.counter("lock.releases");
+  ctr_lock_contended_ = &m.counter("lock.contended");
+  ctr_lock_spins_ = &m.counter("lock.spins");
+  ctr_dl_requests_ = &m.counter("deadlock.requests");
+  ctr_dl_releases_ = &m.counter("deadlock.releases");
+  ctr_allocs_ = &m.counter("mem.allocs");
+  ctr_alloc_failures_ = &m.counter("mem.alloc_failures");
+  ctr_frees_ = &m.counter("mem.frees");
+  strategy_->attach_observer(obs_);
+  locks_->attach_observer(obs_);
+  memory_->attach_observer(obs_);
 }
 
 void Kernel::trace(const std::string& channel, const std::string& text) {
@@ -233,6 +257,7 @@ void Kernel::reschedule(PeId pe) {
     c.compute_left = compute_done_at_[cur] - sim_.now();
     set_state(cur, TaskState::kReady);
     ++c.preemptions;
+    ctr_preemptions_->add();
     running_[pe] = kNoTask;
     trace("RTOS", c.name + " preempted by " + task(best).name);
   }
@@ -245,6 +270,10 @@ void Kernel::dispatch(PeId pe, TaskId id) {
   assert(t.state == TaskState::kReady);
   running_[pe] = id;
   set_state(id, TaskState::kRunning);
+  ctr_ctx_switches_->add();
+  obs_->trace.record(obs::EventKind::kContextSwitch,
+                     static_cast<std::uint16_t>(pe), sim_.now(),
+                     cfg_.costs.context_switch, id);
   const std::uint64_t gen = ++task_gen_[id];
   sim_.schedule_in(cfg_.costs.context_switch, [this, pe, id, gen] {
     if (halted_) return;
@@ -297,6 +326,7 @@ void Kernel::arm_time_slice(PeId pe) {
     set_state(id, TaskState::kReady);
     c.order_key = cfg_.max_tasks + (++sched_seq_);  // to the back
     ++c.preemptions;
+    ctr_preemptions_->add();
     running_[pe] = kNoTask;
     trace("RTOS", c.name + " time-sliced out");
     reschedule(pe);
@@ -448,6 +478,10 @@ void Kernel::op_request(Task& t, const op::Request& r) {
   std::vector<std::pair<ResourceId, ResourceEvent>> events;
   for (ResourceId res : r.resources) {
     ResourceEvent ev = strategy_->request(t.id, res, cursor);
+    ctr_dl_requests_->add();
+    obs_->trace.record(obs::EventKind::kDeadlockRequest,
+                       static_cast<std::uint16_t>(t.pe), cursor,
+                       ev.pe_cycles, res, ev.unit_cycles);
     cursor += ev.pe_cycles;
     events.emplace_back(res, ev);
   }
@@ -499,6 +533,10 @@ void Kernel::op_release(Task& t, const op::Release& r) {
   for (ResourceId res : r.resources) {
     if (t.held.erase(res) == 0) continue;  // not held (e.g. given up)
     ResourceEvent ev = strategy_->release(t.id, res, cursor);
+    ctr_dl_releases_->add();
+    obs_->trace.record(obs::EventKind::kDeadlockRelease,
+                       static_cast<std::uint16_t>(t.pe), cursor,
+                       ev.pe_cycles, res, ev.unit_cycles);
     cursor += ev.pe_cycles;
     events.emplace_back(res, ev);
   }
@@ -727,6 +765,7 @@ void Kernel::op_lock(Task& t, const op::Lock& l) {
   const TaskId id = t.id;
   const LockId lk = l.lock;
   lock_requested_at_[id] = sim_.now();
+  ctr_lock_acquires_->add();
   const LockAcquire res = locks_->acquire(lk, id, t.priority);
   const sim::Cycles total = cfg_.costs.kernel_entry + res.cycles;
   service(t.pe, total, [this, id, lk, res, total] {
@@ -737,17 +776,24 @@ void Kernel::op_lock(Task& t, const op::Lock& l) {
         ceiling_stack_[id].push_back({lk, tk.priority});
         tk.priority = std::min(tk.priority, *res.ceiling);
       }
-      lock_latency_.add(static_cast<double>(total));
+      lock_latency_->add(static_cast<double>(total));
+      obs_->trace.record(obs::EventKind::kLockAcquire,
+                         static_cast<std::uint16_t>(tk.pe),
+                         sim_.now() - total, total, lk, 0);
       trace("LOCK", tk.name + " acquired lock " + std::to_string(lk));
       ++tk.pc;
       step_task(id);
       return;
     }
+    ctr_lock_contended_->add();
     // The lock may have been handed to us while this service was still
     // in flight (a release on another PE); consume that grant.
     const auto pending = pending_lock_grant_.find(id);
     if (pending != pending_lock_grant_.end() && pending->second == lk) {
       pending_lock_grant_.erase(pending);
+      obs_->trace.record(obs::EventKind::kLockAcquire,
+                         static_cast<std::uint16_t>(tk.pe),
+                         sim_.now() - total, total, lk, 1);
       trace("LOCK", tk.name + " acquired lock " + std::to_string(lk) +
                         " (handed during acquire)");
       ++tk.pc;
@@ -788,6 +834,9 @@ void Kernel::op_unlock(Task& t, const op::Unlock& u) {
   const sim::Cycles total = cfg_.costs.kernel_entry + res.cycles;
   service(t.pe, total, [this, id, lk, res] {
     Task& tk = task(id);
+    ctr_lock_releases_->add();
+    obs_->trace.record(obs::EventKind::kLockRelease,
+                       static_cast<std::uint16_t>(tk.pe), sim_.now(), 0, lk);
     trace("LOCK", tk.name + " released lock " + std::to_string(lk));
     if (res.next != kNoTask) {
       Task& nx = task(res.next);
@@ -798,8 +847,12 @@ void Kernel::op_unlock(Task& t, const op::Unlock& u) {
         nx.priority = std::min(nx.priority, *res.ceiling);
       }
       const auto it = lock_requested_at_.find(res.next);
-      if (it != lock_requested_at_.end())
-        lock_delay_.add(static_cast<double>(sim_.now() - it->second));
+      if (it != lock_requested_at_.end()) {
+        lock_delay_->add(static_cast<double>(sim_.now() - it->second));
+        obs_->trace.record(obs::EventKind::kLockAcquire,
+                           static_cast<std::uint16_t>(nx.pe), it->second,
+                           sim_.now() - it->second, lk, 1);
+      }
       trace("LOCK", "lock " + std::to_string(lk) + " handed to " + nx.name);
       if (nx.state == TaskState::kBlocked &&
           nx.wait_kind == WaitKind::kLock) {
@@ -838,6 +891,9 @@ void Kernel::spin_on_lock(TaskId id, LockId lk) {
   }
   // Poll traffic: a software spin lock re-reads the lock word in shared
   // memory; the SoCLC is polled off the memory bus.
+  ctr_lock_spins_->add();
+  obs_->trace.record(obs::EventKind::kLockSpin,
+                     static_cast<std::uint16_t>(pe), sim_.now(), 0, lk);
   const std::size_t words = locks_->spin_poll_bus_words();
   if (words > 0) bus_.transfer(pe, sim_.now(), words);
   sim_.schedule_in(cfg_.spin_poll_interval, [this, id, lk] {
@@ -863,6 +919,10 @@ void Kernel::boost_owner_chain(TaskId owner, Priority prio) {
 void Kernel::force_unlock(TaskId id, LockId lk) {
   const LockRelease res = locks_->release(lk, id);
   held_locks_[id].erase(lk);
+  ctr_lock_releases_->add();
+  obs_->trace.record(obs::EventKind::kLockRelease,
+                     static_cast<std::uint16_t>(task(id).pe), sim_.now(), 0,
+                     lk);
   if (res.next != kNoTask) {
     Task& nx = task(res.next);
     held_locks_[res.next].insert(lk);
@@ -872,8 +932,12 @@ void Kernel::force_unlock(TaskId id, LockId lk) {
       nx.priority = std::min(nx.priority, *res.ceiling);
     }
     const auto it = lock_requested_at_.find(res.next);
-    if (it != lock_requested_at_.end())
-      lock_delay_.add(static_cast<double>(sim_.now() - it->second));
+    if (it != lock_requested_at_.end()) {
+      lock_delay_->add(static_cast<double>(sim_.now() - it->second));
+      obs_->trace.record(obs::EventKind::kLockAcquire,
+                         static_cast<std::uint16_t>(nx.pe), it->second,
+                         sim_.now() - it->second, lk, 1);
+    }
     trace("LOCK", "lock " + std::to_string(lk) + " handed to " + nx.name);
     if (nx.state == TaskState::kBlocked && nx.wait_kind == WaitKind::kLock) {
       ++nx.pc;
@@ -899,7 +963,12 @@ void Kernel::recompute_inherited_priority(TaskId id) {
 void Kernel::op_alloc(Task& t, const op::Alloc& a) {
   const TaskId id = t.id;
   const MemResult res = memory_->alloc(t.pe, a.bytes, sim_.now());
-  alloc_latency_.add(static_cast<double>(res.pe_cycles));
+  alloc_latency_->add(static_cast<double>(res.pe_cycles));
+  ctr_allocs_->add();
+  if (!res.ok) ctr_alloc_failures_->add();
+  obs_->trace.record(obs::EventKind::kAlloc,
+                     static_cast<std::uint16_t>(t.pe), sim_.now(),
+                     cfg_.costs.kernel_entry + res.pe_cycles, a.bytes, 0);
   const std::string slot = a.slot;
   service(t.pe, cfg_.costs.kernel_entry + res.pe_cycles,
           [this, id, slot, res] {
@@ -918,7 +987,12 @@ void Kernel::op_alloc_shared(Task& t, const op::AllocShared& a) {
   const TaskId id = t.id;
   const MemResult res =
       memory_->alloc_shared(t.pe, a.region, a.bytes, a.writable, sim_.now());
-  alloc_latency_.add(static_cast<double>(res.pe_cycles));
+  alloc_latency_->add(static_cast<double>(res.pe_cycles));
+  ctr_allocs_->add();
+  if (!res.ok) ctr_alloc_failures_->add();
+  obs_->trace.record(obs::EventKind::kAlloc,
+                     static_cast<std::uint16_t>(t.pe), sim_.now(),
+                     cfg_.costs.kernel_entry + res.pe_cycles, a.bytes, 1);
   const std::string slot = a.slot;
   service(t.pe, cfg_.costs.kernel_entry + res.pe_cycles,
           [this, id, slot, res] {
@@ -945,7 +1019,11 @@ void Kernel::op_free(Task& t, const op::Free& f) {
     return;
   }
   const MemResult res = memory_->free(t.pe, it->second, sim_.now());
-  alloc_latency_.add(static_cast<double>(res.pe_cycles));
+  alloc_latency_->add(static_cast<double>(res.pe_cycles));
+  ctr_frees_->add();
+  obs_->trace.record(obs::EventKind::kFree,
+                     static_cast<std::uint16_t>(t.pe), sim_.now(),
+                     cfg_.costs.kernel_entry + res.pe_cycles, it->second);
   t.allocations.erase(it);
   service(t.pe, cfg_.costs.kernel_entry + res.pe_cycles, [this, id] {
     Task& tk = task(id);

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bus/bus.h"
+#include "obs/observer.h"
 #include "rtos/devices.h"
 #include "rtos/ipc.h"
 #include "rtos/locks.h"
@@ -138,19 +139,30 @@ class Kernel {
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
   /// Lock metrics for Table 10: latency = uncontended acquire service
-  /// time; delay = request-to-grant time for contended acquires.
+  /// time; delay = request-to-grant time for contended acquires. These
+  /// live in the observer's metrics registry ("lock.latency" /
+  /// "lock.delay"); the accessors are kept for the exp/bench layers.
   [[nodiscard]] const sim::SampleSet& lock_latency() const {
-    return lock_latency_;
+    return *lock_latency_;
   }
   [[nodiscard]] const sim::SampleSet& lock_delay() const {
-    return lock_delay_;
+    return *lock_delay_;
   }
 
   /// Allocator service latencies: the backend-reported PE cycles of every
-  /// alloc/alloc_shared/free call (Tables 11/12 raw samples).
+  /// alloc/alloc_shared/free call (Tables 11/12 raw samples); registry
+  /// histogram "mem.alloc_latency".
   [[nodiscard]] const sim::SampleSet& alloc_latency() const {
-    return alloc_latency_;
+    return *alloc_latency_;
   }
+
+  /// Attach an external observer (typically the Mpsoc's). The kernel
+  /// constructs a private fallback observer so metrics always have a
+  /// home; attaching re-homes every cached counter/histogram and
+  /// forwards the observer to the strategy and lock/memory backends.
+  /// The observer must outlive the kernel.
+  void set_observer(obs::Observer* o);
+  [[nodiscard]] obs::Observer& observer() { return *obs_; }
 
   [[nodiscard]] TaskId running_on(PeId pe) const { return running_.at(pe); }
 
@@ -198,8 +210,24 @@ class Kernel {
   std::map<TaskId, std::set<LockId>> held_locks_;
   std::map<TaskId, std::uint64_t> queue_send_payload_;
 
-  sim::SampleSet lock_latency_, lock_delay_;
-  sim::SampleSet alloc_latency_;
+  // Observability. All pointers below index into obs_->metrics and are
+  // re-cached by set_observer(); own_obs_ is the always-present fallback.
+  std::unique_ptr<obs::Observer> own_obs_;
+  obs::Observer* obs_ = nullptr;
+  sim::SampleSet* lock_latency_ = nullptr;
+  sim::SampleSet* lock_delay_ = nullptr;
+  sim::SampleSet* alloc_latency_ = nullptr;
+  obs::Counter* ctr_ctx_switches_ = nullptr;
+  obs::Counter* ctr_preemptions_ = nullptr;
+  obs::Counter* ctr_lock_acquires_ = nullptr;
+  obs::Counter* ctr_lock_releases_ = nullptr;
+  obs::Counter* ctr_lock_contended_ = nullptr;
+  obs::Counter* ctr_lock_spins_ = nullptr;
+  obs::Counter* ctr_dl_requests_ = nullptr;
+  obs::Counter* ctr_dl_releases_ = nullptr;
+  obs::Counter* ctr_allocs_ = nullptr;
+  obs::Counter* ctr_alloc_failures_ = nullptr;
+  obs::Counter* ctr_frees_ = nullptr;
 
   bool deadlock_detected_ = false;
   sim::Cycles deadlock_time_ = 0;

@@ -20,12 +20,14 @@ LockAcquire SoftwarePiLockBackend::acquire(LockId lock, TaskId who,
   Lock& lk = locks_.at(lock);
   LockAcquire out;
   out.cycles = costs_.sw_lock_acquire;
+  if (ctr_acquires_ != nullptr) ctr_acquires_->add();
   if (lk.owner == kNoTask) {
     lk.owner = who;
     out.granted = true;
     return out;
   }
   lk.waiters.push_back(Waiter{who, prio, seq_++});
+  if (ctr_enqueues_ != nullptr) ctr_enqueues_->add();
   return out;
 }
 
@@ -61,6 +63,12 @@ TaskId SoftwarePiLockBackend::owner(LockId lock) const {
 
 std::size_t SoftwarePiLockBackend::waiter_count(LockId lock) const {
   return locks_.at(lock).waiters.size();
+}
+
+void SoftwarePiLockBackend::attach_observer(obs::Observer* o) {
+  if (o == nullptr) return;
+  ctr_acquires_ = &o->metrics.counter("lock.sw.acquires");
+  ctr_enqueues_ = &o->metrics.counter("lock.sw.enqueues");
 }
 
 std::optional<Priority> SoftwarePiLockBackend::top_waiter(

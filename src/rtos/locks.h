@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "hw/soclc.h"
+#include "obs/observer.h"
 #include "rtos/service_costs.h"
 #include "rtos/types.h"
 #include "sim/sim_time.h"
@@ -61,6 +62,10 @@ class LockBackend {
   /// private port logic, so its waiters produce no memory-bus traffic —
   /// the §2.3.1 "reduces on-chip memory traffic" claim.
   [[nodiscard]] virtual std::size_t spin_poll_bus_words() const = 0;
+
+  /// Attach observability (default: no-op). Backends register their
+  /// counters into the registry; nullptr detaches nothing.
+  virtual void attach_observer(obs::Observer* o) { (void)o; }
 };
 
 /// Software locks with priority-inheritance support (RTOS5).
@@ -86,6 +91,7 @@ class SoftwarePiLockBackend final : public LockBackend {
   }
   [[nodiscard]] std::optional<Priority> top_waiter(
       LockId lock) const override;
+  void attach_observer(obs::Observer* o) override;
 
   [[nodiscard]] std::size_t waiter_count(LockId lock) const;
 
@@ -103,6 +109,8 @@ class SoftwarePiLockBackend final : public LockBackend {
   ServiceCosts costs_;
   std::size_t short_locks_ = 0;
   std::uint64_t seq_ = 0;
+  obs::Counter* ctr_acquires_ = nullptr;
+  obs::Counter* ctr_enqueues_ = nullptr;
 };
 
 /// SoCLC-backed locks with hardware IPCP (RTOS6).
@@ -129,6 +137,9 @@ class SoclcLockBackend final : public LockBackend {
   }
   [[nodiscard]] std::optional<Priority> top_waiter(LockId) const override {
     return std::nullopt;  // hardware IPCP makes inheritance unnecessary
+  }
+  void attach_observer(obs::Observer* o) override {
+    if (o != nullptr) soclc_.attach_metrics(o->metrics);
   }
 
   [[nodiscard]] hw::Soclc& unit() { return soclc_; }

@@ -14,6 +14,7 @@
 #include "bus/bus.h"
 #include "hw/socdmmu.h"
 #include "mem/heap.h"
+#include "obs/observer.h"
 #include "rtos/service_costs.h"
 #include "rtos/types.h"
 #include "sim/sim_time.h"
@@ -44,6 +45,10 @@ class MemoryBackend {
   /// Cycles spent in memory management since construction (Table 11/12).
   [[nodiscard]] virtual sim::Cycles total_mgmt_cycles() const = 0;
   [[nodiscard]] virtual std::uint64_t call_count() const = 0;
+
+  /// Attach observability (default: no-op). Hardware backends register
+  /// their unit's counters into the registry.
+  virtual void attach_observer(obs::Observer* o) { (void)o; }
 };
 
 /// glibc-style software heap (the conventional technique of Table 11).
@@ -95,6 +100,9 @@ class SocdmmuBackend final : public MemoryBackend {
     return total_;
   }
   [[nodiscard]] std::uint64_t call_count() const override { return calls_; }
+  void attach_observer(obs::Observer* o) override {
+    if (o != nullptr) dmmu_.attach_metrics(o->metrics);
+  }
 
   [[nodiscard]] hw::Socdmmu& unit() { return dmmu_; }
 

@@ -154,6 +154,10 @@ class DduStrategy final : public GrantingManagerBase {
 
   std::string name() const override { return "ddu (RTOS2)"; }
 
+  void attach_observer(obs::Observer* o) override {
+    if (o != nullptr) ddu_.attach_metrics(o->metrics);
+  }
+
  private:
   hw::Ddu ddu_;
 
@@ -343,6 +347,10 @@ class DauStrategy final : public DeadlockStrategy {
         master_of_task_(std::move(master_of_task)) {}
 
   std::string name() const override { return "dau (RTOS4)"; }
+
+  void attach_observer(obs::Observer* o) override {
+    if (o != nullptr) dau_.attach_metrics(o->metrics);
+  }
 
   void set_priority(TaskId who, Priority prio) override {
     dau_.set_priority(who, prio);

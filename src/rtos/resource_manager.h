@@ -26,6 +26,7 @@
 #include "deadlock/pdda.h"
 #include "hw/dau.h"
 #include "hw/ddu.h"
+#include "obs/observer.h"
 #include "rtos/service_costs.h"
 #include "rtos/types.h"
 #include "sim/stats.h"
@@ -87,6 +88,11 @@ class DeadlockStrategy {
   [[nodiscard]] std::size_t invocations() const {
     return algo_times_.count();
   }
+
+  /// Attach observability. Hardware-backed strategies register their
+  /// unit's counters into the registry; the default is a no-op. Pass
+  /// nullptr to keep the strategy unobserved.
+  virtual void attach_observer(obs::Observer* o) { (void)o; }
 
  protected:
   sim::SampleSet algo_times_;

@@ -21,8 +21,7 @@ bool EventQueue::cancel(EventId id) {
 }
 
 void EventQueue::drop_dead_heads() const {
-  auto& heap = const_cast<EventQueue*>(this)->heap_;
-  while (!heap.empty() && !pending_[heap.top().id]) heap.pop();
+  while (!heap_.empty() && !pending_[heap_.top().id]) heap_.pop();
 }
 
 Cycles EventQueue::next_time() const {

@@ -54,7 +54,9 @@ class EventQueue {
   };
 
   // Heap holds (time, id); payloads live in `pending_` so cancel() is O(1).
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  // Mutable so const observers (next_time()) may drop lazily-cancelled
+  // heads; the set of live events they expose never changes.
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
   std::vector<EventFn> pending_;  // indexed by id; empty fn == cancelled
   std::size_t live_ = 0;
 

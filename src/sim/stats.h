@@ -33,9 +33,10 @@ class Accumulator {
   [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
   [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
 
-  /// Population variance (÷n). Returns 0 when fewer than two samples.
+  /// Population variance (÷n). Returns 0 when empty; a single sample has
+  /// zero spread.
   [[nodiscard]] double variance() const {
-    return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
+    return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
   }
   /// Population standard deviation.
   [[nodiscard]] double stddev() const;

@@ -91,6 +91,10 @@ Mpsoc::Mpsoc(MpsocConfig cfg) : cfg_(std::move(cfg)) {
   kernel_ = std::make_unique<rtos::Kernel>(
       sim_, *bus_, std::move(kc), make_strategy(cfg_, bus_.get()),
       make_locks(cfg_), make_memory(cfg_, bus_.get()));
+
+  if (cfg_.trace_capacity > 0) obs_.trace.enable(cfg_.trace_capacity);
+  bus_->set_observer(&obs_);
+  kernel_->set_observer(&obs_);
 }
 
 rtos::ResourceId Mpsoc::resource(const std::string& name) const {

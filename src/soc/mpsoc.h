@@ -16,6 +16,7 @@
 #include "bus/bus.h"
 #include "mem/l1_cache.h"
 #include "mem/l2_memory.h"
+#include "obs/observer.h"
 #include "rtos/kernel.h"
 #include "sim/simulator.h"
 
@@ -80,6 +81,9 @@ struct MpsocConfig {
   bool spin_short_locks = false;  ///< short-CS spin protocol (§2.3.1)
   sim::Cycles time_slice = 0;
   bool trace = true;
+  /// Structured-trace ring capacity (obs::TraceRecorder). 0 keeps the
+  /// recorder disabled — the zero-cost default for sweeps and benches.
+  std::size_t trace_capacity = 0;
 };
 
 /// The live system.
@@ -95,6 +99,11 @@ class Mpsoc {
   [[nodiscard]] const MpsocConfig& config() const { return cfg_; }
   [[nodiscard]] mem::L1Cache& l1(std::size_t pe) { return l1_.at(pe); }
 
+  /// The system-wide observability bundle: every subsystem's counters,
+  /// histograms and (when trace_capacity > 0) the structured trace.
+  [[nodiscard]] obs::Observer& observer() { return obs_; }
+  [[nodiscard]] const obs::Observer& observer() const { return obs_; }
+
   /// Resource index by name ("IDCT" -> 1). Throws when unknown.
   [[nodiscard]] rtos::ResourceId resource(const std::string& name) const;
 
@@ -109,6 +118,7 @@ class Mpsoc {
  private:
   MpsocConfig cfg_;
   sim::Simulator sim_;
+  obs::Observer obs_;  ///< per-system, so concurrent sweeps never share
   std::unique_ptr<bus::SharedBus> bus_;
   std::unique_ptr<mem::L2Memory> l2_;
   bus::AddressMap map_;

@@ -1,0 +1,92 @@
+#include "exp/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace delta::exp {
+namespace {
+
+std::string one_value_string(const std::string& s) {
+  JsonWriter w;
+  w.value(s);
+  return w.str();
+}
+
+TEST(JsonWriter, EscapesControlCharacters) {
+  EXPECT_EQ(one_value_string("a\nb"), "\"a\\nb\"");
+  EXPECT_EQ(one_value_string("a\tb"), "\"a\\tb\"");
+  EXPECT_EQ(one_value_string(std::string("a\x01") + "b"), "\"a\\u0001b\"");
+  EXPECT_EQ(one_value_string("a\x1f"), "\"a\\u001f\"");
+}
+
+TEST(JsonWriter, EscapesNonAsciiBytesAsLatin1) {
+  // Regression: bytes >= 0x80 are negative in a signed char; they must
+  // escape through unsigned char (never sign-extend) and never pass
+  // through raw, so the document stays pure-ASCII valid JSON.
+  EXPECT_EQ(one_value_string("caf\x8e"), "\"caf\\u008e\"");
+  EXPECT_EQ(one_value_string("\xff"), "\"\\u00ff\"");
+  EXPECT_EQ(one_value_string("\x80\x81"), "\"\\u0080\\u0081\"");
+  EXPECT_EQ(one_value_string("\x7f"), "\"\\u007f\"");  // DEL too
+}
+
+TEST(JsonWriter, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(one_value_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+}
+
+TEST(JsonWriter, NonFiniteDoublesSerializeAsNull) {
+  // JSON has no NaN/Infinity literals; emitting them corrupts the
+  // report for strict parsers.
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(-std::numeric_limits<double>::infinity());
+  w.value(1.5);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[\n  null,\n  null,\n  null,\n  1.5\n]");
+}
+
+TEST(JsonWriter, FiniteDoubleFormattingIsStable) {
+  EXPECT_EQ(format_double(0.1), "0.1");
+  EXPECT_EQ(format_double(1e300), "1e+300");
+}
+
+TEST(ReportToJson, IncludesMetricsRegistrySection) {
+  obs::MetricsRegistry reg;
+  reg.counter("bus.words").add(1234);
+  reg.counter("lock.acquires").add(7);
+  reg.histogram("lock.latency").add(10.0);
+  reg.histogram("lock.latency").add(30.0);
+
+  SweepSpec spec;
+  SweepReport report;
+  RunResult r;
+  r.ok = true;
+  r.config = "RTOS4";
+  r.workload = "mixed";
+  r.metrics = reg.snapshot();
+  report.runs.push_back(r);
+
+  const std::string json = report_to_json(spec, report);
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"bus.words\": 1234"), std::string::npos);
+  EXPECT_NE(json.find("\"lock.acquires\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"lock.latency\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  // Failed runs carry no metrics object.
+  RunResult bad;
+  bad.ok = false;
+  bad.error = "boom";
+  SweepReport failed;
+  failed.runs.push_back(bad);
+  const std::string failed_json = report_to_json(spec, failed);
+  EXPECT_EQ(failed_json.find("\"metrics\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace delta::exp

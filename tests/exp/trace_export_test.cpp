@@ -1,0 +1,53 @@
+#include "exp/trace_export.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace delta::exp {
+namespace {
+
+TEST(TraceExport, SkipsRunsWithoutEventsAndNamesProcesses) {
+  SweepReport report;
+
+  RunResult with;
+  with.index = 2;
+  with.ok = true;
+  with.config = "RTOS6";
+  with.workload = "mixed";
+  with.seed = 3;
+  obs::Event e;
+  e.kind = obs::EventKind::kLockAcquire;
+  e.pe = 1;
+  e.start = 50;
+  e.dur = 10;
+  e.a0 = 4;
+  with.trace_events.push_back(e);
+  report.runs.push_back(with);
+
+  RunResult without;  // ok but traced nothing: omitted from the export
+  without.index = 5;
+  without.ok = true;
+  report.runs.push_back(without);
+
+  RunResult failed;
+  failed.index = 7;
+  failed.ok = false;
+  failed.trace_events.push_back(e);
+  report.runs.push_back(failed);
+
+  const std::string json = report_trace_to_chrome_json(report);
+  EXPECT_NE(json.find("\"name\": \"RTOS6/mixed/s3\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"lock_acquire\""), std::string::npos);
+  EXPECT_EQ(json.find("\"pid\": 5"), std::string::npos);
+  EXPECT_EQ(json.find("\"pid\": 7"), std::string::npos);
+}
+
+TEST(TraceExport, EmptyReportYieldsWellFormedDocument) {
+  const std::string json = report_trace_to_chrome_json(SweepReport{});
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace delta::exp

@@ -1,0 +1,80 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace delta::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterCreatesOnFirstUseAndAccumulates) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("bus.transactions");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(MetricsRegistry, SameNameReturnsSameObject) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  sim::SampleSet& h1 = reg.histogram("lat");
+  sim::SampleSet& h2 = reg.histogram("lat");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsRegistry, ReferencesStayValidAcrossInsertions) {
+  // Hot paths cache Counter*/SampleSet* at attach time; later
+  // registrations must never invalidate them (std::map node stability).
+  MetricsRegistry reg;
+  Counter& first = reg.counter("m.a");
+  for (int i = 0; i < 100; ++i)
+    reg.counter("m.extra" + std::to_string(i)).add();
+  first.add(7);
+  EXPECT_EQ(reg.counter("m.a").value(), 7u);
+}
+
+TEST(MetricsRegistry, SnapshotIsNameSorted) {
+  MetricsRegistry reg;
+  reg.counter("zeta").add(1);
+  reg.counter("alpha").add(2);
+  reg.counter("mid").add(3);
+  reg.histogram("z.lat").add(1.0);
+  reg.histogram("a.lat").add(2.0);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].first, "alpha");
+  EXPECT_EQ(snap.counters[1].first, "mid");
+  EXPECT_EQ(snap.counters[2].first, "zeta");
+  ASSERT_EQ(snap.histograms.size(), 2u);
+  EXPECT_EQ(snap.histograms[0].first, "a.lat");
+  EXPECT_EQ(snap.histograms[1].first, "z.lat");
+}
+
+TEST(MetricsRegistry, SnapshotSummarizesHistograms) {
+  MetricsRegistry reg;
+  sim::SampleSet& h = reg.histogram("lock.latency");
+  for (int i = 1; i <= 100; ++i) h.add(i);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSummary& s = snap.histograms[0].second;
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.p95, 95.0);
+  EXPECT_GT(s.stddev, 0.0);
+}
+
+TEST(MetricsRegistry, SnapshotIsDetachedCopy) {
+  MetricsRegistry reg;
+  reg.counter("c").add(1);
+  const MetricsSnapshot snap = reg.snapshot();
+  reg.counter("c").add(10);
+  EXPECT_EQ(snap.counters[0].second, 1u);
+  EXPECT_EQ(reg.snapshot().counters[0].second, 11u);
+}
+
+}  // namespace
+}  // namespace delta::obs

@@ -76,6 +76,33 @@ TEST(EventQueue, PopReturnsTime) {
   EXPECT_TRUE(static_cast<bool>(fn));
 }
 
+TEST(EventQueue, CancelledHeadIsDroppedByConstNextTime) {
+  EventQueue q;
+  const EventId head = q.schedule(5, [] {});
+  q.schedule(20, [] {});
+  EXPECT_TRUE(q.cancel(head));
+  // next_time() is a const observer; it must still skip the dead head.
+  const EventQueue& cq = q;
+  EXPECT_EQ(cq.next_time(), 20u);
+  EXPECT_FALSE(cq.empty());
+  auto [t, fn] = q.pop();
+  EXPECT_EQ(t, 20u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelThenRescheduleAtSameCycle) {
+  EventQueue q;
+  std::vector<int> fired;
+  const EventId id = q.schedule(10, [&] { fired.push_back(1); });
+  EXPECT_TRUE(q.cancel(id));
+  // Re-arming at the very same cycle must fire the new closure exactly
+  // once and never resurrect the cancelled one.
+  q.schedule(10, [&] { fired.push_back(2); });
+  EXPECT_EQ(q.next_time(), 10u);
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, (std::vector<int>{2}));
+}
+
 TEST(EventQueue, ManyInterleavedSchedulesAndCancels) {
   EventQueue q;
   std::vector<EventId> ids;

@@ -43,6 +43,20 @@ TEST(Accumulator, VarianceAndStddev) {
   EXPECT_DOUBLE_EQ(b.mean(), 5.0);
 }
 
+TEST(Accumulator, SingleSample) {
+  Accumulator a;
+  a.add(7.5);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 7.5);
+  EXPECT_DOUBLE_EQ(a.min(), 7.5);
+  EXPECT_DOUBLE_EQ(a.max(), 7.5);
+  EXPECT_DOUBLE_EQ(a.sum(), 7.5);
+  // Population variance of one sample is 0 (zero spread), per the
+  // documented contract.
+  EXPECT_EQ(a.variance(), 0.0);
+  EXPECT_EQ(a.stddev(), 0.0);
+}
+
 TEST(Accumulator, VarianceIsStableForLargeOffsets) {
   // Welford's update must not cancel catastrophically when the values
   // share a huge common offset.
@@ -71,6 +85,19 @@ TEST(SampleSet, PercentileCacheSurvivesInterleavedAdds) {
   s.add(0.5);  // invalidates the cached order
   EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.5);
   EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+}
+
+TEST(SampleSet, PercentileCacheInvalidationUnderTightInterleaving) {
+  // Alternate add()/percentile() on every step: each percentile() call
+  // right after an add() must see the new sample, never a stale cached
+  // sort order.
+  SampleSet s;
+  for (int i = 1; i <= 64; ++i) {
+    s.add(65 - i);  // descending inserts keep the raw vector unsorted
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), static_cast<double>(65 - i));
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 64.0);
+  }
+  EXPECT_EQ(s.count(), 64u);
 }
 
 TEST(SampleSet, Percentiles) {
