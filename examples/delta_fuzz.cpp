@@ -1,0 +1,182 @@
+// delta_fuzz — differential scenario fuzzer.
+//
+// Draws random well-formed scenarios (task sets with scripted
+// request/release, lock and allocation behaviour) and executes each one
+// across software/hardware backend pairs — PDDA vs DDU, DAA vs DAU,
+// software locks vs SoCLC, software heap vs SoCDMMU, and all of
+// RTOS1-RTOS7 — cross-checking behavioural invariants while ignoring
+// cycle counts. Failures are shrunk to minimal scenarios and written as
+// replayable JSON repros. The report bytes depend only on
+// (--seed, --runs, --pairs), never on --threads.
+//
+//   delta_fuzz --runs 500 --seed 1                # all pairs
+//   delta_fuzz --pairs daa-dau --inject-fault dau-grant --repro repro.json
+//   delta_fuzz --replay repro.json --pairs daa-dau
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fuzz/campaign.h"
+#include "fuzz/scenario_json.h"
+
+using namespace delta;
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+int usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --runs N           scenarios to draw (default 100)\n"
+      "  --seed N           campaign base seed (default 1)\n"
+      "  --pairs LIST       comma list of backend pairs (default: all)\n"
+      "                     known: pdda-ddu, daa-dau, locks, heap, presets\n"
+      "  --threads N        worker threads (default 1; report bytes are\n"
+      "                     identical for any value)\n"
+      "  --inject-fault F   arm a strategy fault in every run, e.g.\n"
+      "                     dau-grant (DAU grants unsafely) or\n"
+      "                     ddu-silent (DDU stops reporting deadlocks)\n"
+      "  --repro FILE       write the first failure's shrunk scenario as\n"
+      "                     a replayable JSON repro\n"
+      "  --replay FILE      skip generation; replay one repro JSON across\n"
+      "                     the selected pairs\n"
+      "  --limit CYCLES     per-run simulation cap (default 50000000)\n"
+      "  --shrink-attempts N  shrinker budget per failure (default 2000)\n"
+      "  --out FILE         campaign report JSON ('-' for stdout)\n"
+      "  --help\n",
+      argv0);
+  return 2;
+}
+
+bool write_file(const std::string& path, const std::string& bytes) {
+  if (path == "-") {
+    std::fwrite(bytes.data(), 1, bytes.size(), stdout);
+    return true;
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "delta_fuzz: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << bytes;
+  return static_cast<bool>(out);
+}
+
+int replay(const std::string& path, const std::vector<std::string>& pairs,
+           const std::string& fault) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "delta_fuzz: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const fuzz::Scenario s = fuzz::scenario_from_json(buf.str());
+  std::printf("replaying %s (%zu tasks, %zu pes, %zu resources)\n",
+              s.name.empty() ? path.c_str() : s.name.c_str(), s.tasks.size(),
+              s.pe_count, s.resource_count);
+  bool failed = false;
+  for (const fuzz::DiffResult& d : fuzz::replay_scenario(s, pairs, fault)) {
+    if (!d.failed()) {
+      std::printf("  %-10s OK\n", d.pair.c_str());
+      continue;
+    }
+    failed = true;
+    std::printf("  %-10s FAIL\n", d.pair.c_str());
+    for (const std::string& v : d.all_violations())
+      std::printf("    %s\n", v.c_str());
+  }
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fuzz::CampaignOptions opts;
+  std::string repro_path, replay_path, out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "delta_fuzz: %s needs a value\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--runs") opts.runs = std::strtoull(next(), nullptr, 10);
+    else if (a == "--seed") opts.seed = std::strtoull(next(), nullptr, 10);
+    else if (a == "--pairs") opts.pairs = split(next(), ',');
+    else if (a == "--threads")
+      opts.threads = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    else if (a == "--inject-fault") opts.fault = next();
+    else if (a == "--repro") repro_path = next();
+    else if (a == "--replay") replay_path = next();
+    else if (a == "--limit")
+      opts.generator.run_limit = std::strtoull(next(), nullptr, 10);
+    else if (a == "--shrink-attempts")
+      opts.shrink_attempts =
+          static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    else if (a == "--out") out_path = next();
+    else return usage(argv[0]);
+  }
+
+  try {
+    if (!replay_path.empty())
+      return replay(replay_path, opts.pairs, opts.fault);
+
+    const fuzz::CampaignReport report = fuzz::run_campaign(opts);
+    std::printf("delta_fuzz: %llu runs, seed %llu, %zu pair set(s)%s\n",
+                static_cast<unsigned long long>(report.runs),
+                static_cast<unsigned long long>(report.seed),
+                report.pairs.size(),
+                opts.fault.empty()
+                    ? ""
+                    : (" [fault: " + opts.fault + "]").c_str());
+    if (!out_path.empty() &&
+        !write_file(out_path, fuzz::campaign_report_json(report)))
+      return 2;
+    if (report.clean()) {
+      std::printf("delta_fuzz: no divergence found\n");
+      return 0;
+    }
+    std::printf("delta_fuzz: %llu failing run(s), %zu recorded failure(s)\n",
+                static_cast<unsigned long long>(report.failing_runs),
+                report.failures.size());
+    for (const fuzz::CampaignFailure& f : report.failures) {
+      std::printf("  run %llu pair %s: shrunk %zu -> %zu task(s)\n",
+                  static_cast<unsigned long long>(f.run_index),
+                  f.pair.c_str(), f.original.tasks.size(),
+                  f.shrunk.tasks.size());
+      for (const std::string& v : f.violations)
+        std::printf("    %s\n", v.c_str());
+    }
+    if (!repro_path.empty()) {
+      const fuzz::Scenario& first = report.failures.front().shrunk;
+      if (!write_file(repro_path, fuzz::scenario_to_json(first))) return 2;
+      std::printf("delta_fuzz: repro written to %s\n", repro_path.c_str());
+    }
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "delta_fuzz: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Run one test tier (or all of them) by ctest label. Tiers are assigned
+# in tests/CMakeLists.txt via delta_add_test(... LABELS <tier>):
+#   tier1  fast correctness suite, the commit gate (default label)
+#   fuzz   randomized differential suites under tests/fuzz/ + corpus replay
+#   slow   long-running property/regression sweeps
+# See docs/TESTING.md for the taxonomy and the delta_fuzz workflow.
+#
+# usage: scripts/test_tiers.sh [tier1|fuzz|slow|all] [-B build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tier="${1:-tier1}"
+build=build
+if [[ "${2:-}" == "-B" && -n "${3:-}" ]]; then
+  build="$3"
+fi
+
+case "$tier" in
+  tier1|fuzz|slow|all) ;;
+  *)
+    echo "usage: $0 [tier1|fuzz|slow|all] [-B build-dir]" >&2
+    exit 2
+    ;;
+esac
+
+if [[ ! -d "$build" ]]; then
+  GEN=()
+  command -v ninja >/dev/null 2>&1 && GEN=(-G Ninja)
+  cmake -B "$build" "${GEN[@]}" >/dev/null
+fi
+cmake --build "$build" -j"$(nproc)"
+
+if [[ "$tier" == "all" ]]; then
+  ctest --test-dir "$build" --output-on-failure -j"$(nproc)"
+else
+  ctest --test-dir "$build" --output-on-failure -j"$(nproc)" -L "^${tier}$"
+fi

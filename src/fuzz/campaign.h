@@ -1,0 +1,74 @@
+// Differential fuzzing campaigns.
+//
+// A campaign draws `runs` random scenarios from a base seed (per-run
+// seeds derived the same way exp/sweep.h derives cell seeds — a pure
+// function of the run index, never of thread ids), executes each across
+// the selected backend pairs, shrinks every failure to a minimal repro,
+// and renders a byte-stable JSON report. The report (and every repro in
+// it) depends only on (base seed, runs, pairs, generator params), which
+// is what the seed-determinism regression pins across thread counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/differential.h"
+#include "fuzz/scenario.h"
+#include "fuzz/shrink.h"
+
+namespace delta::fuzz {
+
+struct CampaignOptions {
+  std::uint64_t runs = 100;
+  std::uint64_t seed = 1;
+  /// Backend pair names (see standard_pairs()); empty = all of them.
+  std::vector<std::string> pairs;
+  /// Strategy fault to inject into every run ("" = none); see
+  /// rtos::DeadlockStrategy::enable_fault.
+  std::string fault;
+  std::size_t threads = 1;
+  GeneratorParams generator;
+  /// Failures kept in the report (all are found and shrunk; the lowest
+  /// run indices win — deterministic at any thread count).
+  std::size_t max_failures = 8;
+  std::size_t shrink_attempts = 2000;
+};
+
+/// One failing (scenario, pair) cell, shrunk.
+struct CampaignFailure {
+  std::uint64_t run_index = 0;
+  std::string pair;
+  Scenario original;
+  Scenario shrunk;
+  /// Violations of the *shrunk* scenario (what the repro reproduces).
+  std::vector<std::string> violations;
+  ShrinkStats shrink_stats;
+};
+
+struct CampaignReport {
+  std::uint64_t seed = 0;
+  std::uint64_t runs = 0;
+  std::string fault;
+  std::vector<std::string> pairs;
+  std::uint64_t failing_runs = 0;  ///< runs with >= 1 failing pair
+  std::vector<CampaignFailure> failures;  ///< sorted (run_index, pair)
+  std::uint64_t failures_truncated = 0;   ///< dropped past max_failures
+
+  [[nodiscard]] bool clean() const { return failing_runs == 0; }
+};
+
+/// Execute a campaign. Throws std::invalid_argument on unknown pair
+/// names; scenario failures are data, not exceptions.
+[[nodiscard]] CampaignReport run_campaign(const CampaignOptions& opts);
+
+/// Replay one scenario (e.g. a parsed repro) across the named pairs.
+[[nodiscard]] std::vector<DiffResult> replay_scenario(
+    const Scenario& s, const std::vector<std::string>& pair_names,
+    const std::string& fault = "");
+
+/// Byte-stable JSON rendering of a report (embeds each failure's
+/// original and shrunk scenarios so any repro can be cut back out).
+[[nodiscard]] std::string campaign_report_json(const CampaignReport& r);
+
+}  // namespace delta::fuzz

@@ -1,0 +1,34 @@
+// Scenario <-> JSON round-trip.
+//
+// Writing reuses exp::JsonWriter so repro files share the sweep
+// reports' byte-stable formatting (fixed number rendering, 2-space
+// indent); the same scenario always serializes to the same bytes, which
+// is what the seed-determinism regression pins. Reading is a minimal
+// recursive-descent JSON parser — the repo deliberately has no JSON
+// dependency — that accepts exactly what scenario_to_json emits (plus
+// arbitrary whitespace and unknown-key tolerance for hand-edited
+// corpus files).
+#pragma once
+
+#include <string>
+
+#include "fuzz/scenario.h"
+
+namespace delta::exp {
+class JsonWriter;
+}
+
+namespace delta::fuzz {
+
+/// Serialize (deterministic bytes; ends with a newline).
+[[nodiscard]] std::string scenario_to_json(const Scenario& s);
+
+/// Write the scenario as one JSON value into an in-progress writer
+/// (campaign reports embed scenarios this way).
+void write_scenario_value(exp::JsonWriter& w, const Scenario& s);
+
+/// Parse a scenario back. Throws std::invalid_argument with a
+/// line/column message on malformed input.
+[[nodiscard]] Scenario scenario_from_json(const std::string& json);
+
+}  // namespace delta::fuzz

@@ -1,0 +1,190 @@
+#include "fuzz/shrink.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace delta::fuzz {
+
+namespace {
+
+/// Remove one balanced step group starting at `first` from `t`'s script.
+/// Returns false when step `first` does not start a removable group.
+bool remove_group(ScenarioTask& t, std::size_t first) {
+  if (first >= t.steps.size()) return false;
+  const Step& s = t.steps[first];
+  std::vector<std::size_t> doomed = {first};
+  switch (s.kind) {
+    case Step::Kind::kCompute:
+      break;
+    case Step::Kind::kLock:
+      for (std::size_t j = first + 1; j < t.steps.size(); ++j)
+        if (t.steps[j].kind == Step::Kind::kUnlock &&
+            t.steps[j].lock == s.lock) {
+          doomed.push_back(j);
+          break;
+        }
+      if (doomed.size() != 2) return false;
+      break;
+    case Step::Kind::kAlloc:
+      for (std::size_t j = first + 1; j < t.steps.size(); ++j)
+        if (t.steps[j].kind == Step::Kind::kFree &&
+            t.steps[j].slot == s.slot) {
+          doomed.push_back(j);
+          break;
+        }
+      if (doomed.size() != 2) return false;
+      break;
+    case Step::Kind::kRequest: {
+      // Each requested resource must also vanish from the release that
+      // returns it, or the task would finish holding resources.
+      std::vector<Step> steps = t.steps;
+      for (rtos::ResourceId r : s.resources) {
+        bool returned = false;
+        for (std::size_t j = first + 1; j < steps.size() && !returned; ++j) {
+          if (steps[j].kind != Step::Kind::kRelease) continue;
+          auto& rs = steps[j].resources;
+          const auto it = std::find(rs.begin(), rs.end(), r);
+          if (it != rs.end()) {
+            rs.erase(it);
+            returned = true;
+          }
+        }
+        if (!returned) return false;
+      }
+      steps.erase(steps.begin() + static_cast<std::ptrdiff_t>(first));
+      // Drop releases the edit emptied out.
+      steps.erase(std::remove_if(steps.begin(), steps.end(),
+                                 [](const Step& x) {
+                                   return x.kind == Step::Kind::kRelease &&
+                                          x.resources.empty();
+                                 }),
+                  steps.end());
+      t.steps = std::move(steps);
+      return true;
+    }
+    case Step::Kind::kRelease:
+    case Step::Kind::kUnlock:
+    case Step::Kind::kFree:
+      return false;  // the paired opener owns these
+  }
+  for (auto it = doomed.rbegin(); it != doomed.rend(); ++it)
+    t.steps.erase(t.steps.begin() + static_cast<std::ptrdiff_t>(*it));
+  return true;
+}
+
+/// Compact PEs / resources / locks to the ids the tasks actually use,
+/// renumbering densely. Returns false when nothing changed.
+bool compact_geometry(Scenario& s) {
+  std::set<rtos::PeId> pes;
+  std::set<rtos::ResourceId> res;
+  std::set<rtos::LockId> locks;
+  for (const ScenarioTask& t : s.tasks) {
+    pes.insert(t.pe);
+    for (const Step& st : t.steps) {
+      if (st.kind == Step::Kind::kRequest || st.kind == Step::Kind::kRelease)
+        res.insert(st.resources.begin(), st.resources.end());
+      if (st.kind == Step::Kind::kLock || st.kind == Step::Kind::kUnlock)
+        locks.insert(st.lock);
+    }
+  }
+  std::map<rtos::PeId, rtos::PeId> pe_map;
+  for (rtos::PeId p : pes) pe_map[p] = pe_map.size();
+  std::map<rtos::ResourceId, rtos::ResourceId> res_map;
+  for (rtos::ResourceId r : res) res_map[r] = res_map.size();
+  std::map<rtos::LockId, rtos::LockId> lock_map;
+  for (rtos::LockId l : locks) lock_map[l] = lock_map.size();
+
+  const std::size_t new_pes = std::max<std::size_t>(1, pe_map.size());
+  const std::size_t new_res = std::max<std::size_t>(1, res_map.size());
+  const std::size_t new_locks = lock_map.size();
+  if (new_pes == s.pe_count && new_res == s.resource_count &&
+      new_locks == s.lock_count)
+    return false;
+
+  s.pe_count = new_pes;
+  s.resource_count = new_res;
+  s.lock_count = new_locks;
+  for (ScenarioTask& t : s.tasks) {
+    t.pe = pe_map.at(t.pe);
+    for (Step& st : t.steps) {
+      for (rtos::ResourceId& r : st.resources) r = res_map.at(r);
+      if (st.kind == Step::Kind::kLock || st.kind == Step::Kind::kUnlock)
+        st.lock = lock_map.at(st.lock);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Scenario shrink(Scenario s, const FailurePredicate& still_fails,
+                const ShrinkOptions& opts, ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats& st = stats != nullptr ? *stats : local;
+  st = {};
+
+  auto attempt = [&](const Scenario& candidate) {
+    if (st.attempts >= opts.max_attempts) return false;
+    if (!candidate.validate().empty()) return false;
+    ++st.attempts;
+    if (!still_fails(candidate)) return false;
+    ++st.accepted;
+    return true;
+  };
+
+  bool progress = true;
+  while (progress && st.attempts < opts.max_attempts) {
+    progress = false;
+
+    // Pass 1: drop whole tasks, largest saving first.
+    for (std::size_t ti = 0; ti < s.tasks.size() && s.tasks.size() > 1;) {
+      Scenario cand = s;
+      cand.tasks.erase(cand.tasks.begin() + static_cast<std::ptrdiff_t>(ti));
+      compact_geometry(cand);
+      if (attempt(cand)) {
+        s = std::move(cand);
+        progress = true;
+      } else {
+        ++ti;
+      }
+    }
+
+    // Pass 2: drop balanced step groups within each remaining task.
+    for (std::size_t ti = 0; ti < s.tasks.size(); ++ti) {
+      for (std::size_t si = 0; si < s.tasks[ti].steps.size();) {
+        Scenario cand = s;
+        if (remove_group(cand.tasks[ti], si) && attempt(cand)) {
+          s = std::move(cand);
+          progress = true;
+        } else {
+          ++si;
+        }
+      }
+    }
+
+    // Pass 3: geometry compaction on its own (step removal may have
+    // orphaned resources or locks).
+    {
+      Scenario cand = s;
+      if (compact_geometry(cand) && attempt(cand)) {
+        s = std::move(cand);
+        progress = true;
+      }
+    }
+
+    // Pass 4: zero out release jitter, one task at a time.
+    for (std::size_t ti = 0; ti < s.tasks.size(); ++ti) {
+      if (s.tasks[ti].release_time == 0) continue;
+      Scenario cand = s;
+      cand.tasks[ti].release_time = 0;
+      if (attempt(cand)) {
+        s = std::move(cand);
+        progress = true;
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace delta::fuzz

@@ -1,0 +1,43 @@
+// Greedy delta-debugging shrinker for failing scenarios.
+//
+// Given a scenario and a predicate "does this still fail?", repeatedly
+// tries structure-preserving simplifications — drop a whole task, drop a
+// balanced step group (a request with the releases that return it, a
+// lock/unlock pair, an alloc with its free, a lone compute), compact the
+// geometry to what the remaining tasks actually use — and keeps every
+// candidate the predicate still rejects. Because scenarios are balanced
+// by construction and each removal takes a whole group, every candidate
+// stays well-formed (Scenario::validate), so the behavioural invariants
+// remain meaningful all the way down to the minimal repro.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "fuzz/scenario.h"
+
+namespace delta::fuzz {
+
+/// Must return true when the candidate scenario still exhibits the
+/// failure being minimized.
+using FailurePredicate = std::function<bool(const Scenario&)>;
+
+struct ShrinkOptions {
+  /// Cap on predicate evaluations (each one is a full differential run
+  /// of every configuration in the pair).
+  std::size_t max_attempts = 2000;
+};
+
+struct ShrinkStats {
+  std::size_t attempts = 0;   ///< predicate evaluations spent
+  std::size_t accepted = 0;   ///< simplifications that kept the failure
+};
+
+/// Minimize `s` under `still_fails` (which must hold for `s` itself —
+/// the caller established the failure). Returns the smallest scenario
+/// found; `stats`, when given, reports the work done.
+[[nodiscard]] Scenario shrink(Scenario s, const FailurePredicate& still_fails,
+                              const ShrinkOptions& opts = {},
+                              ShrinkStats* stats = nullptr);
+
+}  // namespace delta::fuzz

@@ -10,7 +10,8 @@ Dau::Dau(std::size_t resources, std::size_t processes)
       resources, processes, [this](const rag::StateMatrix& s) {
         const DduResult r = Ddu::evaluate(s);
         probe_cycles_ += r.cycles;
-        return r.deadlock;
+        // Fault injection (tests): pretend every probe came back safe.
+        return grant_fault_ ? false : r.deadlock;
       });
 }
 

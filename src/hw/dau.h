@@ -87,6 +87,14 @@ class Dau {
   /// Worst-case cycles for one command on this geometry (Table 2).
   [[nodiscard]] sim::Cycles worst_case_cycles() const;
 
+  /// TEST ONLY: flip the grant-safety check. When enabled, the FSM's
+  /// embedded DDU probe result is discarded (every tentative grant is
+  /// reported safe), so the unit grants its way into real deadlocks.
+  /// The differential fuzzer uses this to prove it can catch a broken
+  /// unit; never enable outside tests.
+  void inject_grant_fault(bool on) { grant_fault_ = on; }
+  [[nodiscard]] bool grant_fault() const { return grant_fault_; }
+
   /// Register "dau.commands"/"dau.ddu_probes" counters; every command
   /// (request/release/retry_grant) then bumps them.
   void attach_metrics(obs::MetricsRegistry& m);
@@ -100,6 +108,7 @@ class Dau {
   sim::Cycles probe_cycles_ = 0;  // accumulated DDU time per event
   std::size_t last_probes_ = 0;
   std::vector<rag::ResId> asked_resources_;
+  bool grant_fault_ = false;
   obs::Counter* ctr_commands_ = nullptr;
   obs::Counter* ctr_probes_ = nullptr;
 };

@@ -158,8 +158,15 @@ class DduStrategy final : public GrantingManagerBase {
     if (o != nullptr) ddu_.attach_metrics(o->metrics);
   }
 
+  bool enable_fault(const std::string& name) override {
+    if (name != "ddu-silent") return false;
+    silent_ = true;
+    return true;
+  }
+
  private:
   hw::Ddu ddu_;
+  bool silent_ = false;  ///< fault injection: swallow detection results
 
   void on_cancelled(TaskId who, ResourceId res) override {
     ddu_.set_edge(res, who, Edge::kNone);
@@ -183,7 +190,7 @@ class DduStrategy final : public GrantingManagerBase {
     const hw::DduResult r = ddu_.run();
     algo_times_.add(static_cast<double>(r.cycles));
     ev.unit_cycles = r.cycles;
-    ev.deadlock_detected = r.deadlock;
+    ev.deadlock_detected = silent_ ? false : r.deadlock;
   }
 };
 
@@ -350,6 +357,12 @@ class DauStrategy final : public DeadlockStrategy {
 
   void attach_observer(obs::Observer* o) override {
     if (o != nullptr) dau_.attach_metrics(o->metrics);
+  }
+
+  bool enable_fault(const std::string& name) override {
+    if (name != "dau-grant") return false;
+    dau_.inject_grant_fault(true);
+    return true;
   }
 
   void set_priority(TaskId who, Priority prio) override {

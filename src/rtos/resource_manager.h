@@ -94,6 +94,17 @@ class DeadlockStrategy {
   /// nullptr to keep the strategy unobserved.
   virtual void attach_observer(obs::Observer* o) { (void)o; }
 
+  /// TEST ONLY: enable a named fault in the strategy's implementation so
+  /// the differential fuzzer can prove it detects broken units. Returns
+  /// true when the strategy recognizes the fault name:
+  ///   "dau-grant"   (DAU)  — the grant-safety probe always reports safe
+  ///   "ddu-silent"  (DDU)  — detection results are suppressed
+  /// The default recognizes nothing.
+  virtual bool enable_fault(const std::string& name) {
+    (void)name;
+    return false;
+  }
+
  protected:
   sim::SampleSet algo_times_;
 };

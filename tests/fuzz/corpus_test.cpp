@@ -1,0 +1,85 @@
+// Seed-corpus replay: every scenario in tests/fuzz/corpus/ must parse,
+// round-trip byte-identically, and hold its behavioural invariants on
+// every backend pair. The corpus pins interesting shapes (the crossed
+// R-dl deadlock, lock+alloc churn, joint multi-resource pipelines) so a
+// regression in any backend trips a named scenario, not just a random
+// seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "fuzz/campaign.h"
+#include "fuzz/scenario_json.h"
+
+#ifndef DELTA_FUZZ_CORPUS_DIR
+#error "build must define DELTA_FUZZ_CORPUS_DIR"
+#endif
+
+namespace delta::fuzz {
+namespace {
+
+std::vector<std::filesystem::path> corpus_files() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(DELTA_FUZZ_CORPUS_DIR))
+    if (entry.path().extension() == ".json") files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string slurp(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(Corpus, HasSeeds) { EXPECT_GE(corpus_files().size(), 4u); }
+
+TEST(Corpus, EveryScenarioParsesAndRoundTrips) {
+  for (const auto& path : corpus_files()) {
+    SCOPED_TRACE(path.filename().string());
+    const Scenario s = scenario_from_json(slurp(path));
+    EXPECT_TRUE(s.validate().empty());
+    EXPECT_FALSE(s.tasks.empty());
+    // Canonical form: what we write is what we parse.
+    EXPECT_EQ(scenario_from_json(scenario_to_json(s)), s);
+  }
+}
+
+TEST(Corpus, EveryScenarioPassesEveryPair) {
+  for (const auto& path : corpus_files()) {
+    SCOPED_TRACE(path.filename().string());
+    const Scenario s = scenario_from_json(slurp(path));
+    for (const DiffResult& d : replay_scenario(s, {})) {
+      EXPECT_FALSE(d.failed())
+          << path.filename() << " on " << d.pair << ": "
+          << (d.all_violations().empty() ? "?" : d.all_violations().front());
+    }
+  }
+}
+
+TEST(Corpus, CrossedRequestsSeedActuallyDeadlocksDetection) {
+  // Keep the corpus honest: the canonical deadlock seed must really
+  // exercise the deadlock path, not silently lose its timing.
+  const auto files = corpus_files();
+  const auto it =
+      std::find_if(files.begin(), files.end(), [](const auto& p) {
+        return p.filename() == "crossed_requests.json";
+      });
+  ASSERT_NE(it, files.end());
+  const Scenario s = scenario_from_json(slurp(*it));
+  const DiffResult d = run_pair(s, find_pair("pdda-ddu"));
+  EXPECT_FALSE(d.failed());
+  for (const RunOutcome& o : d.outcomes) {
+    EXPECT_FALSE(o.all_finished) << o.sut;
+    EXPECT_TRUE(o.deadlock_detected) << o.sut;
+  }
+}
+
+}  // namespace
+}  // namespace delta::fuzz

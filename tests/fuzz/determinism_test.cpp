@@ -1,0 +1,62 @@
+// Seed-determinism regression: the same campaign seed must yield
+// byte-identical report JSON (and repro scenarios) at any thread count —
+// the same contract scripts/sweep_smoke.sh pins for delta_sweep.
+#include <gtest/gtest.h>
+
+#include "fuzz/campaign.h"
+#include "fuzz/scenario_json.h"
+
+namespace delta::fuzz {
+namespace {
+
+CampaignOptions base_options() {
+  CampaignOptions opts;
+  opts.runs = 60;
+  opts.seed = 3;
+  opts.pairs = {"daa-dau"};
+  opts.fault = "dau-grant";  // guarantees failures + shrinking happen
+  return opts;
+}
+
+TEST(Determinism, ReportBytesAreThreadCountInvariant) {
+  CampaignOptions one = base_options();
+  one.threads = 1;
+  CampaignOptions four = base_options();
+  four.threads = 4;
+  const CampaignReport a = run_campaign(one);
+  const CampaignReport b = run_campaign(four);
+  ASSERT_FALSE(a.clean());  // the fault must actually fire
+  EXPECT_EQ(campaign_report_json(a), campaign_report_json(b));
+}
+
+TEST(Determinism, ReproBytesAreThreadCountInvariant) {
+  CampaignOptions one = base_options();
+  one.threads = 1;
+  CampaignOptions two = base_options();
+  two.threads = 2;
+  const CampaignReport a = run_campaign(one);
+  const CampaignReport b = run_campaign(two);
+  ASSERT_FALSE(a.failures.empty());
+  ASSERT_EQ(a.failures.size(), b.failures.size());
+  for (std::size_t i = 0; i < a.failures.size(); ++i) {
+    EXPECT_EQ(scenario_to_json(a.failures[i].shrunk),
+              scenario_to_json(b.failures[i].shrunk));
+    EXPECT_EQ(a.failures[i].run_index, b.failures[i].run_index);
+  }
+}
+
+TEST(Determinism, RerunningTheSameSeedIsIdempotent) {
+  const CampaignReport a = run_campaign(base_options());
+  const CampaignReport b = run_campaign(base_options());
+  EXPECT_EQ(campaign_report_json(a), campaign_report_json(b));
+}
+
+TEST(Determinism, DifferentSeedsDiffer) {
+  CampaignOptions other = base_options();
+  other.seed = 4;
+  EXPECT_NE(campaign_report_json(run_campaign(base_options())),
+            campaign_report_json(run_campaign(other)));
+}
+
+}  // namespace
+}  // namespace delta::fuzz

@@ -1,0 +1,176 @@
+// Differential runner: pair registry, per-run semantics invariants on
+// hand-built scenarios, fault injection, and a small clean campaign.
+#include <gtest/gtest.h>
+
+#include "fuzz/campaign.h"
+#include "fuzz/differential.h"
+
+namespace delta::fuzz {
+namespace {
+
+Step request(std::vector<rtos::ResourceId> rs) {
+  Step s;
+  s.kind = Step::Kind::kRequest;
+  s.resources = std::move(rs);
+  return s;
+}
+
+Step release(std::vector<rtos::ResourceId> rs) {
+  Step s;
+  s.kind = Step::Kind::kRelease;
+  s.resources = std::move(rs);
+  return s;
+}
+
+Step compute(sim::Cycles c) {
+  Step s;
+  s.kind = Step::Kind::kCompute;
+  s.cycles = c;
+  return s;
+}
+
+/// The classic crossed-request deadlock: t0 takes q0 then wants q1,
+/// t1 takes q1 then wants q0, with enough compute in between that both
+/// inner requests happen while the other task holds its first resource.
+Scenario crossed_requests() {
+  Scenario s;
+  s.name = "crossed";
+  s.pe_count = 2;
+  s.resource_count = 2;
+  ScenarioTask t0;
+  t0.name = "t0";
+  t0.pe = 0;
+  t0.priority = 1;
+  t0.steps = {request({0}), compute(5000), request({1}), release({0, 1})};
+  ScenarioTask t1 = t0;
+  t1.name = "t1";
+  t1.pe = 1;
+  t1.priority = 2;
+  t1.steps = {request({1}), compute(5000), request({0}), release({1, 0})};
+  s.tasks = {t0, t1};
+  return s;
+}
+
+/// No contention at all: disjoint resources, disjoint PEs.
+Scenario independent_tasks() {
+  Scenario s;
+  s.name = "independent";
+  s.pe_count = 2;
+  s.resource_count = 2;
+  ScenarioTask t0;
+  t0.name = "t0";
+  t0.pe = 0;
+  t0.priority = 1;
+  t0.steps = {request({0}), compute(2000), release({0})};
+  ScenarioTask t1;
+  t1.name = "t1";
+  t1.pe = 1;
+  t1.priority = 2;
+  t1.steps = {request({1}), compute(3000), release({1})};
+  s.tasks = {t0, t1};
+  return s;
+}
+
+TEST(Pairs, RegistryIsComplete) {
+  EXPECT_EQ(standard_pairs().size(), 5u);
+  EXPECT_EQ(find_pair("daa-dau").suts.size(), 2u);
+  EXPECT_EQ(find_pair("presets").suts.size(), 7u);
+  EXPECT_THROW((void)find_pair("bogus"), std::invalid_argument);
+}
+
+TEST(Differential, IndependentTasksPassEverywhere) {
+  const Scenario s = independent_tasks();
+  ASSERT_TRUE(s.validate().empty());
+  for (const BackendPair& pair : standard_pairs()) {
+    const DiffResult d = run_pair(s, pair);
+    EXPECT_FALSE(d.failed()) << pair.name << ": "
+                             << (d.all_violations().empty()
+                                     ? "?"
+                                     : d.all_violations().front());
+    for (const RunOutcome& o : d.outcomes) {
+      EXPECT_TRUE(o.all_finished) << pair.name << "/" << o.sut;
+      EXPECT_TRUE(o.state_empty) << pair.name << "/" << o.sut;
+    }
+  }
+}
+
+TEST(Differential, CrossedRequestsRespectEachSemanticsClass) {
+  const Scenario s = crossed_requests();
+  ASSERT_TRUE(s.validate().empty());
+
+  // Avoidance must dodge the deadlock and complete.
+  const DiffResult avoid = run_pair(s, find_pair("daa-dau"));
+  EXPECT_FALSE(avoid.failed()) << avoid.all_violations().front();
+  for (const RunOutcome& o : avoid.outcomes) EXPECT_TRUE(o.all_finished);
+
+  // Detection must halt with a real, oracle-confirmed cycle.
+  const DiffResult detect = run_pair(s, find_pair("pdda-ddu"));
+  EXPECT_FALSE(detect.failed()) << detect.all_violations().front();
+  for (const RunOutcome& o : detect.outcomes) {
+    EXPECT_FALSE(o.all_finished) << o.sut;
+    EXPECT_TRUE(o.deadlock_detected) << o.sut;
+    EXPECT_TRUE(o.oracle_cycle) << o.sut;
+    EXPECT_FALSE(o.victims.empty()) << o.sut;
+  }
+}
+
+TEST(Differential, InjectedDauGrantFaultIsCaught) {
+  const Scenario s = crossed_requests();
+  const DiffResult d = run_pair(s, find_pair("daa-dau"), "dau-grant");
+  EXPECT_TRUE(d.failed());
+  // Only the DAU recognizes the fault; the DAA side stays clean.
+  ASSERT_EQ(d.outcomes.size(), 2u);
+  EXPECT_FALSE(d.outcomes[0].fault_armed);  // DAA
+  EXPECT_TRUE(d.outcomes[1].fault_armed);   // DAU
+  EXPECT_TRUE(d.outcomes[0].violations.empty());
+  EXPECT_FALSE(d.outcomes[1].violations.empty());
+}
+
+TEST(Differential, InjectedDduSilenceIsCaught) {
+  const Scenario s = crossed_requests();
+  const DiffResult d = run_pair(s, find_pair("pdda-ddu"), "ddu-silent");
+  EXPECT_TRUE(d.failed());
+  ASSERT_EQ(d.outcomes.size(), 2u);
+  EXPECT_TRUE(d.outcomes[1].fault_armed);  // DDU
+  EXPECT_FALSE(d.outcomes[1].violations.empty());
+}
+
+TEST(Campaign, SmallCleanCampaignFindsNoDivergence) {
+  CampaignOptions opts;
+  opts.runs = 40;
+  opts.seed = 11;
+  const CampaignReport r = run_campaign(opts);
+  EXPECT_TRUE(r.clean()) << campaign_report_json(r);
+  EXPECT_EQ(r.runs, 40u);
+  EXPECT_EQ(r.pairs.size(), 5u);
+}
+
+TEST(Campaign, FaultCampaignFindsShrinksAndReplays) {
+  CampaignOptions opts;
+  opts.runs = 60;
+  opts.seed = 1;
+  opts.pairs = {"daa-dau"};
+  opts.fault = "dau-grant";
+  const CampaignReport r = run_campaign(opts);
+  ASSERT_FALSE(r.clean());
+  ASSERT_FALSE(r.failures.empty());
+  for (const CampaignFailure& f : r.failures) {
+    // The acceptance bar: minimal repros within three tasks.
+    EXPECT_LE(f.shrunk.tasks.size(), 3u);
+    EXPECT_TRUE(f.shrunk.validate().empty());
+    EXPECT_FALSE(f.violations.empty());
+    // The shrunk repro still fails under the fault and passes clean.
+    EXPECT_TRUE(run_pair(f.shrunk, find_pair("daa-dau"), "dau-grant")
+                    .failed());
+    EXPECT_FALSE(run_pair(f.shrunk, find_pair("daa-dau")).failed());
+  }
+}
+
+TEST(Campaign, UnknownPairNameThrowsUpFront) {
+  CampaignOptions opts;
+  opts.pairs = {"daa-dau", "nope"};
+  EXPECT_THROW((void)run_campaign(opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace delta::fuzz

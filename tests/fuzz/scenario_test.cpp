@@ -1,0 +1,179 @@
+// Scenario model: generator well-formedness, validation, determinism,
+// and the JSON repro round trip.
+#include <gtest/gtest.h>
+
+#include "fuzz/scenario.h"
+#include "fuzz/scenario_json.h"
+
+namespace delta::fuzz {
+namespace {
+
+Scenario tiny_scenario() {
+  Scenario s;
+  s.name = "tiny";
+  s.pe_count = 2;
+  s.resource_count = 2;
+  s.lock_count = 1;
+  ScenarioTask t;
+  t.name = "t0";
+  t.pe = 1;
+  t.priority = 3;
+  t.release_time = 500;
+  Step req;
+  req.kind = Step::Kind::kRequest;
+  req.resources = {0, 1};
+  t.steps.push_back(req);
+  Step comp;
+  comp.kind = Step::Kind::kCompute;
+  comp.cycles = 1000;
+  t.steps.push_back(comp);
+  Step alloc;
+  alloc.kind = Step::Kind::kAlloc;
+  alloc.bytes = 256;
+  alloc.slot = "buf";
+  t.steps.push_back(alloc);
+  Step lock;
+  lock.kind = Step::Kind::kLock;
+  lock.lock = 0;
+  t.steps.push_back(lock);
+  Step unlock = lock;
+  unlock.kind = Step::Kind::kUnlock;
+  t.steps.push_back(unlock);
+  Step free_;
+  free_.kind = Step::Kind::kFree;
+  free_.slot = "buf";
+  t.steps.push_back(free_);
+  Step rel;
+  rel.kind = Step::Kind::kRelease;
+  rel.resources = {1, 0};
+  t.steps.push_back(rel);
+  s.tasks.push_back(t);
+  return s;
+}
+
+TEST(Scenario, GeneratorAlwaysProducesValidScenarios) {
+  GeneratorParams params;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    sim::Rng rng(seed);
+    const Scenario s = random_scenario(params, rng);
+    EXPECT_TRUE(s.validate().empty())
+        << "seed " << seed << ": " << s.validate().front();
+    EXPECT_GE(s.tasks.size(), params.min_tasks);
+    EXPECT_LE(s.tasks.size(), params.max_tasks);
+    for (const ScenarioTask& t : s.tasks) EXPECT_LT(t.pe, s.pe_count);
+  }
+}
+
+TEST(Scenario, GeneratorIsDeterministicPerSeed) {
+  GeneratorParams params;
+  sim::Rng a(42), b(42), c(43);
+  EXPECT_EQ(random_scenario(params, a), random_scenario(params, b));
+  sim::Rng a2(42);
+  EXPECT_NE(random_scenario(params, a2), random_scenario(params, c));
+}
+
+TEST(Scenario, ValidateCatchesStructuralMistakes) {
+  Scenario s = tiny_scenario();
+  ASSERT_TRUE(s.validate().empty());
+
+  Scenario bad = s;
+  bad.tasks[0].steps.pop_back();  // drop the release
+  EXPECT_FALSE(bad.validate().empty());
+
+  bad = s;
+  bad.tasks[0].steps[0].resources = {0, 0};  // duplicate in one request
+  EXPECT_FALSE(bad.validate().empty());
+
+  bad = s;
+  bad.tasks[0].steps[0].resources = {0, 7};  // out of range
+  EXPECT_FALSE(bad.validate().empty());
+
+  bad = s;
+  bad.tasks[0].pe = 9;
+  EXPECT_FALSE(bad.validate().empty());
+
+  bad = s;
+  Step nested;
+  nested.kind = Step::Kind::kLock;
+  nested.lock = 0;
+  bad.tasks[0].steps.insert(bad.tasks[0].steps.begin() + 4, nested);
+  EXPECT_FALSE(bad.validate().empty());  // re-entered lock
+}
+
+TEST(ScenarioJson, RoundTripPreservesEverything) {
+  GeneratorParams params;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    sim::Rng rng(seed);
+    Scenario s = random_scenario(params, rng);
+    s.seed = 0xDEADBEEFCAFE0000ULL + seed;  // exercise the full 64 bits
+    s.name = "seed" + std::to_string(seed);
+    const std::string json = scenario_to_json(s);
+    EXPECT_EQ(scenario_from_json(json), s) << json;
+    // Byte-stable: serializing the parse yields identical bytes.
+    EXPECT_EQ(scenario_to_json(scenario_from_json(json)), json);
+  }
+}
+
+TEST(ScenarioJson, HandWrittenInputIsAccepted) {
+  const std::string json = R"({
+    "name": "hand",
+    "seed": 18446744073709551615,
+    "comment": "unknown keys are skipped",
+    "geometry": {"pes": 2, "resources": 2, "locks": 0},
+    "tasks": [
+      {"name": "a", "pe": 0, "priority": 1, "release": 0,
+       "steps": [{"op": "request", "resources": [0]},
+                 {"op": "compute", "cycles": 100},
+                 {"op": "release", "resources": [0]}]}
+    ]
+  })";
+  const Scenario s = scenario_from_json(json);
+  EXPECT_EQ(s.name, "hand");
+  EXPECT_EQ(s.seed, 18446744073709551615ULL);  // 64-bit seeds survive
+  ASSERT_EQ(s.tasks.size(), 1u);
+  EXPECT_EQ(s.tasks[0].steps.size(), 3u);
+}
+
+TEST(ScenarioJson, MalformedInputReportsPosition) {
+  EXPECT_THROW((void)scenario_from_json("{"), std::invalid_argument);
+  EXPECT_THROW((void)scenario_from_json("[]"), std::invalid_argument);
+  EXPECT_THROW((void)scenario_from_json("{\"seed\": 1.5}"),
+               std::invalid_argument);
+  try {
+    (void)scenario_from_json("{\n  \"tasks\": [{\"op\": }]\n}");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+  // Structurally valid JSON but an invalid scenario.
+  EXPECT_THROW((void)scenario_from_json(
+                   R"({"geometry": {"pes": 0, "resources": 1}, "tasks": [
+                       {"name": "a", "pe": 0, "steps": []}]})"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioJson, InstallRunsOnAKernel) {
+  // The tiny scenario must install and execute as a real program.
+  const Scenario s = tiny_scenario();
+  ASSERT_TRUE(s.validate().empty());
+  sim::Simulator sim;
+  bus::SharedBus bus{3};
+  rtos::KernelConfig cfg;
+  cfg.pe_count = s.pe_count;
+  cfg.resource_count = s.resource_count;
+  cfg.max_tasks = s.tasks.size();
+  rtos::Kernel k(sim, bus, cfg,
+                 rtos::make_daa_software_strategy(s.resource_count,
+                                                  s.tasks.size(), cfg.costs),
+                 std::make_unique<rtos::SoftwarePiLockBackend>(4, cfg.costs),
+                 std::make_unique<rtos::SoftwareHeapBackend>(0x1000, 1 << 20,
+                                                             cfg.costs));
+  s.install(k);
+  k.start();
+  sim.run(s.run_limit);
+  EXPECT_TRUE(k.all_finished());
+}
+
+}  // namespace
+}  // namespace delta::fuzz

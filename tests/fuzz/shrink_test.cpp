@@ -1,0 +1,92 @@
+// Shrinker: every intermediate candidate stays well-formed, greedy
+// passes reach known minima, and the attempt budget is respected.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fuzz/differential.h"
+#include "fuzz/shrink.h"
+
+namespace delta::fuzz {
+namespace {
+
+Scenario generated(std::uint64_t seed) {
+  GeneratorParams params;
+  sim::Rng rng(seed);
+  Scenario s = random_scenario(params, rng);
+  s.seed = seed;
+  return s;
+}
+
+TEST(Shrink, EveryCandidateStaysValid) {
+  // The predicate sees each candidate before the shrinker accepts it;
+  // assert validity there, for several generated scenarios.
+  for (std::uint64_t seed : {1u, 7u, 23u}) {
+    const Scenario start = generated(seed);
+    std::size_t seen = 0;
+    const Scenario out = shrink(start, [&](const Scenario& cand) {
+      EXPECT_TRUE(cand.validate().empty());
+      ++seen;
+      return true;  // "still fails": shrink as far as possible
+    });
+    EXPECT_GT(seen, 0u);
+    // Greedy maximum shrink: one task, minimal steps, tight geometry.
+    EXPECT_EQ(out.tasks.size(), 1u);
+    EXPECT_TRUE(out.validate().empty());
+    EXPECT_EQ(out.lock_count, 0u);
+  }
+}
+
+TEST(Shrink, FindsTheFailingTaskPair) {
+  // Synthetic failure: "fails" iff tasks named t1 and t3 are both
+  // present. The shrinker must strip everything else.
+  const Scenario start = generated(5);
+  ASSERT_GE(start.tasks.size(), 4u);
+  auto has = [](const Scenario& s, const std::string& name) {
+    return std::any_of(s.tasks.begin(), s.tasks.end(),
+                       [&](const ScenarioTask& t) { return t.name == name; });
+  };
+  ShrinkStats stats;
+  const Scenario out = shrink(
+      start,
+      [&](const Scenario& cand) {
+        return has(cand, "t1") && has(cand, "t3");
+      },
+      {}, &stats);
+  EXPECT_EQ(out.tasks.size(), 2u);
+  EXPECT_TRUE(has(out, "t1") && has(out, "t3"));
+  EXPECT_GT(stats.accepted, 0u);
+}
+
+TEST(Shrink, RespectsAttemptBudget) {
+  const Scenario start = generated(9);
+  ShrinkOptions opts;
+  opts.max_attempts = 5;
+  ShrinkStats stats;
+  (void)shrink(start, [](const Scenario&) { return true; }, opts, &stats);
+  EXPECT_LE(stats.attempts, opts.max_attempts);
+}
+
+TEST(Shrink, DifferentialFailureShrinksToTinyRepro) {
+  // End to end on the real predicate: a generated scenario failing
+  // under the DAU grant fault must come back at <= 3 tasks with
+  // resources compacted to the ones the cycle needs.
+  const BackendPair& pair = find_pair("daa-dau");
+  auto fails = [&](const Scenario& cand) {
+    return run_pair(cand, pair, "dau-grant").failed();
+  };
+  // Find one failing seed deterministically.
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const Scenario s = generated(seed);
+    if (!fails(s)) continue;
+    const Scenario out = shrink(s, fails);
+    EXPECT_LE(out.tasks.size(), 3u) << "seed " << seed;
+    EXPECT_TRUE(fails(out)) << "seed " << seed;
+    EXPECT_TRUE(out.validate().empty());
+    return;
+  }
+  FAIL() << "no seed in 1..200 triggered the injected fault";
+}
+
+}  // namespace
+}  // namespace delta::fuzz

@@ -4,27 +4,27 @@
 #include <gtest/gtest.h>
 
 #include "rtos/kernel.h"
+#include "support/world.h"
 
 namespace delta::rtos {
 namespace {
 
-struct World {
-  sim::Simulator sim;
-  bus::SharedBus bus{5};
-  std::unique_ptr<Kernel> kernel;
+// The shared fixture, shaped like this suite's historical ad-hoc World:
+// DAA over the kernel's default 4-resource / 8-task geometry.
+struct World : tests::World {
+  explicit World(std::uint64_t heap_bytes = 1 << 20)
+      : tests::World(make_config(heap_bytes)) {}
+  using tests::World::run;
+  void run() { tests::World::run(10'000'000); }
 
-  explicit World(std::uint64_t heap_bytes = 1 << 20) {
-    KernelConfig cfg;
-    kernel = std::make_unique<Kernel>(
-        sim, bus, cfg, make_daa_software_strategy(4, 8, cfg.costs),
-        std::make_unique<SoftwarePiLockBackend>(8, cfg.costs),
-        std::make_unique<SoftwareHeapBackend>(0x1000, heap_bytes,
-                                              cfg.costs));
-  }
-  Kernel& k() { return *kernel; }
-  void run() {
-    kernel->start();
-    sim.run(10'000'000);
+ private:
+  static tests::WorldConfig make_config(std::uint64_t heap_bytes) {
+    tests::WorldConfig wc;
+    wc.strategy = tests::StrategyKind::kDaa;
+    wc.resource_count = 4;
+    wc.max_tasks = 8;
+    wc.heap_bytes = heap_bytes;
+    return wc;
   }
 };
 

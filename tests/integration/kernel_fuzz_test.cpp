@@ -5,6 +5,7 @@
 #include "rag/oracle.h"
 #include "rtos/kernel.h"
 #include "sim/random.h"
+#include "support/world.h"
 
 namespace delta::rtos {
 namespace {
@@ -13,44 +14,8 @@ constexpr std::size_t kPes = 4;
 constexpr std::size_t kRes = 5;
 constexpr std::size_t kTasks = 5;
 
-enum class Kind { kNone, kPdda, kDdu, kDaa, kDau };
-
-struct World {
-  sim::Simulator sim;
-  bus::SharedBus bus{5};
-  std::unique_ptr<Kernel> kernel;
-
-  World(Kind kind, RecoveryPolicy recovery) {
-    KernelConfig cfg;
-    cfg.pe_count = kPes;
-    cfg.resource_count = kRes;
-    cfg.max_tasks = kTasks;
-    cfg.recovery = recovery;
-    std::unique_ptr<DeadlockStrategy> strategy;
-    std::vector<std::size_t> masters = {0, 1, 2, 3, 0};
-    switch (kind) {
-      case Kind::kNone:
-        strategy = make_none_strategy(kRes, kTasks, cfg.costs);
-        break;
-      case Kind::kPdda:
-        strategy = make_pdda_software_strategy(kRes, kTasks, cfg.costs);
-        break;
-      case Kind::kDdu:
-        strategy = make_ddu_strategy(kRes, kTasks, cfg.costs, &bus, masters);
-        break;
-      case Kind::kDaa:
-        strategy = make_daa_software_strategy(kRes, kTasks, cfg.costs);
-        break;
-      case Kind::kDau:
-        strategy = make_dau_strategy(kRes, kTasks, cfg.costs, &bus, masters);
-        break;
-    }
-    kernel = std::make_unique<Kernel>(
-        sim, bus, cfg, std::move(strategy),
-        std::make_unique<SoftwarePiLockBackend>(8, cfg.costs),
-        std::make_unique<SoftwareHeapBackend>(0x1000, 1 << 20, cfg.costs));
-  }
-};
+using tests::StrategyKind;
+using tests::World;
 
 // Random acquire-use-release rounds; request order is randomized, which
 // manufactures deadlock opportunities.
@@ -97,7 +62,7 @@ void check_consistency(Kernel& k) {
 class FuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(FuzzTest, AvoidanceAlwaysCompletes) {
-  for (Kind kind : {Kind::kDaa, Kind::kDau}) {
+  for (StrategyKind kind : {StrategyKind::kDaa, StrategyKind::kDau}) {
     sim::Rng rng(GetParam());
     World w(kind, RecoveryPolicy::kNone);
     build_random_workload(*w.kernel, rng);
@@ -112,7 +77,7 @@ TEST_P(FuzzTest, AvoidanceAlwaysCompletes) {
 }
 
 TEST_P(FuzzTest, DetectionEitherFinishesOrCatchesDeadlock) {
-  for (Kind kind : {Kind::kPdda, Kind::kDdu}) {
+  for (StrategyKind kind : {StrategyKind::kPdda, StrategyKind::kDdu}) {
     sim::Rng rng(GetParam());
     World w(kind, RecoveryPolicy::kNone);
     build_random_workload(*w.kernel, rng);
@@ -132,7 +97,7 @@ TEST_P(FuzzTest, DetectionEitherFinishesOrCatchesDeadlock) {
 }
 
 TEST_P(FuzzTest, DetectionWithRecoveryAlwaysCompletes) {
-  for (Kind kind : {Kind::kPdda, Kind::kDdu}) {
+  for (StrategyKind kind : {StrategyKind::kPdda, StrategyKind::kDdu}) {
     sim::Rng rng(GetParam());
     World w(kind, RecoveryPolicy::kAbortLowestPriority);
     build_random_workload(*w.kernel, rng);
@@ -146,7 +111,7 @@ TEST_P(FuzzTest, DetectionWithRecoveryAlwaysCompletes) {
 
 TEST_P(FuzzTest, NoneStrategyStallsOnlyWithRealCycle) {
   sim::Rng rng(GetParam());
-  World w(Kind::kNone, RecoveryPolicy::kNone);
+  World w(StrategyKind::kNone, RecoveryPolicy::kNone);
   build_random_workload(*w.kernel, rng);
   w.kernel->start();
   w.sim.run(50'000'000);
