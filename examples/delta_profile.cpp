@@ -1,0 +1,270 @@
+// delta_profile — cycle-attribution profiler CLI.
+//
+// Runs Table 3 presets (or a fuzz-scenario JSON repro) with the
+// structured trace, the windowed sampler and the critical-path analyzer
+// attached, then writes:
+//   * a deterministic profile JSON: per-task cycle buckets
+//     (run/spin/blocked/overhead summing exactly to total), the longest
+//     blocking chain, and the per-object contention ranking;
+//   * optionally a Chrome trace-event document (counter tracks, named
+//     PE threads, wait-for flow arrows) for ui.perfetto.dev;
+//   * optionally a flat baseline JSON for scripts/bench_baseline.sh.
+//
+//   delta_profile                               # RTOS4 x mixed, seed 1
+//   delta_profile --preset 1,4 --chrome t.json
+//   delta_profile --scenario repro.json --out -
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/json.h"
+#include "exp/runner.h"
+#include "exp/trace_export.h"
+#include "exp/workloads.h"
+#include "fuzz/scenario_json.h"
+
+using namespace delta;
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+int usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --preset LIST       comma list of Table 3 rows (default kRtos4;\n"
+      "                      accepts 4 / RTOS4 / kRtos4)\n"
+      "  --scenario FILE     profile a fuzz-scenario JSON instead of a\n"
+      "                      workload (geometry comes from the scenario)\n"
+      "  --workload NAME     workload for preset runs (default mixed)\n"
+      "  --seed N            workload seed (default 1)\n"
+      "  --limit CYCLES      per-run cap (default 50000000, or the\n"
+      "                      scenario's run_limit)\n"
+      "  --threads N         worker threads (default 1; output is\n"
+      "                      byte-identical for any value)\n"
+      "  --sample-period N   windowed-sampler period (default 10000;\n"
+      "                      0 disables counter tracks)\n"
+      "  --trace-capacity N  structured-trace ring size (default 262144)\n"
+      "  --out FILE          profile JSON (default profile.json, '-' for\n"
+      "                      stdout)\n"
+      "  --chrome FILE       Chrome trace-event JSON (Perfetto)\n"
+      "  --baseline-out FILE flat per-run cycle baseline for\n"
+      "                      scripts/bench_baseline.sh\n"
+      "workloads: ",
+      argv0);
+  for (const std::string& n : exp::workload_names())
+    std::printf("%s ", n.c_str());
+  std::printf("\n");
+  return 2;
+}
+
+/// Wrap a fuzz scenario as a sweep workload, the same way the
+/// differential runner instantiates one: anonymous zero-cost resources,
+/// geometry forced to the scenario's.
+exp::Workload scenario_workload(const fuzz::Scenario& s) {
+  exp::Workload w;
+  w.name = s.name.empty() ? "scenario" : "scenario:" + s.name;
+  w.tune = [s](soc::MpsocConfig& mc) {
+    mc.pe_count = s.pe_count;
+    mc.max_tasks = std::max(mc.max_tasks, s.tasks.size());
+    mc.deadlock_unit_resources =
+        std::max(mc.deadlock_unit_resources, s.resource_count);
+    mc.resources.clear();
+    for (std::size_t r = 0; r < s.resource_count; ++r)
+      mc.resources.push_back({"q" + std::to_string(r + 1), 0});
+  };
+  w.build = [s](soc::Mpsoc& m, sim::Rng&) { s.install(m.kernel()); };
+  return w;
+}
+
+bool write_doc(const std::string& path, const std::string& doc,
+               const char* what) {
+  if (path == "-") {
+    std::fwrite(doc.data(), 1, doc.size(), stdout);
+    return true;
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << doc;
+  std::printf("%s written to %s (%zu bytes)\n", what, path.c_str(),
+              doc.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string presets = "4";
+  std::string scenario_path;
+  std::string workload = "mixed";
+  std::uint64_t seed = 1;
+  std::size_t threads = 1;
+  sim::Cycles sample_period = 10'000;
+  std::size_t trace_capacity = 262'144;
+  std::string out_path = "profile.json";
+  std::string chrome_path;
+  std::string baseline_path;
+  exp::SweepSpec spec;
+  bool limit_set = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--preset" || arg == "--presets") presets = next();
+    else if (arg == "--scenario") scenario_path = next();
+    else if (arg == "--workload") workload = next();
+    else if (arg == "--seed") seed = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--threads") threads = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--limit") {
+      spec.run_limit = std::strtoull(next(), nullptr, 10);
+      limit_set = true;
+    }
+    else if (arg == "--sample-period")
+      sample_period = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--trace-capacity")
+      trace_capacity = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--out") out_path = next();
+    else if (arg == "--chrome") chrome_path = next();
+    else if (arg == "--baseline-out") baseline_path = next();
+    else return usage(argv[0]);
+  }
+
+  try {
+    for (const std::string& p : split(presets, ','))
+      spec.configs.push_back(
+          exp::preset_point(soc::rtos_preset_from_string(p)));
+    if (scenario_path.empty()) {
+      spec.workloads.push_back(exp::find_workload(workload));
+      // The built-in workloads are deadlock-free by construction; don't
+      // freeze detection presets on a false positive-free run.
+      for (exp::ConfigPoint& cp : spec.configs)
+        cp.config.stop_on_deadlock = false;
+    } else {
+      std::ifstream in(scenario_path, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "cannot read %s\n", scenario_path.c_str());
+        return 2;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      const fuzz::Scenario s = fuzz::scenario_from_json(buf.str());
+      const auto problems = s.validate();
+      if (!problems.empty()) {
+        std::fprintf(stderr, "invalid scenario: %s\n", problems[0].c_str());
+        return 2;
+      }
+      spec.workloads.push_back(scenario_workload(s));
+      if (!limit_set) spec.run_limit = s.run_limit;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  spec.seeds = {seed};
+  spec.profile = true;
+  spec.sample_period = sample_period;
+  spec.trace_capacity = trace_capacity;
+
+  exp::RunnerOptions opt;
+  opt.threads = threads;
+  const exp::SweepReport report = exp::run_sweep(spec, opt);
+
+  for (const exp::RunResult& r : report.runs) {
+    if (!r.ok) {
+      std::fprintf(stderr, "FAIL %s/%s: %s\n", r.config.c_str(),
+                   r.workload.c_str(), r.error.c_str());
+      continue;
+    }
+    std::printf("%-7s %-16s exec %llu cycles, critical path %llu cycles "
+                "(%zu links), %llu trace events (%llu dropped)\n",
+                r.config.c_str(), r.workload.c_str(),
+                static_cast<unsigned long long>(r.app_run_time),
+                static_cast<unsigned long long>(r.profile.critical_path_cycles),
+                r.profile.critical_path.size(),
+                static_cast<unsigned long long>(r.profile.events_seen),
+                static_cast<unsigned long long>(r.profile.events_dropped));
+  }
+
+  // Profile document: one entry per run, deterministic bytes.
+  exp::JsonWriter w;
+  w.begin_object();
+  w.key("runs").begin_array();
+  for (const exp::RunResult& r : report.runs) {
+    w.begin_object();
+    w.key("config").value(r.config);
+    w.key("workload").value(r.workload);
+    w.key("seed").value(r.seed);
+    w.key("ok").value(r.ok);
+    if (!r.ok) {
+      w.key("error").value(r.error);
+      w.end_object();
+      continue;
+    }
+    w.key("sim_cycles").value(static_cast<std::uint64_t>(r.sim_cycles));
+    w.key("app_run_time").value(static_cast<std::uint64_t>(r.app_run_time));
+    w.key("deadlock_detected").value(r.deadlock_detected);
+    w.key("profile");
+    exp::write_profile(w, r.profile, r.timeseries);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::string doc = w.str();
+  doc += '\n';
+  if (!write_doc(out_path, doc, "profile")) return 1;
+
+  if (!chrome_path.empty()) {
+    const std::string trace = exp::report_trace_to_chrome_json(report);
+    if (!write_doc(chrome_path, trace, "chrome trace")) return 1;
+  }
+
+  if (!baseline_path.empty()) {
+    // Flat per-run cycle counts for scripts/bench_baseline.sh: stable
+    // keys, integers only, one line per run when filtered with grep.
+    exp::JsonWriter bw;
+    bw.begin_object();
+    for (const exp::RunResult& r : report.runs) {
+      if (!r.ok) continue;
+      bw.key(r.config + "/" + r.workload + "/s" + std::to_string(r.seed))
+          .begin_object();
+      bw.key("app_run_time").value(static_cast<std::uint64_t>(r.app_run_time));
+      bw.key("sim_cycles").value(static_cast<std::uint64_t>(r.sim_cycles));
+      bw.key("critical_path_cycles")
+          .value(static_cast<std::uint64_t>(r.profile.critical_path_cycles));
+      bw.end_object();
+    }
+    bw.end_object();
+    std::string bdoc = bw.str();
+    bdoc += '\n';
+    if (!write_doc(baseline_path, bdoc, "baseline")) return 1;
+  }
+
+  return report.failed() == 0 ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Performance baselines for the seven Table 3 presets.
+#
+#   scripts/bench_baseline.sh write   [build-dir]
+#   scripts/bench_baseline.sh compare [build-dir] [tolerance-%]
+#
+# `write` runs delta_profile over RTOS1..RTOS7 (mixed workload, seed 1)
+# and stores the per-preset cycle counts in bench/BENCH_presets.json.
+# `compare` re-runs the same cells and exits non-zero when any preset's
+# app_run_time drifted from the committed baseline by more than the
+# tolerance (default 2%). The counts are simulated cycles — fully
+# deterministic — so any drift is a real cost-model change, never noise;
+# refresh the baseline deliberately with `write` when such a change is
+# intended.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-compare}"
+BUILD="${2:-build}"
+TOL="${3:-2}"
+BASELINE=bench/BENCH_presets.json
+PROFILE="$BUILD/examples/delta_profile"
+
+if [[ ! -x "$PROFILE" ]]; then
+  echo "error: $PROFILE not built (cmake --build $BUILD -j)" >&2
+  exit 2
+fi
+
+run_presets() {
+  "$PROFILE" --preset 1,2,3,4,5,6,7 --workload mixed --seed 1 \
+    --sample-period 10000 --out /dev/null --baseline-out "$1" >/dev/null
+}
+
+case "$MODE" in
+  write)
+    mkdir -p bench
+    run_presets "$BASELINE"
+    echo "baseline written to $BASELINE"
+    ;;
+  compare)
+    if [[ ! -f "$BASELINE" ]]; then
+      echo "error: $BASELINE missing (run: $0 write $BUILD)" >&2
+      exit 2
+    fi
+    CURRENT="$(mktemp)"
+    trap 'rm -f "$CURRENT"' EXIT
+    run_presets "$CURRENT"
+    python3 - "$BASELINE" "$CURRENT" "$TOL" <<'EOF'
+import json, sys
+
+base = json.load(open(sys.argv[1]))
+cur = json.load(open(sys.argv[2]))
+tol = float(sys.argv[3])
+failed = False
+for key in sorted(base):
+    if key not in cur:
+        print(f"MISSING {key}: in baseline but not in current run")
+        failed = True
+        continue
+    b = base[key]["app_run_time"]
+    c = cur[key]["app_run_time"]
+    drift = 0.0 if b == 0 else 100.0 * (c - b) / b
+    mark = "OK " if abs(drift) <= tol else "FAIL"
+    if abs(drift) > tol:
+        failed = True
+    print(f"{mark} {key}: baseline {b} current {c} drift {drift:+.2f}%")
+for key in sorted(set(cur) - set(base)):
+    print(f"NEW  {key}: not in baseline (run write to record it)")
+if failed:
+    print(f"baseline comparison FAILED (tolerance {tol}%)")
+    sys.exit(1)
+print(f"baseline comparison OK (tolerance {tol}%)")
+EOF
+    ;;
+  *)
+    echo "usage: $0 {write|compare} [build-dir] [tolerance-%]" >&2
+    exit 2
+    ;;
+esac

@@ -165,6 +165,97 @@ void write_accumulator(JsonWriter& w, const sim::Accumulator& a) {
   w.end_object();
 }
 
+/// Labels for wait-span objects, recovered from the contention table
+/// (which aggregates every annotated span, so every (kind, object) pair
+/// a span can mention is present).
+std::map<std::pair<std::uint8_t, std::uint64_t>, const std::string*>
+contention_labels(const obs::ProfileReport& p) {
+  std::map<std::pair<std::uint8_t, std::uint64_t>, const std::string*> out;
+  for (const obs::ContentionEntry& c : p.contention)
+    out[{static_cast<std::uint8_t>(c.kind), c.object}] = &c.label;
+  return out;
+}
+
+}  // namespace
+
+void write_profile(JsonWriter& w, const obs::ProfileReport& p,
+                   const obs::TimeSeries& ts) {
+  const auto labels = contention_labels(p);
+  const auto span_label = [&](const obs::WaitSpan& s) -> std::string {
+    const auto it =
+        labels.find({static_cast<std::uint8_t>(s.object_kind), s.object});
+    if (it != labels.end()) return *it->second;
+    return obs::object_label(s.object_kind, s.object, {});
+  };
+  const auto task_name = [&](std::uint32_t id) -> std::string {
+    return id < p.tasks.size() ? p.tasks[id].name : std::to_string(id);
+  };
+
+  w.begin_object();
+  w.key("horizon").value(static_cast<std::uint64_t>(p.horizon));
+  w.key("events_seen").value(p.events_seen);
+  w.key("events_dropped").value(p.events_dropped);
+  w.key("tasks").begin_array();
+  for (const obs::TaskBuckets& t : p.tasks) {
+    w.begin_object();
+    w.key("task").value(static_cast<std::uint64_t>(t.task));
+    w.key("name").value(t.name);
+    w.key("pe").value(static_cast<std::uint64_t>(t.pe));
+    w.key("total").value(static_cast<std::uint64_t>(t.total));
+    w.key("run").value(static_cast<std::uint64_t>(t.run));
+    w.key("spin").value(static_cast<std::uint64_t>(t.spin));
+    w.key("blocked").value(static_cast<std::uint64_t>(t.blocked));
+    w.key("overhead").value(static_cast<std::uint64_t>(t.overhead));
+    w.key("sched_wait").value(static_cast<std::uint64_t>(t.sched_wait));
+    w.key("service").value(static_cast<std::uint64_t>(t.service));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("wait_spans").value(static_cast<std::uint64_t>(p.wait_spans.size()));
+  w.key("critical_path_cycles")
+      .value(static_cast<std::uint64_t>(p.critical_path_cycles));
+  w.key("critical_path").begin_array();
+  for (const obs::WaitSpan& s : p.critical_path) {
+    w.begin_object();
+    w.key("waiter").value(static_cast<std::uint64_t>(s.waiter));
+    w.key("waiter_name").value(task_name(s.waiter));
+    w.key("object").value(span_label(s));
+    w.key("kind").value(obs::wait_object_name(s.object_kind));
+    if (s.has_holder) {
+      w.key("holder").value(static_cast<std::uint64_t>(s.holder));
+      w.key("holder_name").value(task_name(s.holder));
+    }
+    w.key("begin").value(static_cast<std::uint64_t>(s.begin));
+    w.key("end").value(static_cast<std::uint64_t>(s.end));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("contention").begin_array();
+  for (const obs::ContentionEntry& c : p.contention) {
+    w.begin_object();
+    w.key("object").value(c.label);
+    w.key("kind").value(obs::wait_object_name(c.kind));
+    w.key("waits").value(c.waits);
+    w.key("blocked_cycles").value(static_cast<std::uint64_t>(c.blocked_cycles));
+    w.key("spin_cycles").value(static_cast<std::uint64_t>(c.spin_cycles));
+    w.end_object();
+  }
+  w.end_array();
+  // Series summary: per-track integrals, not raw samples — the full
+  // resolution lives in the Chrome export's counter tracks.
+  w.key("timeseries").begin_object();
+  w.key("period").value(static_cast<std::uint64_t>(ts.period()));
+  w.key("samples").value(static_cast<std::uint64_t>(ts.samples().size()));
+  w.key("totals").begin_object();
+  for (std::size_t i = 0; i < ts.tracks().size(); ++i)
+    w.key(ts.tracks()[i]).value(ts.total(i));
+  w.end_object();
+  w.end_object();
+  w.end_object();
+}
+
+namespace {
+
 void write_run(JsonWriter& w, const RunResult& r) {
   w.begin_object();
   w.key("config").value(r.config);
@@ -221,10 +312,23 @@ void write_run(JsonWriter& w, const RunResult& r) {
   }
   w.end_object();
   w.end_object();
+  if (r.has_profile) {
+    w.key("profile");
+    write_profile(w, r.profile, r.timeseries);
+  }
   w.end_object();
 }
 
 }  // namespace
+
+std::string profile_to_json(const obs::ProfileReport& profile,
+                            const obs::TimeSeries& series) {
+  JsonWriter w;
+  write_profile(w, profile, series);
+  std::string out = w.str();
+  out += '\n';
+  return out;
+}
 
 std::string report_to_json(const SweepSpec& spec,
                            const SweepReport& report) {

@@ -51,4 +51,16 @@ class JsonWriter {
 [[nodiscard]] std::string report_to_json(const SweepSpec& spec,
                                          const SweepReport& report);
 
+/// Write one cycle-attribution profile (obs/critpath.h) plus its
+/// windowed-series summary as a JSON value into an in-progress writer
+/// (sweep reports embed it as the per-run "profile" block). The payload
+/// is all-integer — the same run always serializes to the same bytes,
+/// which the profile determinism tests pin.
+void write_profile(JsonWriter& w, const obs::ProfileReport& profile,
+                   const obs::TimeSeries& series);
+
+/// The same profile as a standalone document (ends with a newline).
+[[nodiscard]] std::string profile_to_json(const obs::ProfileReport& profile,
+                                          const obs::TimeSeries& series);
+
 }  // namespace delta::exp

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "soc/profile.h"
+
 namespace delta::exp {
 
 namespace {
@@ -72,6 +74,7 @@ RunResult execute_run(const RunSpec& rs, const SweepSpec& spec) {
     if (rs.config->tune) rs.config->tune(mc);
     mc.trace = spec.trace;
     mc.trace_capacity = spec.trace_capacity;
+    mc.sample_period = spec.sample_period;
 
     soc::Mpsoc soc(mc);
     sim::Rng rng(rs.run_seed);
@@ -98,6 +101,12 @@ RunResult execute_run(const RunSpec& rs, const SweepSpec& spec) {
     if (soc.observer().trace.enabled()) {
       r.trace_events = soc.observer().trace.events();
       r.trace_dropped = soc.observer().trace.dropped();
+    }
+    r.pe_count = mc.pe_count;
+    if (spec.profile) {
+      r.profile = soc::profile_report(soc);
+      r.has_profile = true;
+      r.timeseries = soc.time_series();
     }
     r.ok = true;
   } catch (const std::exception& e) {

@@ -15,7 +15,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/critpath.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "sim/random.h"
 #include "sim/stats.h"
@@ -62,6 +64,15 @@ struct SweepSpec {
   /// keeps tracing disabled. Enabled runs carry their retained events in
   /// RunResult::trace_events for the Chrome exporter (exp/trace_export.h).
   std::size_t trace_capacity = 0;
+  /// Attach the cycle-attribution profiler: every ok run carries an
+  /// obs::ProfileReport in RunResult::profile (serialized as the run's
+  /// "profile" block by exp/json.h). Pair with trace_capacity > 0 —
+  /// spin/service/wait attribution comes from the structured trace;
+  /// without it only the phase-level buckets are populated.
+  bool profile = false;
+  /// Windowed-sampler period forwarded to MpsocConfig::sample_period;
+  /// 0 disables sampling. Samples land in RunResult::timeseries.
+  sim::Cycles sample_period = 0;
 };
 
 /// Derive the seed for one cell. Pure function of the cell coordinates
@@ -123,6 +134,16 @@ struct RunResult {
   /// Structured trace (only when SweepSpec::trace_capacity > 0).
   std::vector<obs::Event> trace_events;
   std::uint64_t trace_dropped = 0;
+
+  /// The run's PE count (names trace threads; the extra bus master is
+  /// the hardware-unit port).
+  std::size_t pe_count = 0;
+
+  /// Cycle-attribution profile (only when SweepSpec::profile).
+  bool has_profile = false;
+  obs::ProfileReport profile;
+  /// Windowed samples (non-empty when SweepSpec::sample_period > 0).
+  obs::TimeSeries timeseries;
 };
 
 /// Execute one cell: build the Mpsoc, instantiate the workload, run the

@@ -1,5 +1,8 @@
 #include "exp/trace_export.h"
 
+#include <map>
+#include <utility>
+
 #include "obs/chrome_trace.h"
 
 namespace delta::exp {
@@ -7,12 +10,41 @@ namespace delta::exp {
 std::string report_trace_to_chrome_json(const SweepReport& report) {
   std::vector<obs::ProcessTrace> processes;
   for (const RunResult& r : report.runs) {
-    if (!r.ok || r.trace_events.empty()) continue;
+    if (!r.ok) continue;
+    if (r.trace_events.empty() && r.timeseries.empty()) continue;
     obs::ProcessTrace pt;
     pt.pid = static_cast<std::uint32_t>(r.index);
     pt.name = r.config + "/" + r.workload + "/s" + std::to_string(r.seed);
     pt.events = r.trace_events;
     pt.dropped = r.trace_dropped;
+    pt.pe_count = r.pe_count;
+    pt.series = r.timeseries;
+    if (r.has_profile) {
+      // Wait-for spans with a known holder become flow arrows between
+      // the waiter's and the holder's PE rows.
+      std::map<std::pair<std::uint8_t, std::uint64_t>, const std::string*>
+          labels;
+      for (const obs::ContentionEntry& c : r.profile.contention)
+        labels[{static_cast<std::uint8_t>(c.kind), c.object}] = &c.label;
+      for (const obs::WaitSpan& s : r.profile.wait_spans) {
+        if (!s.has_holder) continue;
+        if (s.waiter >= r.profile.tasks.size() ||
+            s.holder >= r.profile.tasks.size())
+          continue;
+        obs::FlowArrow fa;
+        fa.from_tid = r.profile.tasks[s.waiter].pe;
+        fa.to_tid = r.profile.tasks[s.holder].pe;
+        fa.ts = s.begin;
+        const auto it = labels.find(
+            {static_cast<std::uint8_t>(s.object_kind), s.object});
+        const std::string label =
+            it != labels.end()
+                ? *it->second
+                : obs::object_label(s.object_kind, s.object, {});
+        fa.name = r.profile.tasks[s.waiter].name + " waits " + label;
+        pt.flows.push_back(std::move(fa));
+      }
+    }
     processes.push_back(std::move(pt));
   }
   return obs::chrome_trace_json(processes);

@@ -1,6 +1,7 @@
 #include "obs/chrome_trace.h"
 
 #include <cstdio>
+#include <set>
 
 namespace delta::obs {
 
@@ -23,6 +24,8 @@ ArgNames arg_names(EventKind kind) {
     case EventKind::kAlloc: return {"bytes", "shared"};
     case EventKind::kFree: return {"addr", nullptr};
     case EventKind::kContextSwitch: return {"task", nullptr};
+    case EventKind::kKernelService: return {"task", nullptr};
+    case EventKind::kWaitFor: return {};  // decoded args, special-cased
   }
   return {};
 }
@@ -64,6 +67,8 @@ const char* event_category(EventKind kind) {
     case EventKind::kAlloc:
     case EventKind::kFree: return "mem";
     case EventKind::kContextSwitch: return "sched";
+    case EventKind::kKernelService: return "kernel";
+    case EventKind::kWaitFor: return "dep";
   }
   return "other";
 }
@@ -91,6 +96,41 @@ std::string chrome_trace_json(const std::vector<ProcessTrace>& processes) {
       out += " events)";
     }
     out += "\"}}";
+    if (p.dropped != 0) {
+      sep();
+      out += "{\"ph\": \"M\", \"pid\": ";
+      append_u64(out, p.pid);
+      out += ", \"name\": \"process_labels\", \"args\": {\"labels\": "
+             "\"dropped ";
+      append_u64(out, p.dropped);
+      out += " events\"}}";
+    }
+    // Thread names: the PEs plus the hardware units' bus-master port.
+    std::set<std::uint16_t> tids;
+    for (std::size_t pe = 0; pe < p.pe_count; ++pe)
+      tids.insert(static_cast<std::uint16_t>(pe));
+    if (p.pe_count != 0)  // the hardware units' bus-master port
+      tids.insert(static_cast<std::uint16_t>(p.pe_count));
+    for (const Event& e : p.events) tids.insert(e.pe);
+    for (const FlowArrow& f : p.flows) {
+      tids.insert(f.from_tid);
+      tids.insert(f.to_tid);
+    }
+    for (const std::uint16_t tid : tids) {
+      sep();
+      out += "{\"ph\": \"M\", \"pid\": ";
+      append_u64(out, p.pid);
+      out += ", \"tid\": ";
+      append_u64(out, tid);
+      out += ", \"name\": \"thread_name\", \"args\": {\"name\": \"";
+      if (p.pe_count != 0 && tid == p.pe_count)
+        out += "HW units";
+      else {
+        out += "PE";
+        append_u64(out, tid);
+      }
+      out += "\"}}";
+    }
     for (const Event& e : p.events) {
       sep();
       out += "{\"ph\": \"X\", \"pid\": ";
@@ -106,21 +146,74 @@ std::string chrome_trace_json(const std::vector<ProcessTrace>& processes) {
       out += "\", \"cat\": \"";
       out += event_category(e.kind);
       out += "\"";
-      const ArgNames names = arg_names(e.kind);
-      if (names.a0 != nullptr) {
-        out += ", \"args\": {\"";
-        out += names.a0;
-        out += "\": ";
+      if (e.kind == EventKind::kWaitFor) {
+        // Decoded dependency payload: who waits on what, held by whom.
+        const WaitForInfo info = unpack_wait_for(e.a1);
+        out += ", \"args\": {\"waiter\": ";
         append_u64(out, e.a0);
-        if (names.a1 != nullptr) {
-          out += ", \"";
-          out += names.a1;
-          out += "\": ";
-          append_u64(out, e.a1);
+        out += ", \"kind\": \"";
+        out += wait_object_name(info.kind);
+        out += "\", \"object\": ";
+        append_u64(out, info.object);
+        if (info.has_holder) {
+          out += ", \"holder\": ";
+          append_u64(out, info.holder);
         }
         out += "}";
+      } else {
+        const ArgNames names = arg_names(e.kind);
+        if (names.a0 != nullptr) {
+          out += ", \"args\": {\"";
+          out += names.a0;
+          out += "\": ";
+          append_u64(out, e.a0);
+          if (names.a1 != nullptr) {
+            out += ", \"";
+            out += names.a1;
+            out += "\": ";
+            append_u64(out, e.a1);
+          }
+          out += "}";
+        }
       }
       out += "}";
+    }
+    // Windowed samples as one counter track per series track.
+    for (const TimeSeries::Sample& s : p.series.samples()) {
+      for (std::size_t t = 0; t < p.series.tracks().size(); ++t) {
+        sep();
+        out += "{\"ph\": \"C\", \"pid\": ";
+        append_u64(out, p.pid);
+        out += ", \"ts\": ";
+        append_u64(out, static_cast<std::uint64_t>(s.t));
+        out += ", \"name\": \"";
+        append_escaped(out, p.series.tracks()[t]);
+        out += "\", \"args\": {\"value\": ";
+        append_u64(out, s.values[t]);
+        out += "}}";
+      }
+    }
+    // Wait-for arrows: a flow start on the waiter's thread bound to its
+    // kWaitFor instant, finishing on the holder's thread.
+    for (std::size_t i = 0; i < p.flows.size(); ++i) {
+      const FlowArrow& f = p.flows[i];
+      const std::uint64_t id =
+          (static_cast<std::uint64_t>(p.pid) << 32) | i;
+      for (const bool start : {true, false}) {
+        sep();
+        out += start ? "{\"ph\": \"s\"" : "{\"ph\": \"f\", \"bp\": \"e\"";
+        out += ", \"pid\": ";
+        append_u64(out, p.pid);
+        out += ", \"tid\": ";
+        append_u64(out, start ? f.from_tid : f.to_tid);
+        out += ", \"ts\": ";
+        append_u64(out, static_cast<std::uint64_t>(f.ts));
+        out += ", \"id\": ";
+        append_u64(out, id);
+        out += ", \"cat\": \"dep\", \"name\": \"";
+        append_escaped(out, f.name);
+        out += "\"}";
+      }
     }
   }
   out += "\n]}\n";

@@ -11,9 +11,19 @@
 #include <string>
 #include <vector>
 
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace delta::obs {
+
+/// One wait-for dependency rendered as a flow arrow between threads
+/// (waiter PE -> holder PE) at the instant the waiter blocked.
+struct FlowArrow {
+  std::uint16_t from_tid = 0;  ///< waiter's PE
+  std::uint16_t to_tid = 0;    ///< holder's PE
+  sim::Cycles ts = 0;          ///< block time
+  std::string name;            ///< e.g. "t2 waits IDCT"
+};
 
 /// One simulation's worth of events, exported as one trace "process".
 struct ProcessTrace {
@@ -21,6 +31,14 @@ struct ProcessTrace {
   std::string name;           ///< shown as the process name in the UI
   std::vector<Event> events;  ///< chronological (TraceRecorder::events())
   std::uint64_t dropped = 0;  ///< ring overflow count, surfaced as metadata
+  /// PE count of the run: tids [0, pe_count) are named "PE<i>" and tid
+  /// pe_count (the extra bus-master port) "HW units". 0 = unknown.
+  std::size_t pe_count = 0;
+  /// Windowed samples, exported as "ph":"C" counter tracks (one per
+  /// series track). Empty = no counters.
+  TimeSeries series;
+  /// Wait-for arrows ("ph":"s"/"f" flow pairs).
+  std::vector<FlowArrow> flows;
 };
 
 /// Category string used for the "cat" field, e.g. "bus", "lock".

@@ -1,0 +1,27 @@
+#include "obs/timeseries.h"
+
+#include <stdexcept>
+
+namespace delta::obs {
+
+void TimeSeries::append(sim::Cycles t, std::vector<std::uint64_t> values) {
+  if (values.size() != tracks_.size())
+    throw std::invalid_argument("TimeSeries::append: value count != tracks");
+  if (!samples_.empty() && t <= samples_.back().t)
+    throw std::invalid_argument("TimeSeries::append: non-increasing time");
+  samples_.push_back(Sample{t, std::move(values)});
+}
+
+std::int64_t TimeSeries::track_index(const std::string& name) const {
+  for (std::size_t i = 0; i < tracks_.size(); ++i)
+    if (tracks_[i] == name) return static_cast<std::int64_t>(i);
+  return -1;
+}
+
+std::uint64_t TimeSeries::total(std::size_t track) const {
+  std::uint64_t sum = 0;
+  for (const Sample& s : samples_) sum += s.values.at(track);
+  return sum;
+}
+
+}  // namespace delta::obs

@@ -1,0 +1,64 @@
+// Windowed time-series sampling model.
+//
+// A TimeSeries is a fixed set of named tracks sampled at a configurable
+// simulated-time period: one Sample per window boundary carrying one
+// u64 value per track. The sampler itself lives where the sampled state
+// lives (soc::Mpsoc drives its simulator in period-sized chunks and
+// probes between chunks); this module only owns the data model and its
+// invariants, so the exp layer and the Chrome exporter (counter tracks)
+// can consume series without knowing what produced them.
+//
+// Convention: tracks may carry either per-window deltas (busy cycles,
+// words, polls — integrating them over all windows reproduces the
+// end-of-run totals exactly) or instantaneous gauges (queue depth, heap
+// bytes). The producer documents which is which via the track name.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/sim_time.h"
+
+namespace delta::obs {
+
+/// A sampled multi-track series. Deterministic value type: plain data,
+/// appended in time order.
+class TimeSeries {
+ public:
+  /// One window boundary: the sample time and one value per track.
+  struct Sample {
+    sim::Cycles t = 0;
+    std::vector<std::uint64_t> values;
+  };
+
+  TimeSeries() = default;
+  TimeSeries(sim::Cycles period, std::vector<std::string> tracks)
+      : period_(period), tracks_(std::move(tracks)) {}
+
+  [[nodiscard]] sim::Cycles period() const { return period_; }
+  [[nodiscard]] const std::vector<std::string>& tracks() const {
+    return tracks_;
+  }
+  [[nodiscard]] const std::vector<Sample>& samples() const {
+    return samples_;
+  }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  /// Append one sample. Enforces the invariants consumers rely on:
+  /// one value per track, strictly increasing sample times.
+  void append(sim::Cycles t, std::vector<std::uint64_t> values);
+
+  /// Index of a track by name, or -1.
+  [[nodiscard]] std::int64_t track_index(const std::string& name) const;
+
+  /// Sum of one track over all samples (the integral of a delta track).
+  [[nodiscard]] std::uint64_t total(std::size_t track) const;
+
+ private:
+  sim::Cycles period_ = 0;
+  std::vector<std::string> tracks_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace delta::obs

@@ -13,8 +13,41 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kAlloc: return "alloc";
     case EventKind::kFree: return "free";
     case EventKind::kContextSwitch: return "context_switch";
+    case EventKind::kKernelService: return "kernel_service";
+    case EventKind::kWaitFor: return "wait_for";
   }
   return "unknown";
+}
+
+const char* wait_object_name(WaitObject kind) {
+  switch (kind) {
+    case WaitObject::kResource: return "resource";
+    case WaitObject::kLock: return "lock";
+    case WaitObject::kSemaphore: return "semaphore";
+    case WaitObject::kMailbox: return "mailbox";
+    case WaitObject::kQueue: return "queue";
+    case WaitObject::kEvent: return "event";
+    case WaitObject::kDevice: return "device";
+    case WaitObject::kOther: return "other";
+  }
+  return "unknown";
+}
+
+std::uint64_t pack_wait_for(const WaitForInfo& info) {
+  std::uint64_t a1 = info.object;
+  a1 |= static_cast<std::uint64_t>(info.holder) << 32;
+  if (info.has_holder) a1 |= std::uint64_t{1} << 48;
+  a1 |= static_cast<std::uint64_t>(info.kind) << 56;
+  return a1;
+}
+
+WaitForInfo unpack_wait_for(std::uint64_t a1) {
+  WaitForInfo info;
+  info.object = static_cast<std::uint32_t>(a1 & 0xffff'ffffULL);
+  info.holder = static_cast<std::uint16_t>((a1 >> 32) & 0xffffULL);
+  info.has_holder = ((a1 >> 48) & 1ULL) != 0;
+  info.kind = static_cast<WaitObject>((a1 >> 56) & 0xffULL);
+  return info;
 }
 
 void TraceRecorder::enable(std::size_t capacity) {

@@ -31,10 +31,42 @@ enum class EventKind : std::uint8_t {
   kAlloc,            ///< a0 = size in bytes, a1 = 1 if shared region
   kFree,             ///< a0 = virtual address being freed
   kContextSwitch,    ///< a0 = incoming task id
+  kKernelService,    ///< a0 = serviced task id (~0 = none); dur = cycles
+  kWaitFor,          ///< a0 = waiter task id, a1 = pack_wait_for() payload
 };
 
 /// Human-readable identifier, e.g. "bus_transfer". Never returns null.
 [[nodiscard]] const char* event_kind_name(EventKind kind);
+
+/// What class of object a kWaitFor edge points at. Values are stable —
+/// they are packed into exported trace payloads.
+enum class WaitObject : std::uint8_t {
+  kResource = 0,  ///< resource-manager resource (object = ResourceId)
+  kLock = 1,      ///< lock (object = LockId)
+  kSemaphore = 2,
+  kMailbox = 3,
+  kQueue = 4,
+  kEvent = 5,
+  kDevice = 6,  ///< blocked for a device-job completion interrupt
+  kOther = 7,
+};
+
+/// Short identifier ("resource", "lock", ...). Never returns null.
+[[nodiscard]] const char* wait_object_name(WaitObject kind);
+
+/// Decoded kWaitFor payload: what the waiter blocked on and — when the
+/// kernel can name one — which task currently holds that object.
+struct WaitForInfo {
+  std::uint32_t object = 0;  ///< id within the kind's namespace
+  WaitObject kind = WaitObject::kResource;
+  bool has_holder = false;
+  std::uint16_t holder = 0;  ///< holder task id, valid iff has_holder
+};
+
+/// Pack/unpack the a1 slot of a kWaitFor event:
+/// bits 0..31 object, 32..47 holder, 48 has_holder, 56..63 kind.
+[[nodiscard]] std::uint64_t pack_wait_for(const WaitForInfo& info);
+[[nodiscard]] WaitForInfo unpack_wait_for(std::uint64_t a1);
 
 /// One recorded occurrence. Kept flat and trivially copyable; 40 bytes.
 struct Event {

@@ -417,13 +417,74 @@ void Kernel::finish_task(TaskId id) {
   reschedule(t.pe);
 }
 
-void Kernel::block_task(TaskId id, WaitKind why) {
+void Kernel::block_task(TaskId id, WaitKind why, std::uint64_t object) {
   Task& t = task(id);
+  record_wait_for(t, why, object);
   set_state(id, TaskState::kBlocked);
   t.wait_kind = why;
   t.blocked_since = sim_.now();
   if (running_[t.pe] == id) running_[t.pe] = kNoTask;
   reschedule(t.pe);
+}
+
+void Kernel::record_wait_for(const Task& t, WaitKind why,
+                             std::uint64_t object) {
+  if (!obs_->trace.enabled()) return;
+  const auto pe16 = static_cast<std::uint16_t>(t.pe);
+  const sim::Cycles now = sim_.now();
+  auto emit = [&](obs::WaitObject kind, std::uint64_t obj, TaskId holder) {
+    obs::WaitForInfo info;
+    info.kind = kind;
+    info.object = static_cast<std::uint32_t>(obj);
+    if (holder != kNoTask) {
+      info.has_holder = true;
+      info.holder = static_cast<std::uint16_t>(holder);
+    }
+    obs_->trace.record(obs::EventKind::kWaitFor, pe16, now, 0, t.id,
+                       obs::pack_wait_for(info));
+  };
+  switch (why) {
+    case WaitKind::kResources:
+      // One edge per awaited resource; single-unit resources have at
+      // most one holder, found in the task table (id order, so the
+      // trace stays deterministic).
+      for (const ResourceId res : t.waiting_for) {
+        TaskId holder = kNoTask;
+        for (const auto& tp : tasks_) {
+          if (tp->id != t.id && tp->held.count(res) != 0) {
+            holder = tp->id;
+            break;
+          }
+        }
+        emit(obs::WaitObject::kResource, res, holder);
+      }
+      return;
+    case WaitKind::kLock: {
+      const auto it = waiting_lock_.find(t.id);
+      const LockId lk =
+          it != waiting_lock_.end() ? it->second : static_cast<LockId>(object);
+      emit(obs::WaitObject::kLock, lk, locks_->owner(lk));
+      return;
+    }
+    case WaitKind::kDevice:
+      emit(obs::WaitObject::kDevice, object, kNoTask);
+      return;
+    case WaitKind::kSemaphore:
+      emit(obs::WaitObject::kSemaphore, object, kNoTask);
+      return;
+    case WaitKind::kMailbox:
+      emit(obs::WaitObject::kMailbox, object, kNoTask);
+      return;
+    case WaitKind::kQueue:
+      emit(obs::WaitObject::kQueue, object, kNoTask);
+      return;
+    case WaitKind::kEvents:
+      emit(obs::WaitObject::kEvent, object, kNoTask);
+      return;
+    default:
+      emit(obs::WaitObject::kOther, object, kNoTask);
+      return;
+  }
 }
 
 void Kernel::wake_task(TaskId id) {
@@ -436,6 +497,13 @@ void Kernel::wake_task(TaskId id) {
 }
 
 void Kernel::service(PeId pe, sim::Cycles cycles, std::function<void()> done) {
+  // Every kernel service window funnels through here; the event is what
+  // lets obs/critpath charge these cycles to the overhead bucket of the
+  // task being serviced.
+  obs_->trace.record(obs::EventKind::kKernelService,
+                     static_cast<std::uint16_t>(pe), sim_.now(), cycles,
+                     running_[pe] == kNoTask ? ~std::uint64_t{0}
+                                             : running_[pe]);
   in_service_[pe] = true;
   devices_.set_masked(pe, true);  // kernel services run interrupts-off
   sim_.schedule_in(cycles, [this, pe, done = std::move(done)] {
@@ -580,7 +648,7 @@ void Kernel::op_use_device(Task& t, const op::UseDevice& u) {
         wake_task(id);
       }
     });
-    block_task(id, WaitKind::kDevice);
+    block_task(id, WaitKind::kDevice, dev);
   });
 }
 
@@ -809,7 +877,7 @@ void Kernel::op_lock(Task& t, const op::Lock& l) {
     if (!locks_->provides_ceiling())
       boost_owner_chain(locks_->owner(lk), tk.priority);
     waiting_lock_[id] = lk;
-    block_task(id, WaitKind::kLock);
+    block_task(id, WaitKind::kLock, lk);
   });
 }
 
@@ -892,8 +960,12 @@ void Kernel::spin_on_lock(TaskId id, LockId lk) {
   // Poll traffic: a software spin lock re-reads the lock word in shared
   // memory; the SoCLC is polled off the memory bus.
   ctr_lock_spins_->add();
+  // The poll burns the PE until the next poll fires, so the event spans
+  // the full interval — spin windows then tile exactly, which is what
+  // lets obs/critpath count spin cycles without estimation.
   obs_->trace.record(obs::EventKind::kLockSpin,
-                     static_cast<std::uint16_t>(pe), sim_.now(), 0, lk);
+                     static_cast<std::uint16_t>(pe), sim_.now(),
+                     cfg_.spin_poll_interval, lk);
   const std::size_t words = locks_->spin_poll_bus_words();
   if (words > 0) bus_.transfer(pe, sim_.now(), words);
   sim_.schedule_in(cfg_.spin_poll_interval, [this, id, lk] {
@@ -1047,7 +1119,7 @@ void Kernel::op_sem_wait(Task& t, const op::SemWait& s) {
               step_task(id);
             } else {
               sm.waiters.add(id, tk.priority);
-              block_task(id, WaitKind::kSemaphore);
+              block_task(id, WaitKind::kSemaphore, sem);
             }
           });
 }
@@ -1106,7 +1178,7 @@ void Kernel::op_recv(Task& t, const op::Recv& r) {
               step_task(id);
             } else {
               mb.receivers.add(id, tk.priority);
-              block_task(id, WaitKind::kMailbox);
+              block_task(id, WaitKind::kMailbox, r.box);
             }
           });
 }
@@ -1135,7 +1207,7 @@ void Kernel::op_queue_send(Task& t, const op::QueueSend& s) {
             } else {
               queue_send_payload_[id] = s.message;
               q.senders.add(id, tk.priority);
-              block_task(id, WaitKind::kQueue);
+              block_task(id, WaitKind::kQueue, s.queue);
             }
           });
 }
@@ -1162,7 +1234,7 @@ void Kernel::op_queue_recv(Task& t, const op::QueueRecv& r) {
               step_task(id);
             } else {
               q.receivers.add(id, tk.priority);
-              block_task(id, WaitKind::kQueue);
+              block_task(id, WaitKind::kQueue, r.queue);
             }
           });
 }
@@ -1200,7 +1272,7 @@ void Kernel::op_event_wait(Task& t, const op::EventWait& e) {
               step_task(id);
             } else {
               g.waiters.push_back({id, e.mask});
-              block_task(id, WaitKind::kEvents);
+              block_task(id, WaitKind::kEvents, e.group);
             }
           });
 }

@@ -250,7 +250,13 @@ class Kernel {
   void dispatch(PeId pe, TaskId id);
   void step_task(TaskId id);
   void finish_task(TaskId id);
-  void block_task(TaskId id, WaitKind why);
+  /// Block `id`; `object` identifies what it waits on within the
+  /// WaitKind's namespace (lock id, semaphore id, ...; kResources reads
+  /// the task's waiting_for set instead) for the wait-for trace edge.
+  void block_task(TaskId id, WaitKind why, std::uint64_t object = 0);
+  /// Emit kWaitFor trace edges (waiter -> holder where known) at the
+  /// instant a task blocks. No-op when tracing is disabled.
+  void record_wait_for(const Task& t, WaitKind why, std::uint64_t object);
   void wake_task(TaskId id);
   void advance(TaskId id) {
     ++task(id).pc;

@@ -161,4 +161,9 @@ MemResult SocdmmuBackend::free(PeId pe, std::uint64_t addr, sim::Cycles now) {
   return out;
 }
 
+std::uint64_t SocdmmuBackend::bytes_in_use() const {
+  return static_cast<std::uint64_t>(dmmu_.used_blocks()) *
+         dmmu_.config().block_bytes;
+}
+
 }  // namespace delta::rtos

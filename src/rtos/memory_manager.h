@@ -46,6 +46,10 @@ class MemoryBackend {
   [[nodiscard]] virtual sim::Cycles total_mgmt_cycles() const = 0;
   [[nodiscard]] virtual std::uint64_t call_count() const = 0;
 
+  /// Bytes currently allocated (the windowed sampler's heap gauge).
+  /// Block-granular backends report whole blocks.
+  [[nodiscard]] virtual std::uint64_t bytes_in_use() const { return 0; }
+
   /// Attach observability (default: no-op). Hardware backends register
   /// their unit's counters into the registry.
   virtual void attach_observer(obs::Observer* o) { (void)o; }
@@ -68,6 +72,9 @@ class SoftwareHeapBackend final : public MemoryBackend {
     return total_;
   }
   [[nodiscard]] std::uint64_t call_count() const override { return calls_; }
+  [[nodiscard]] std::uint64_t bytes_in_use() const override {
+    return heap_.live_bytes();
+  }
 
   [[nodiscard]] mem::SoftwareHeap& heap() { return heap_; }
 
@@ -100,6 +107,7 @@ class SocdmmuBackend final : public MemoryBackend {
     return total_;
   }
   [[nodiscard]] std::uint64_t call_count() const override { return calls_; }
+  [[nodiscard]] std::uint64_t bytes_in_use() const override;
   void attach_observer(obs::Observer* o) override {
     if (o != nullptr) dmmu_.attach_metrics(o->metrics);
   }

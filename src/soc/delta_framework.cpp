@@ -115,11 +115,13 @@ RtosPreset rtos_preset_from_string(std::string_view s) {
     upper.push_back(
         static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
   std::string_view digits = upper;
-  if (digits.rfind("RTOS", 0) == 0) digits.remove_prefix(4);
+  if (digits.rfind("KRTOS", 0) == 0) digits.remove_prefix(5);  // kRtos4
+  else if (digits.rfind("RTOS", 0) == 0) digits.remove_prefix(4);
   if (digits.size() == 1 && digits[0] >= '1' && digits[0] <= '7')
     return static_cast<RtosPreset>(digits[0] - '0');
   throw std::invalid_argument("rtos_preset_from_string: expected "
-                              "'RTOS1'..'RTOS7' or '1'..'7', got '" +
+                              "'RTOS1'..'RTOS7', 'kRtos1'..'kRtos7' or "
+                              "'1'..'7', got '" +
                               std::string(s) + "'");
 }
 

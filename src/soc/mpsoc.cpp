@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "soc/utilization.h"
 
 namespace delta::soc {
 
@@ -103,9 +106,77 @@ rtos::ResourceId Mpsoc::resource(const std::string& name) const {
   throw std::invalid_argument("unknown resource: " + name);
 }
 
+void Mpsoc::stamp_trace_dropped() {
+  if (!obs_.trace.enabled()) return;
+  obs::Counter& c = obs_.metrics.counter("trace.dropped");
+  c.add(obs_.trace.dropped() - c.value());
+}
+
 sim::Cycles Mpsoc::run(sim::Cycles limit) {
   kernel_->start();
-  return sim_.run(limit);
+  if (cfg_.sample_period == 0) {
+    const sim::Cycles end = sim_.run(limit);
+    stamp_trace_dropped();
+    return end;
+  }
+
+  std::vector<std::string> tracks;
+  for (std::size_t pe = 0; pe < cfg_.pe_count; ++pe)
+    tracks.push_back("pe" + std::to_string(pe) + ".busy_cycles");
+  tracks.push_back("bus.busy_cycles");
+  tracks.push_back("bus.words");
+  tracks.push_back("lock.spin_polls");
+  tracks.push_back("sched.ready_depth");
+  tracks.push_back("mem.heap_bytes");
+  series_ = obs::TimeSeries(cfg_.sample_period, std::move(tracks));
+
+  WindowedPeBusy busy(*kernel_);
+  std::uint64_t prev_bus_busy = 0;
+  std::uint64_t prev_bus_words = 0;
+  std::uint64_t prev_spins = 0;
+  const obs::Counter& spins = obs_.metrics.counter("lock.spins");
+  const auto take_sample = [&](sim::Cycles t) {
+    std::vector<std::uint64_t> v;
+    for (const sim::Cycles b : busy.advance(t)) v.push_back(b);
+    std::uint64_t bus_busy = 0;
+    std::uint64_t bus_words = 0;
+    for (bus::MasterId m = 0; m < bus_->masters(); ++m) {
+      bus_busy += bus_->stats(m).busy_cycles;
+      bus_words += bus_->stats(m).words;
+    }
+    v.push_back(bus_busy - prev_bus_busy);
+    prev_bus_busy = bus_busy;
+    v.push_back(bus_words - prev_bus_words);
+    prev_bus_words = bus_words;
+    v.push_back(spins.value() - prev_spins);
+    prev_spins = spins.value();
+    std::uint64_t ready = 0;
+    for (rtos::TaskId id = 0; id < kernel_->task_count(); ++id)
+      if (kernel_->task(id).state == rtos::TaskState::kReady) ++ready;
+    v.push_back(ready);
+    v.push_back(kernel_->memory().bytes_in_use());
+    series_.append(t, std::move(v));
+  };
+
+  // Drive the simulator in period-sized chunks: step() never advances
+  // now() past the pending events, so probing between chunks observes
+  // the true end-of-window state. The final run() restores the plain
+  // "clock ends at the limit" semantics of the unsampled path.
+  sim::Cycles next = cfg_.sample_period;
+  for (;;) {
+    const sim::Cycles until = std::min(next, limit);
+    while (sim_.step(until)) {
+    }
+    if (sim_.idle() || until >= limit) break;
+    take_sample(until);
+    next += cfg_.sample_period;
+  }
+  const sim::Cycles end = sim_.run(limit);
+  // Close the last (possibly partial) window so delta tracks integrate
+  // to the end-of-run totals exactly.
+  if (series_.empty() || series_.samples().back().t < end) take_sample(end);
+  stamp_trace_dropped();
+  return end;
 }
 
 }  // namespace delta::soc

@@ -17,6 +17,7 @@
 #include "mem/l1_cache.h"
 #include "mem/l2_memory.h"
 #include "obs/observer.h"
+#include "obs/timeseries.h"
 #include "rtos/kernel.h"
 #include "sim/simulator.h"
 
@@ -84,6 +85,11 @@ struct MpsocConfig {
   /// Structured-trace ring capacity (obs::TraceRecorder). 0 keeps the
   /// recorder disabled — the zero-cost default for sweeps and benches.
   std::size_t trace_capacity = 0;
+  /// Windowed-sampling period in cycles. 0 (the default) disables the
+  /// sampler; > 0 makes run() probe per-PE busy time, bus traffic, lock
+  /// spinning, ready-queue depth and heap bytes at every period boundary
+  /// into time_series().
+  sim::Cycles sample_period = 0;
 };
 
 /// The live system.
@@ -103,6 +109,12 @@ class Mpsoc {
   /// histograms and (when trace_capacity > 0) the structured trace.
   [[nodiscard]] obs::Observer& observer() { return obs_; }
   [[nodiscard]] const obs::Observer& observer() const { return obs_; }
+
+  /// Windowed samples collected by the last run(). Empty unless
+  /// cfg.sample_period > 0. Busy/words/polls tracks carry per-window
+  /// deltas (their totals reproduce the end-of-run counters exactly);
+  /// ready-depth and heap-bytes tracks are instantaneous gauges.
+  [[nodiscard]] const obs::TimeSeries& time_series() const { return series_; }
 
   /// Resource index by name ("IDCT" -> 1). Throws when unknown.
   [[nodiscard]] rtos::ResourceId resource(const std::string& name) const;
@@ -124,6 +136,10 @@ class Mpsoc {
   bus::AddressMap map_;
   std::vector<mem::L1Cache> l1_;
   std::unique_ptr<rtos::Kernel> kernel_;
+  obs::TimeSeries series_;  ///< filled by run() when sample_period > 0
+
+  /// Mirror the trace ring's drop count into the "trace.dropped" counter.
+  void stamp_trace_dropped();
 };
 
 }  // namespace delta::soc

@@ -53,6 +53,37 @@ UtilizationReport utilization_report(Mpsoc& soc, sim::Cycles horizon) {
   return r;
 }
 
+WindowedPeBusy::WindowedPeBusy(const rtos::Kernel& kernel)
+    : kernel_(kernel) {}
+
+std::vector<sim::Cycles> WindowedPeBusy::advance(sim::Cycles t) {
+  std::vector<sim::Cycles> acc(kernel_.config().pe_count, 0);
+  if (running_since_.size() < kernel_.task_count())
+    running_since_.resize(kernel_.task_count(), sim::kNeverCycles);
+
+  const auto credit = [&](rtos::TaskId task, sim::Cycles until) {
+    const sim::Cycles from = std::max(running_since_[task], last_);
+    if (until > from) acc[kernel_.task(task).pe] += until - from;
+  };
+
+  const auto& log = kernel_.transitions();
+  for (; next_ < log.size() && log[next_].time <= t; ++next_) {
+    const auto& tr = log[next_];
+    if (tr.task >= running_since_.size()) continue;
+    if (running_since_[tr.task] != sim::kNeverCycles) {
+      credit(tr.task, tr.time);
+      running_since_[tr.task] = sim::kNeverCycles;
+    }
+    if (tr.to == rtos::TaskState::kRunning) running_since_[tr.task] = tr.time;
+  }
+  // Spans still open at the boundary contribute their overlap with the
+  // window; the next window picks them up again from last_.
+  for (rtos::TaskId task = 0; task < running_since_.size(); ++task)
+    if (running_since_[task] != sim::kNeverCycles) credit(task, t);
+  last_ = t;
+  return acc;
+}
+
 std::string UtilizationReport::to_string() const {
   std::ostringstream os;
   os << "utilization over " << horizon << " cycles ("

@@ -39,4 +39,25 @@ struct UtilizationReport {
 /// or pass one explicitly).
 UtilizationReport utilization_report(Mpsoc& soc, sim::Cycles horizon = 0);
 
+/// Incremental per-PE busy-time cursor over the kernel's state-transition
+/// log, for windowed sampling during a run. Each advance(t) consumes the
+/// transitions up to `t` and returns the busy cycles each PE accrued in
+/// the half-open window (previous t, t]; summing the windows of a whole
+/// run reproduces utilization_report()'s per-PE busy totals exactly.
+class WindowedPeBusy {
+ public:
+  explicit WindowedPeBusy(const rtos::Kernel& kernel);
+
+  /// Advance the cursor to `t` (must not decrease across calls) and
+  /// return the per-PE busy cycles of the window just closed.
+  std::vector<sim::Cycles> advance(sim::Cycles t);
+
+ private:
+  const rtos::Kernel& kernel_;
+  std::size_t next_ = 0;     ///< first unconsumed transition index
+  sim::Cycles last_ = 0;     ///< previous window boundary
+  /// Per task: start time of its open running span, or kNeverCycles.
+  std::vector<sim::Cycles> running_since_;
+};
+
 }  // namespace delta::soc

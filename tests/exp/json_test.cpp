@@ -88,5 +88,59 @@ TEST(ReportToJson, IncludesMetricsRegistrySection) {
   EXPECT_EQ(failed_json.find("\"metrics\""), std::string::npos);
 }
 
+TEST(ReportToJson, IncludesProfileBlockWhenAttached) {
+  RunResult r;
+  r.ok = true;
+  r.config = "RTOS4";
+  r.workload = "mixed";
+  r.has_profile = true;
+  r.profile.horizon = 1000;
+  r.profile.events_seen = 5;
+  obs::TaskBuckets b;
+  b.task = 0;
+  b.name = "t0";
+  b.total = 1000;
+  b.run = 600;
+  b.spin = 50;
+  b.blocked = 250;
+  b.overhead = 100;
+  b.sched_wait = 80;
+  b.service = 20;
+  r.profile.tasks.push_back(b);
+  obs::ContentionEntry c;
+  c.kind = obs::WaitObject::kLock;
+  c.object = 3;
+  c.label = "lock3";
+  c.waits = 2;
+  c.blocked_cycles = 250;
+  r.profile.contention.push_back(c);
+  r.timeseries = obs::TimeSeries(100, {"pe0.busy_cycles"});
+  r.timeseries.append(100, {60});
+
+  SweepSpec spec;
+  SweepReport report;
+  report.runs.push_back(r);
+  const std::string json = report_to_json(spec, report);
+  EXPECT_NE(json.find("\"profile\""), std::string::npos);
+  EXPECT_NE(json.find("\"critical_path_cycles\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"sched_wait\": 80"), std::string::npos);
+  EXPECT_NE(json.find("\"lock3\""), std::string::npos);
+  EXPECT_NE(json.find("\"pe0.busy_cycles\": 60"), std::string::npos);
+
+  // The standalone document is the same block plus a trailing newline.
+  const std::string doc = profile_to_json(r.profile, r.timeseries);
+  ASSERT_FALSE(doc.empty());
+  EXPECT_EQ(doc.back(), '\n');
+  EXPECT_NE(doc.find("\"run\": 600"), std::string::npos);
+
+  // Runs without a profile carry no profile key.
+  RunResult bare;
+  bare.ok = true;
+  SweepReport no_profile;
+  no_profile.runs.push_back(bare);
+  EXPECT_EQ(report_to_json(spec, no_profile).find("\"profile\""),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace delta::exp

@@ -1,8 +1,13 @@
 // Seed-determinism regression: the same campaign seed must yield
 // byte-identical report JSON (and repro scenarios) at any thread count —
-// the same contract scripts/sweep_smoke.sh pins for delta_sweep.
+// the same contract scripts/sweep_smoke.sh pins for delta_sweep, and
+// the same one the profile/trace documents must uphold.
 #include <gtest/gtest.h>
 
+#include "exp/json.h"
+#include "exp/runner.h"
+#include "exp/trace_export.h"
+#include "exp/workloads.h"
 #include "fuzz/campaign.h"
 #include "fuzz/scenario_json.h"
 
@@ -49,6 +54,69 @@ TEST(Determinism, RerunningTheSameSeedIsIdempotent) {
   const CampaignReport a = run_campaign(base_options());
   const CampaignReport b = run_campaign(base_options());
   EXPECT_EQ(campaign_report_json(a), campaign_report_json(b));
+}
+
+/// A profiled sweep over two presets x two seeds, with the sampler and
+/// the structured trace attached — every byte-stability surface at once.
+exp::SweepSpec profiled_spec() {
+  exp::SweepSpec spec;
+  spec.configs.push_back(exp::preset_point(soc::RtosPreset::kRtos4));
+  spec.configs.push_back(exp::preset_point(soc::RtosPreset::kRtos6));
+  for (exp::ConfigPoint& cp : spec.configs)
+    cp.config.stop_on_deadlock = false;  // built-ins are deadlock-free
+  spec.workloads.push_back(exp::find_workload("mixed"));
+  spec.seeds = {1, 2};
+  spec.run_limit = 5'000'000;
+  spec.profile = true;
+  spec.sample_period = 10'000;
+  spec.trace_capacity = 65'536;
+  return spec;
+}
+
+exp::SweepReport run_profiled(std::size_t threads) {
+  exp::RunnerOptions opt;
+  opt.threads = threads;
+  return exp::run_sweep(profiled_spec(), opt);
+}
+
+TEST(ProfileDeterminism, ReportBytesAreThreadCountInvariant) {
+  const exp::SweepSpec spec = profiled_spec();
+  const exp::SweepReport a = run_profiled(1);
+  const exp::SweepReport b = run_profiled(4);
+  ASSERT_EQ(a.failed(), 0u);
+  EXPECT_EQ(exp::report_to_json(spec, a), exp::report_to_json(spec, b));
+  EXPECT_EQ(exp::report_trace_to_chrome_json(a),
+            exp::report_trace_to_chrome_json(b));
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    ASSERT_TRUE(a.runs[i].has_profile);
+    EXPECT_EQ(exp::profile_to_json(a.runs[i].profile, a.runs[i].timeseries),
+              exp::profile_to_json(b.runs[i].profile, b.runs[i].timeseries));
+  }
+}
+
+TEST(ProfileDeterminism, RerunningTheSameSeedIsIdempotent) {
+  const exp::SweepSpec spec = profiled_spec();
+  const exp::SweepReport a = run_profiled(2);
+  const exp::SweepReport b = run_profiled(2);
+  EXPECT_EQ(exp::report_to_json(spec, a), exp::report_to_json(spec, b));
+  EXPECT_EQ(exp::report_trace_to_chrome_json(a),
+            exp::report_trace_to_chrome_json(b));
+}
+
+TEST(ProfileDeterminism, ProfiledRunsActuallyAttributeCycles) {
+  // Guard against the determinism tests passing vacuously on empty
+  // profiles: the mixed workload must produce real attribution.
+  const exp::SweepReport r = run_profiled(2);
+  for (const exp::RunResult& run : r.runs) {
+    ASSERT_TRUE(run.ok) << run.error;
+    ASSERT_TRUE(run.has_profile);
+    EXPECT_FALSE(run.profile.tasks.empty());
+    EXPECT_GT(run.profile.events_seen, 0u);
+    EXPECT_FALSE(run.timeseries.empty());
+    for (const obs::TaskBuckets& b : run.profile.tasks)
+      EXPECT_EQ(b.run + b.spin + b.blocked + b.overhead, b.total) << b.name;
+  }
 }
 
 TEST(Determinism, DifferentSeedsDiffer) {

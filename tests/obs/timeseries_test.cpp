@@ -1,0 +1,67 @@
+// Unit tests for the windowed time-series data model: append
+// invariants, track lookup, and delta-track integration.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "obs/timeseries.h"
+
+namespace delta::obs {
+namespace {
+
+TimeSeries two_track_series() {
+  TimeSeries ts(100, {"pe0.busy_cycles", "mem.heap_bytes"});
+  ts.append(100, {60, 4096});
+  ts.append(200, {80, 8192});
+  ts.append(250, {10, 0});  // final partial window
+  return ts;
+}
+
+TEST(TimeSeries, DefaultConstructedIsEmpty) {
+  const TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  EXPECT_EQ(ts.period(), 0u);
+  EXPECT_TRUE(ts.tracks().empty());
+  EXPECT_EQ(ts.track_index("anything"), -1);
+}
+
+TEST(TimeSeries, StoresSamplesInOrder) {
+  const TimeSeries ts = two_track_series();
+  EXPECT_EQ(ts.period(), 100u);
+  ASSERT_EQ(ts.samples().size(), 3u);
+  EXPECT_EQ(ts.samples()[0].t, 100u);
+  EXPECT_EQ(ts.samples()[2].t, 250u);
+  EXPECT_EQ(ts.samples()[1].values[0], 80u);
+  EXPECT_EQ(ts.samples()[1].values[1], 8192u);
+}
+
+TEST(TimeSeries, TrackIndexFindsByName) {
+  const TimeSeries ts = two_track_series();
+  EXPECT_EQ(ts.track_index("pe0.busy_cycles"), 0);
+  EXPECT_EQ(ts.track_index("mem.heap_bytes"), 1);
+  EXPECT_EQ(ts.track_index("bus.words"), -1);
+}
+
+TEST(TimeSeries, TotalIntegratesDeltaTracks) {
+  const TimeSeries ts = two_track_series();
+  EXPECT_EQ(ts.total(0), 60u + 80u + 10u);
+  EXPECT_EQ(ts.total(1), 4096u + 8192u);
+}
+
+TEST(TimeSeries, AppendRejectsWrongValueCount) {
+  TimeSeries ts(100, {"a", "b"});
+  EXPECT_THROW(ts.append(100, {1}), std::invalid_argument);
+  EXPECT_THROW(ts.append(100, {1, 2, 3}), std::invalid_argument);
+  ts.append(100, {1, 2});  // correct arity is fine
+}
+
+TEST(TimeSeries, AppendRejectsNonIncreasingTime) {
+  TimeSeries ts(100, {"a"});
+  ts.append(100, {1});
+  EXPECT_THROW(ts.append(100, {2}), std::invalid_argument);
+  EXPECT_THROW(ts.append(50, {2}), std::invalid_argument);
+  ts.append(101, {2});  // strictly increasing is fine
+}
+
+}  // namespace
+}  // namespace delta::obs
