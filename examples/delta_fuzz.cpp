@@ -21,51 +21,13 @@
 #include <thread>
 #include <vector>
 
+#include "cli.h"
 #include "fuzz/campaign.h"
 #include "fuzz/scenario_json.h"
 
 using namespace delta;
 
 namespace {
-
-std::vector<std::string> split(const std::string& s, char sep) {
-  std::vector<std::string> out;
-  std::size_t start = 0;
-  while (start <= s.size()) {
-    const std::size_t end = s.find(sep, start);
-    if (end == std::string::npos) {
-      out.push_back(s.substr(start));
-      break;
-    }
-    out.push_back(s.substr(start, end - start));
-    start = end + 1;
-  }
-  return out;
-}
-
-int usage(const char* argv0) {
-  std::printf(
-      "usage: %s [options]\n"
-      "  --runs N           scenarios to draw (default 100)\n"
-      "  --seed N           campaign base seed (default 1)\n"
-      "  --pairs LIST       comma list of backend pairs (default: all)\n"
-      "                     known: pdda-ddu, daa-dau, locks, heap, presets\n"
-      "  --threads N        worker threads (default 1; report bytes are\n"
-      "                     identical for any value)\n"
-      "  --inject-fault F   arm a strategy fault in every run, e.g.\n"
-      "                     dau-grant (DAU grants unsafely) or\n"
-      "                     ddu-silent (DDU stops reporting deadlocks)\n"
-      "  --repro FILE       write the first failure's shrunk scenario as\n"
-      "                     a replayable JSON repro\n"
-      "  --replay FILE      skip generation; replay one repro JSON across\n"
-      "                     the selected pairs\n"
-      "  --limit CYCLES     per-run simulation cap (default 50000000)\n"
-      "  --shrink-attempts N  shrinker budget per failure (default 2000)\n"
-      "  --out FILE         campaign report JSON ('-' for stdout)\n"
-      "  --help\n",
-      argv0);
-  return 2;
-}
 
 bool write_file(const std::string& path, const std::string& bytes) {
   if (path == "-") {
@@ -111,33 +73,42 @@ int replay(const std::string& path, const std::vector<std::string>& pairs,
 }  // namespace
 
 int main(int argc, char** argv) {
+  cli::Args args("delta_fuzz", "[options]");
+  args.opt("runs", "N", "scenarios to draw (default 100)")
+      .opt("seed", "N", "campaign base seed (default 1)")
+      .opt("pairs", "LIST",
+           "comma list of backend pairs (default: all)\nknown: pdda-ddu, "
+           "daa-dau, locks, heap, presets")
+      .opt("threads", "N",
+           "worker threads (default 1; report bytes are\nidentical for any "
+           "value)")
+      .opt("inject-fault", "F",
+           "arm a strategy fault in every run, e.g.\ndau-grant (DAU grants "
+           "unsafely) or\nddu-silent (DDU stops reporting deadlocks)")
+      .opt("repro", "FILE",
+           "write the first failure's shrunk scenario as\na replayable JSON "
+           "repro")
+      .opt("replay", "FILE",
+           "skip generation; replay one repro JSON across\nthe selected "
+           "pairs")
+      .opt("limit", "CYCLES", "per-run simulation cap (default 50000000)")
+      .opt("shrink-attempts", "N",
+           "shrinker budget per failure (default 2000)")
+      .opt("out", "FILE", "campaign report JSON ('-' for stdout)");
+  args.parse(argc, argv);
+
   fuzz::CampaignOptions opts;
-  std::string repro_path, replay_path, out_path;
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "delta_fuzz: %s needs a value\n", a.c_str());
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (a == "--runs") opts.runs = std::strtoull(next(), nullptr, 10);
-    else if (a == "--seed") opts.seed = std::strtoull(next(), nullptr, 10);
-    else if (a == "--pairs") opts.pairs = split(next(), ',');
-    else if (a == "--threads")
-      opts.threads = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
-    else if (a == "--inject-fault") opts.fault = next();
-    else if (a == "--repro") repro_path = next();
-    else if (a == "--replay") replay_path = next();
-    else if (a == "--limit")
-      opts.generator.run_limit = std::strtoull(next(), nullptr, 10);
-    else if (a == "--shrink-attempts")
-      opts.shrink_attempts =
-          static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
-    else if (a == "--out") out_path = next();
-    else return usage(argv[0]);
-  }
+  if (args.on("runs")) opts.runs = args.u64("runs");
+  if (args.on("seed")) opts.seed = args.u64("seed");
+  if (args.on("pairs")) opts.pairs = args.list("pairs");
+  if (args.on("threads")) opts.threads = args.size("threads");
+  if (args.on("inject-fault")) opts.fault = args.str("inject-fault");
+  if (args.on("limit")) opts.generator.run_limit = args.u64("limit");
+  if (args.on("shrink-attempts"))
+    opts.shrink_attempts = args.size("shrink-attempts");
+  const std::string repro_path = args.str("repro");
+  const std::string replay_path = args.str("replay");
+  const std::string out_path = args.str("out");
 
   try {
     if (!replay_path.empty())

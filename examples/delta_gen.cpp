@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "cli.h"
 #include "exp/workloads.h"
 #include "hw/synth.h"
 #include "hw/verilog_gen.h"
@@ -156,25 +157,22 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  int preset = 0;
-  bool metrics = false;
-  std::string trace_path;
-  std::vector<std::string> positional;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
-        std::exit(1);
-      }
-      return argv[++i];
-    };
-    if (arg == "--preset") preset = std::atoi(next());
-    else if (arg == "--metrics") metrics = true;
-    else if (arg == "--trace") trace_path = next();
-    else if (!arg.empty() && arg[0] == '-') return usage();
-    else positional.push_back(arg);
-  }
+  cli::Args args("delta_gen",
+                 "[<config-file> <out-dir> | --preset <1-7> <out-dir>] "
+                 "[--metrics] [--trace FILE]");
+  args.opt("preset", "1-7", "generate a Table 3 preset row instead of\nreading a config file", "0")
+      .flag("metrics", "print the metrics registry after the smoke run")
+      .opt("trace", "FILE", "write a Chrome trace of the smoke run")
+      .positional("[<config-file> <out-dir> | --preset <1-7> <out-dir>] "
+                  "[--metrics] [--trace FILE]",
+                  1, 2)
+      .usage_exit(1);
+  args.parse(argc, argv);
+
+  const int preset = args.integer("preset");
+  const bool metrics = args.on("metrics");
+  const std::string trace_path = args.str("trace");
+  const std::vector<std::string>& positional = args.positionals();
 
   soc::DeltaConfig cfg;
   std::string out_dir;

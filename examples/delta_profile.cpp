@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "cli.h"
 #include "exp/json.h"
 #include "exp/runner.h"
 #include "exp/trace_export.h"
@@ -31,48 +32,10 @@ using namespace delta;
 
 namespace {
 
-std::vector<std::string> split(const std::string& s, char sep) {
-  std::vector<std::string> out;
-  std::size_t start = 0;
-  while (start <= s.size()) {
-    const std::size_t end = s.find(sep, start);
-    if (end == std::string::npos) {
-      out.push_back(s.substr(start));
-      break;
-    }
-    out.push_back(s.substr(start, end - start));
-    start = end + 1;
-  }
-  return out;
-}
-
-int usage(const char* argv0) {
-  std::printf(
-      "usage: %s [options]\n"
-      "  --preset LIST       comma list of Table 3 rows (default kRtos4;\n"
-      "                      accepts 4 / RTOS4 / kRtos4)\n"
-      "  --scenario FILE     profile a fuzz-scenario JSON instead of a\n"
-      "                      workload (geometry comes from the scenario)\n"
-      "  --workload NAME     workload for preset runs (default mixed)\n"
-      "  --seed N            workload seed (default 1)\n"
-      "  --limit CYCLES      per-run cap (default 50000000, or the\n"
-      "                      scenario's run_limit)\n"
-      "  --threads N         worker threads (default 1; output is\n"
-      "                      byte-identical for any value)\n"
-      "  --sample-period N   windowed-sampler period (default 10000;\n"
-      "                      0 disables counter tracks)\n"
-      "  --trace-capacity N  structured-trace ring size (default 262144)\n"
-      "  --out FILE          profile JSON (default profile.json, '-' for\n"
-      "                      stdout)\n"
-      "  --chrome FILE       Chrome trace-event JSON (Perfetto)\n"
-      "  --baseline-out FILE flat per-run cycle baseline for\n"
-      "                      scripts/bench_baseline.sh\n"
-      "workloads: ",
-      argv0);
-  for (const std::string& n : exp::workload_names())
-    std::printf("%s ", n.c_str());
-  std::printf("\n");
-  return 2;
+std::string workloads_footer() {
+  std::string f = "workloads:";
+  for (const std::string& n : exp::workload_names()) f += " " + n;
+  return f;
 }
 
 /// Wrap a fuzz scenario as a sweep workload, the same way the
@@ -114,49 +77,53 @@ bool write_doc(const std::string& path, const std::string& doc,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string presets = "4";
-  std::string scenario_path;
-  std::string workload = "mixed";
-  std::uint64_t seed = 1;
-  std::size_t threads = 1;
-  sim::Cycles sample_period = 10'000;
-  std::size_t trace_capacity = 262'144;
-  std::string out_path = "profile.json";
-  std::string chrome_path;
-  std::string baseline_path;
-  exp::SweepSpec spec;
-  bool limit_set = false;
+  cli::Args args("delta_profile", "[options]");
+  args.opt("preset", "LIST",
+           "comma list of Table 3 rows (default kRtos4;\naccepts 4 / RTOS4 "
+           "/ kRtos4)",
+           "4")
+      .alias("presets", "preset")
+      .opt("scenario", "FILE",
+           "profile a fuzz-scenario JSON instead of a\nworkload (geometry "
+           "comes from the scenario)")
+      .opt("workload", "NAME", "workload for preset runs (default mixed)",
+           "mixed")
+      .opt("seed", "N", "workload seed (default 1)", "1")
+      .opt("limit", "CYCLES",
+           "per-run cap (default 50000000, or the\nscenario's run_limit)")
+      .opt("threads", "N",
+           "worker threads (default 1; output is\nbyte-identical for any "
+           "value)",
+           "1")
+      .opt("sample-period", "N",
+           "windowed-sampler period (default 10000;\n0 disables counter "
+           "tracks)",
+           "10000")
+      .opt("trace-capacity", "N",
+           "structured-trace ring size (default 262144)", "262144")
+      .opt("out", "FILE", "profile JSON (default profile.json, '-' for\nstdout)",
+           "profile.json")
+      .opt("chrome", "FILE", "Chrome trace-event JSON (Perfetto)")
+      .opt("baseline-out", "FILE",
+           "flat per-run cycle baseline for\nscripts/bench_baseline.sh")
+      .footer(workloads_footer());
+  args.parse(argc, argv);
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--preset" || arg == "--presets") presets = next();
-    else if (arg == "--scenario") scenario_path = next();
-    else if (arg == "--workload") workload = next();
-    else if (arg == "--seed") seed = std::strtoull(next(), nullptr, 10);
-    else if (arg == "--threads") threads = std::strtoull(next(), nullptr, 10);
-    else if (arg == "--limit") {
-      spec.run_limit = std::strtoull(next(), nullptr, 10);
-      limit_set = true;
-    }
-    else if (arg == "--sample-period")
-      sample_period = std::strtoull(next(), nullptr, 10);
-    else if (arg == "--trace-capacity")
-      trace_capacity = std::strtoull(next(), nullptr, 10);
-    else if (arg == "--out") out_path = next();
-    else if (arg == "--chrome") chrome_path = next();
-    else if (arg == "--baseline-out") baseline_path = next();
-    else return usage(argv[0]);
-  }
+  const std::string scenario_path = args.str("scenario");
+  const std::string workload = args.str("workload");
+  const std::uint64_t seed = args.u64("seed");
+  const std::size_t threads = args.size("threads");
+  const sim::Cycles sample_period = args.u64("sample-period");
+  const std::size_t trace_capacity = args.size("trace-capacity");
+  const std::string out_path = args.str("out");
+  const std::string chrome_path = args.str("chrome");
+  const std::string baseline_path = args.str("baseline-out");
+  exp::SweepSpec spec;
+  const bool limit_set = args.on("limit");
+  if (limit_set) spec.run_limit = args.u64("limit");
 
   try {
-    for (const std::string& p : split(presets, ','))
+    for (const std::string& p : args.list("preset"))
       spec.configs.push_back(
           exp::preset_point(soc::rtos_preset_from_string(p)));
     if (scenario_path.empty()) {

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "cli.h"
 #include "exp/json.h"
 #include "exp/runner.h"
 #include "exp/trace_export.h"
@@ -27,98 +28,64 @@ using namespace delta;
 
 namespace {
 
-std::vector<std::string> split(const std::string& s, char sep) {
-  std::vector<std::string> out;
-  std::size_t start = 0;
-  while (start <= s.size()) {
-    const std::size_t end = s.find(sep, start);
-    if (end == std::string::npos) {
-      out.push_back(s.substr(start));
-      break;
-    }
-    out.push_back(s.substr(start, end - start));
-    start = end + 1;
-  }
-  return out;
-}
-
-int usage(const char* argv0) {
-  std::printf(
-      "usage: %s [options]\n"
-      "  --threads N      worker threads (default: hardware concurrency)\n"
-      "  --seeds N        seeds 1..N per cell (default 4)\n"
-      "  --presets LIST   comma list of Table 3 rows, e.g. 1,4,5\n"
-      "                   (default: all seven)\n"
-      "  --workloads LIST comma list of workload names (default: mixed)\n"
-      "  --limit CYCLES   per-run simulation cap (default 50000000)\n"
-      "  --base-seed N    sweep-level seed mixed into every run\n"
-      "  --out FILE       JSON report path (default sweep_report.json,\n"
-      "                   '-' for stdout)\n"
-      "  --trace FILE     write a Chrome trace-event JSON of every run\n"
-      "                   (load in Perfetto or chrome://tracing)\n"
-      "  --trace-capacity N  per-run trace ring size (default 65536;\n"
-      "                   oldest events drop first)\n"
-      "  --metrics        print the summed metrics registry after the run\n"
-      "  --quiet          no per-run progress lines\n"
-      "workloads: ",
-      argv0);
-  for (const std::string& n : exp::workload_names())
-    std::printf("%s ", n.c_str());
-  std::printf("\n");
-  return 2;
+std::string workloads_footer() {
+  std::string f = "workloads:";
+  for (const std::string& n : exp::workload_names()) f += " " + n;
+  return f;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::size_t threads = 0;
-  int seeds = 4;
-  std::string presets;  // empty = all
-  std::string workloads = "mixed";
-  std::string out_path = "sweep_report.json";
-  std::string trace_path;
-  std::size_t trace_capacity = 65536;
-  bool metrics = false;
-  exp::SweepSpec spec;
-  bool quiet = false;
+  cli::Args args("delta_sweep", "[options]");
+  args.opt("threads", "N", "worker threads (default: hardware concurrency)",
+           "0")
+      .opt("seeds", "N", "seeds 1..N per cell (default 4)", "4")
+      .opt("presets", "LIST",
+           "comma list of Table 3 rows, e.g. 1,4,5\n(default: all seven)")
+      .opt("workloads", "LIST", "comma list of workload names (default: mixed)",
+           "mixed")
+      .opt("limit", "CYCLES", "per-run simulation cap (default 50000000)")
+      .opt("base-seed", "N", "sweep-level seed mixed into every run")
+      .opt("out", "FILE",
+           "JSON report path (default sweep_report.json,\n'-' for stdout)",
+           "sweep_report.json")
+      .opt("trace", "FILE",
+           "write a Chrome trace-event JSON of every run\n(load in Perfetto "
+           "or chrome://tracing)")
+      .opt("trace-capacity", "N",
+           "per-run trace ring size (default 65536;\noldest events drop "
+           "first)",
+           "65536")
+      .flag("metrics", "print the summed metrics registry after the run")
+      .flag("quiet", "no per-run progress lines")
+      .footer(workloads_footer());
+  args.parse(argc, argv);
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--threads") threads = std::strtoull(next(), nullptr, 10);
-    else if (arg == "--seeds") seeds = std::atoi(next());
-    else if (arg == "--presets") presets = next();
-    else if (arg == "--workloads") workloads = next();
-    else if (arg == "--limit") spec.run_limit = std::strtoull(next(), nullptr, 10);
-    else if (arg == "--base-seed") spec.base_seed = std::strtoull(next(), nullptr, 10);
-    else if (arg == "--out") out_path = next();
-    else if (arg == "--trace") trace_path = next();
-    else if (arg == "--trace-capacity")
-      trace_capacity = std::strtoull(next(), nullptr, 10);
-    else if (arg == "--metrics") metrics = true;
-    else if (arg == "--quiet") quiet = true;
-    else return usage(argv[0]);
-  }
+  const std::size_t threads = args.size("threads");
+  const int seeds = args.integer("seeds");
+  const std::string out_path = args.str("out");
+  const std::string trace_path = args.str("trace");
+  const std::size_t trace_capacity = args.size("trace-capacity");
+  const bool metrics = args.on("metrics");
+  const bool quiet = args.on("quiet");
+  exp::SweepSpec spec;
+  if (args.on("limit")) spec.run_limit = args.u64("limit");
+  if (args.on("base-seed")) spec.base_seed = args.u64("base-seed");
   if (seeds < 1) {
     std::fprintf(stderr, "--seeds must be >= 1\n");
     return 2;
   }
 
   try {
-    if (presets.empty()) {
+    if (!args.on("presets")) {
       spec.configs = exp::all_preset_points();
     } else {
-      for (const std::string& p : split(presets, ','))
+      for (const std::string& p : args.list("presets"))
         spec.configs.push_back(
             exp::preset_point(soc::rtos_preset_from_string(p)));
     }
-    for (const std::string& wname : split(workloads, ','))
+    for (const std::string& wname : args.list("workloads"))
       spec.workloads.push_back(exp::find_workload(wname));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

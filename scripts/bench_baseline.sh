@@ -3,6 +3,8 @@
 #
 #   scripts/bench_baseline.sh write   [build-dir]
 #   scripts/bench_baseline.sh compare [build-dir] [tolerance-%]
+#   scripts/bench_baseline.sh --throughput write   [build-dir]
+#   scripts/bench_baseline.sh --throughput compare [build-dir] [tolerance-%]
 #
 # `write` runs delta_profile over RTOS1..RTOS7 (mixed workload, seed 1)
 # and stores the per-preset cycle counts in bench/BENCH_presets.json.
@@ -12,14 +14,91 @@
 # deterministic — so any drift is a real cost-model change, never noise;
 # refresh the baseline deliberately with `write` when such a change is
 # intended.
+#
+# With `--throughput` the same modes operate on the host-throughput
+# baseline bench/BENCH_throughput.json produced by bench_throughput
+# (events/sec and simulated-cycles/sec per preset, tracing off).
+# Host wall-clock is noisy, so the throughput compare only fails on a
+# *drop* beyond the tolerance (default 25%) — it is a regression tripwire,
+# not an exact pin like the cycle-count baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+THROUGHPUT=0
+if [[ "${1:-}" == "--throughput" ]]; then
+  THROUGHPUT=1
+  shift
+fi
+
 MODE="${1:-compare}"
 BUILD="${2:-build}"
+PROFILE="$BUILD/examples/delta_profile"
+
+if [[ "$THROUGHPUT" == 1 ]]; then
+  TOL="${3:-25}"
+  BASELINE=bench/BENCH_throughput.json
+  BENCH="$BUILD/bench/bench_throughput"
+
+  if [[ ! -x "$BENCH" ]]; then
+    echo "error: $BENCH not built (cmake --build $BUILD -j)" >&2
+    exit 2
+  fi
+
+  run_throughput() {
+    "$BENCH" --min-seconds 0.5 --min-runs 2 --out "$1"
+  }
+
+  case "$MODE" in
+    write)
+      mkdir -p bench
+      run_throughput "$BASELINE"
+      echo "throughput baseline written to $BASELINE"
+      ;;
+    compare)
+      if [[ ! -f "$BASELINE" ]]; then
+        echo "error: $BASELINE missing (run: $0 --throughput write $BUILD)" >&2
+        exit 2
+      fi
+      CURRENT="$(mktemp)"
+      trap 'rm -f "$CURRENT"' EXIT
+      run_throughput "$CURRENT"
+      python3 - "$BASELINE" "$CURRENT" "$TOL" <<'EOF'
+import json, sys
+
+base = json.load(open(sys.argv[1]))["presets"]
+cur = json.load(open(sys.argv[2]))["presets"]
+tol = float(sys.argv[3])
+failed = False
+for key in sorted(base):
+    if key not in cur:
+        print(f"MISSING {key}: in baseline but not in current run")
+        failed = True
+        continue
+    b = base[key]["events_per_sec"]
+    c = cur[key]["events_per_sec"]
+    drift = 0.0 if b == 0 else 100.0 * (c - b) / b
+    # Only a drop is a regression; faster is always fine.
+    mark = "OK " if drift >= -tol else "FAIL"
+    if drift < -tol:
+        failed = True
+    print(f"{mark} {key}: baseline {b} ev/s current {c} ev/s "
+          f"drift {drift:+.2f}%")
+if failed:
+    print(f"throughput comparison FAILED (tolerance -{tol}%)")
+    sys.exit(1)
+print(f"throughput comparison OK (tolerance -{tol}%)")
+EOF
+      ;;
+    *)
+      echo "usage: $0 --throughput {write|compare} [build-dir] [tolerance-%]" >&2
+      exit 2
+      ;;
+  esac
+  exit 0
+fi
+
 TOL="${3:-2}"
 BASELINE=bench/BENCH_presets.json
-PROFILE="$BUILD/examples/delta_profile"
 
 if [[ ! -x "$PROFILE" ]]; then
   echo "error: $PROFILE not built (cmake --build $BUILD -j)" >&2

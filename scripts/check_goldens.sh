@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Byte-identity check for the report-producing CLIs.
+#
+# Regenerates the exact reports captured in tests/golden/ (fixed seeds,
+# single-threaded semantics) and cmp's them byte for byte. Any diff
+# means the simulation core or the report writers changed observable
+# behaviour — the hard invariant the high-throughput queue/kernel work
+# must preserve.
+#
+# usage: check_goldens.sh <examples-bin-dir> <golden-dir>
+set -euo pipefail
+
+bin_dir=${1:?usage: check_goldens.sh <examples-bin-dir> <golden-dir>}
+golden=${2:?usage: check_goldens.sh <examples-bin-dir> <golden-dir>}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+"$bin_dir/delta_sweep" --workloads mixed --seeds 2 --quiet \
+    --out "$tmp/sweep_mixed.json" >/dev/null
+"$bin_dir/delta_profile" --preset 1,2,3,4,5,6,7 --workload mixed --seed 1 \
+    --sample-period 10000 --out "$tmp/profile_presets.json" \
+    --baseline-out "$tmp/profile_baseline.json" >/dev/null
+"$bin_dir/delta_fuzz" --runs 40 --seed 7 \
+    --out "$tmp/fuzz_campaign.json" >/dev/null
+
+status=0
+for f in sweep_mixed profile_presets profile_baseline fuzz_campaign; do
+  if cmp -s "$golden/$f.json" "$tmp/$f.json"; then
+    echo "ok: $f.json byte-identical"
+  else
+    echo "GOLDEN MISMATCH: $f.json differs from $golden/$f.json" >&2
+    cmp "$golden/$f.json" "$tmp/$f.json" >&2 || true
+    status=1
+  fi
+done
+exit $status

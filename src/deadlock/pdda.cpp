@@ -1,120 +1,143 @@
 #include "deadlock/pdda.h"
 
+#include <bit>
+#include <cstring>
+
 namespace delta::deadlock {
 
-namespace {
-// Entry encoding of the software matrix copy: 0 none, 1 request, 2 grant —
-// one byte per cell, as a compact C implementation on the MPC755 would use.
-constexpr std::uint8_t kNone = 0, kReq = 1, kGnt = 2;
-}  // namespace
-
+// The OpMeter models the serial byte-matrix implementation a compact C
+// port on the MPC755 would use (one load + compares per cell, per
+// Algorithms 1/2), so its counts are defined by that reference code:
+// every count below is the exact aggregate of the per-cell increments
+// the straightforward implementation would make. The scans are
+// data-independent; only the round count and the terminal-row/column
+// clears vary, and those are reproduced exactly. The host-side work,
+// by contrast, runs word-parallel on the request/grant bit-planes
+// (detection executes on every request/release, so it is the hottest
+// code in the all-software presets) and never allocates: the scratch
+// planes are members reused across calls.
 bool SoftwarePdda::detect(const rag::StateMatrix& state) {
   meter_.reset();
   iterations_ = 0;
 
   const std::size_t m = state.resources();
   const std::size_t n = state.processes();
+  const std::size_t w = state.words_per_row();
 
-  // Lines 2-6 of Algorithm 2: build the working matrix from the RAG. The
-  // kernel keeps the RAG in shared memory; the copy is one load + one
-  // store + loop bookkeeping per cell.
-  std::vector<std::uint8_t> cell(m * n);
-  for (std::size_t s = 0; s < m; ++s) {
-    for (std::size_t t = 0; t < n; ++t) {
-      const rag::Edge e = state.at(s, t);
-      cell[s * n + t] = e == rag::Edge::kRequest ? kReq
-                        : e == rag::Edge::kGrant ? kGnt
-                                                 : kNone;
-      meter_.loads += 1;     // read RAG entry
-      meter_.stores += 1;    // write local matrix
-      meter_.alu += 2;       // index arithmetic
-      meter_.branches += 1;  // loop test
-    }
+  // Lines 2-6 of Algorithm 2: build the working matrix from the RAG.
+  // Modelled cost per cell: one load, one store, index arithmetic, and
+  // the loop test. Host cost: two plane memcpys (rows are contiguous).
+  wreq_.resize(m * w);
+  wgnt_.resize(m * w);
+  if (m != 0 && w != 0) {
+    std::memcpy(wreq_.data(), state.row_request_bits(0), m * w * 8);
+    std::memcpy(wgnt_.data(), state.row_grant_bits(0), m * w * 8);
   }
+  meter_.loads += m * n;
+  meter_.stores += m * n;
+  meter_.alu += 2 * m * n;
+  meter_.branches += m * n;
 
   // Algorithm 1: terminal reduction sequence, serial version.
-  std::vector<std::uint8_t> row_term(m), col_term(n);
+  row_term_.resize(m);
+  col_term_words_.resize(w);
   while (true) {
     bool any_terminal = false;
 
-    // Line 5: terminal rows. Serial scan of each row, accumulating
-    // has-request / has-grant flags.
+    // Line 5: terminal rows — a row is terminal iff it has requests or
+    // grants but not both (Eq. 4). Reference cost per cell: one load,
+    // two compares plus indexing, one loop test; per row: the XOR, its
+    // store, and the terminal accumulation.
     for (std::size_t s = 0; s < m; ++s) {
       bool has_r = false, has_g = false;
-      for (std::size_t t = 0; t < n; ++t) {
-        const std::uint8_t v = cell[s * n + t];
-        has_r |= (v == kReq);
-        has_g |= (v == kGnt);
-        meter_.loads += 1;
-        meter_.alu += 3;  // two compares + index arithmetic
-        meter_.branches += 1;
+      for (std::size_t k = 0; k < w; ++k) {
+        has_r |= wreq_[s * w + k] != 0;
+        has_g |= wgnt_[s * w + k] != 0;
       }
-      row_term[s] = static_cast<std::uint8_t>(has_r != has_g);  // XOR, Eq. 4
-      any_terminal |= (row_term[s] != 0);
-      meter_.stores += 1;
-      meter_.alu += 2;
-      meter_.branches += 1;
+      row_term_[s] = static_cast<std::uint8_t>(has_r != has_g);
+      any_terminal |= (row_term_[s] != 0);
     }
+    meter_.loads += m * n;
+    meter_.alu += 3 * m * n + 2 * m;
+    meter_.branches += m * n + m;
+    meter_.stores += m;
 
-    // Line 6: terminal columns.
-    for (std::size_t t = 0; t < n; ++t) {
-      bool has_r = false, has_g = false;
+    // Line 6: terminal columns. Column t has a request iff bit t of the
+    // OR of all request rows is set (same for grants), so the per-bit
+    // "has_r != has_g" of Eq. 4 is one XOR of the two column ORs.
+    std::size_t term_cols = 0;
+    for (std::size_t k = 0; k < w; ++k) {
+      std::uint64_t or_req = 0, or_gnt = 0;
       for (std::size_t s = 0; s < m; ++s) {
-        const std::uint8_t v = cell[s * n + t];
-        has_r |= (v == kReq);
-        has_g |= (v == kGnt);
-        meter_.loads += 1;
-        meter_.alu += 3;
-        meter_.branches += 1;
+        or_req |= wreq_[s * w + k];
+        or_gnt |= wgnt_[s * w + k];
       }
-      col_term[t] = static_cast<std::uint8_t>(has_r != has_g);
-      any_terminal |= (col_term[t] != 0);
-      meter_.stores += 1;
-      meter_.alu += 2;
-      meter_.branches += 1;
+      col_term_words_[k] = or_req ^ or_gnt;
+      term_cols += static_cast<std::size_t>(
+          std::popcount(col_term_words_[k]));
+      any_terminal |= (col_term_words_[k] != 0);
     }
+    meter_.loads += m * n;
+    meter_.alu += 3 * m * n + 2 * n;
+    meter_.branches += m * n + n;
+    meter_.stores += n;
 
     // Line 7: no more terminals -> irreducible.
     meter_.branches += 1;
     if (!any_terminal) break;
     ++iterations_;
 
-    // Lines 8-9: remove all terminal edges.
+    // Lines 8-9: remove all terminal edges. Reference cost: per
+    // row/column the terminal-flag load and test; per cell of a
+    // terminal row/column the store, indexing, and loop test.
+    std::size_t term_rows = 0;
     for (std::size_t s = 0; s < m; ++s) {
-      meter_.loads += 1;
-      meter_.branches += 1;
-      if (!row_term[s]) continue;
-      for (std::size_t t = 0; t < n; ++t) {
-        cell[s * n + t] = kNone;
-        meter_.stores += 1;
-        meter_.alu += 1;
-        meter_.branches += 1;
+      if (!row_term_[s]) continue;
+      ++term_rows;
+      for (std::size_t k = 0; k < w; ++k) {
+        wreq_[s * w + k] = 0;
+        wgnt_[s * w + k] = 0;
       }
     }
-    for (std::size_t t = 0; t < n; ++t) {
-      meter_.loads += 1;
-      meter_.branches += 1;
-      if (!col_term[t]) continue;
+    meter_.loads += m;
+    meter_.branches += m + n * term_rows;
+    meter_.stores += n * term_rows;
+    meter_.alu += n * term_rows;
+
+    for (std::size_t k = 0; k < w; ++k) {
+      const std::uint64_t keep = ~col_term_words_[k];
+      if (keep == ~std::uint64_t{0}) continue;
       for (std::size_t s = 0; s < m; ++s) {
-        cell[s * n + t] = kNone;
-        meter_.stores += 1;
-        meter_.alu += 1;
-        meter_.branches += 1;
+        wreq_[s * w + k] &= keep;
+        wgnt_[s * w + k] &= keep;
       }
     }
+    meter_.loads += n;
+    meter_.branches += n + m * term_cols;
+    meter_.stores += m * term_cols;
+    meter_.alu += m * term_cols;
   }
 
-  // Lines 8-12 of Algorithm 2: deadlock iff edges remain.
+  // Lines 8-12 of Algorithm 2: deadlock iff edges remain. The reference
+  // serial scan stops at the first surviving edge (row-major), so the
+  // metered count is the number of cells it would visit.
   bool edges_remain = false;
-  for (std::size_t i = 0; i < m * n; ++i) {
-    meter_.loads += 1;
-    meter_.alu += 1;
-    meter_.branches += 1;
-    if (cell[i] != kNone) {
-      edges_remain = true;
-      break;
+  std::size_t visited = m * n;
+  for (std::size_t s = 0; s < m && !edges_remain; ++s) {
+    for (std::size_t k = 0; k < w; ++k) {
+      const std::uint64_t word = wreq_[s * w + k] | wgnt_[s * w + k];
+      if (word != 0) {
+        const std::size_t t =
+            k * 64 + static_cast<std::size_t>(std::countr_zero(word));
+        visited = s * n + t + 1;
+        edges_remain = true;
+        break;
+      }
     }
   }
+  meter_.loads += visited;
+  meter_.alu += visited;
+  meter_.branches += visited;
   return edges_remain;
 }
 

@@ -39,6 +39,14 @@ class SoftwarePdda {
   SoftwareCostModel model_;
   OpMeter meter_;
   std::size_t iterations_ = 0;
+  // Scratch for detect(), kept across calls so the hot path (detection
+  // runs on every request/release) never allocates. The working matrix
+  // is two bit-planes (request/grant), row-major, mirroring
+  // StateMatrix's own storage.
+  std::vector<std::uint64_t> wreq_;
+  std::vector<std::uint64_t> wgnt_;
+  std::vector<std::uint8_t> row_term_;
+  std::vector<std::uint64_t> col_term_words_;
 };
 
 }  // namespace delta::deadlock

@@ -50,6 +50,20 @@ WaitForInfo unpack_wait_for(std::uint64_t a1) {
   return info;
 }
 
+void TraceRecorder::record_slow(EventKind kind, std::uint16_t pe,
+                                sim::Cycles start, sim::Cycles dur,
+                                std::uint64_t a0, std::uint64_t a1) {
+  Event& e = ring_[next_];
+  e.start = start;
+  e.dur = dur;
+  e.a0 = a0;
+  e.a1 = a1;
+  e.kind = kind;
+  e.pe = pe;
+  next_ = next_ + 1 == cap_ ? 0 : next_ + 1;
+  ++recorded_;
+}
+
 void TraceRecorder::enable(std::size_t capacity) {
   cap_ = capacity;
   ring_.assign(capacity, Event{});

@@ -87,19 +87,14 @@ class TraceRecorder {
 
   [[nodiscard]] bool enabled() const { return cap_ != 0; }
 
-  /// Record one event. When disabled this is a single branch.
+  /// Record one event. When disabled (the tracing-off fast path every
+  /// sweep and bench runs in) this is a single predicted branch; the
+  /// ring-append body lives out of line so the instrumentation costs
+  /// hot call sites neither code size nor register pressure.
   void record(EventKind kind, std::uint16_t pe, sim::Cycles start,
               sim::Cycles dur, std::uint64_t a0 = 0, std::uint64_t a1 = 0) {
-    if (cap_ == 0) return;
-    Event& e = ring_[next_];
-    e.start = start;
-    e.dur = dur;
-    e.a0 = a0;
-    e.a1 = a1;
-    e.kind = kind;
-    e.pe = pe;
-    next_ = next_ + 1 == cap_ ? 0 : next_ + 1;
-    ++recorded_;
+    if (cap_ == 0) [[likely]] return;
+    record_slow(kind, pe, start, dur, a0, a1);
   }
 
   /// Total record() calls while enabled (including dropped ones).
@@ -115,6 +110,10 @@ class TraceRecorder {
   [[nodiscard]] std::vector<Event> events() const;
 
  private:
+  /// Out-of-line ring append; called only while enabled.
+  void record_slow(EventKind kind, std::uint16_t pe, sim::Cycles start,
+                   sim::Cycles dur, std::uint64_t a0, std::uint64_t a1);
+
   std::vector<Event> ring_;
   std::size_t cap_ = 0;        ///< 0 == disabled
   std::size_t next_ = 0;       ///< ring slot the next event lands in

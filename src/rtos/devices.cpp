@@ -21,7 +21,7 @@ DeviceManager::DeviceManager(sim::Simulator& sim, std::size_t devices,
 
 sim::Cycles DeviceManager::start_job(ResourceId dev, PeId pe,
                                      sim::Cycles cycles,
-                                     std::function<void()> on_complete) {
+                                     sim::SmallFn on_complete) {
   if (dev >= devices_) throw std::invalid_argument("start_job: bad device");
   const sim::Cycles start = std::max(sim_.now(), device_free_at_[dev]);
   const sim::Cycles done = start + cycles;
@@ -37,12 +37,12 @@ sim::Cycles DeviceManager::start_job(ResourceId dev, PeId pe,
 }
 
 void DeviceManager::set_masked(PeId pe, bool masked) {
-  masked_.at(pe) = masked;
-  if (!masked) drain(pe);
+  masked_[pe] = masked;
+  if (!masked && !pending_[pe].empty()) drain(pe);
 }
 
-void DeviceManager::deliver(PeId pe, std::function<void()> handler) {
-  if (masked_.at(pe)) {
+void DeviceManager::deliver(PeId pe, sim::SmallFn handler) {
+  if (masked_[pe]) {
     ++deferred_;
     pending_[pe].push_back(std::move(handler));
     return;

@@ -10,11 +10,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "rtos/types.h"
 #include "sim/simulator.h"
+#include "sim/small_fn.h"
 
 namespace delta::rtos {
 
@@ -29,7 +29,7 @@ class DeviceManager {
   /// once the completion interrupt is delivered there. Jobs on the same
   /// device serialize. Returns the completion (pre-interrupt) time.
   sim::Cycles start_job(ResourceId dev, PeId pe, sim::Cycles cycles,
-                        std::function<void()> on_complete);
+                        sim::SmallFn on_complete);
 
   /// Mask/unmask a PE's interrupt intake (kernel services run masked).
   /// Pending interrupts deliver right after unmasking.
@@ -51,11 +51,6 @@ class DeviceManager {
   }
 
  private:
-  struct Pending {
-    PeId pe;
-    std::function<void()> handler;
-  };
-
   sim::Simulator& sim_;
   std::size_t devices_;
   sim::Cycles irq_latency_;
@@ -63,11 +58,11 @@ class DeviceManager {
   std::vector<std::uint64_t> jobs_;
   std::vector<sim::Cycles> busy_;
   std::vector<bool> masked_;
-  std::vector<std::vector<std::function<void()>>> pending_;  // per PE
+  std::vector<std::vector<sim::SmallFn>> pending_;  // per PE
   std::uint64_t delivered_ = 0;
   std::uint64_t deferred_ = 0;
 
-  void deliver(PeId pe, std::function<void()> handler);
+  void deliver(PeId pe, sim::SmallFn handler);
   void drain(PeId pe);
 };
 

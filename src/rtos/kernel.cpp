@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <sstream>
 #include <stdexcept>
 
 #include "rag/reduction.h"
@@ -69,10 +68,6 @@ void Kernel::set_observer(obs::Observer* o) {
   memory_->attach_observer(obs_);
 }
 
-void Kernel::trace(const std::string& channel, const std::string& text) {
-  if (cfg_.trace) sim_.trace().record(sim_.now(), channel, text);
-}
-
 void Kernel::set_state(TaskId id, TaskState to) {
   task(id).state = to;
   transitions_.push_back(StateTransition{sim_.now(), id, to});
@@ -97,6 +92,13 @@ TaskId Kernel::create_task(std::string name, PeId pe, Priority priority,
   t->order_key = t->id;
   strategy_->set_priority(t->id, priority);
   tasks_.push_back(std::move(t));
+  // Grow the TaskId-indexed bookkeeping arrays in lockstep.
+  waiting_lock_.push_back(kNoLock);
+  pending_lock_grant_.push_back(kNoLock);
+  lock_requested_at_.push_back(sim::kNeverCycles);
+  ceiling_stack_.emplace_back();
+  held_locks_.emplace_back();
+  queue_send_payload_.push_back(0);
   return tasks_.back()->id;
 }
 
@@ -130,7 +132,9 @@ void Kernel::change_priority(TaskId id, Priority priority) {
   } else {
     recompute_inherited_priority(id);
   }
-  trace("RTOS", t.name + " priority changed to " + std::to_string(priority));
+  trace("RTOS", [&] {
+    return t.name + " priority changed to " + std::to_string(priority);
+  });
   reschedule(t.pe);
 }
 
@@ -139,16 +143,15 @@ void Kernel::suspend(TaskId id) {
   if (t.state == TaskState::kFinished) return;
   if (t.state == TaskState::kRunning) {
     // Stop a pending compute; remember the remainder.
-    auto ev = compute_event_.find(id);
-    if (ev != compute_event_.end()) {
-      sim_.cancel(ev->second);
-      compute_event_.erase(ev);
-      t.compute_left = compute_done_at_[id] - sim_.now();
+    if (t.compute_armed) {
+      sim_.cancel(t.compute_event);
+      t.compute_armed = false;
+      t.compute_left = t.compute_done_at - sim_.now();
     }
     running_[t.pe] = kNoTask;
   }
   set_state(id, TaskState::kSuspended);
-  trace("RTOS", t.name + " suspended");
+  trace("RTOS", [&] { return t.name + " suspended"; });
   reschedule(t.pe);
 }
 
@@ -156,7 +159,7 @@ void Kernel::resume(TaskId id) {
   Task& t = task(id);
   if (t.state != TaskState::kSuspended) return;
   set_state(id, TaskState::kReady);
-  trace("RTOS", t.name + " resumed");
+  trace("RTOS", [&] { return t.name + " resumed"; });
   reschedule(t.pe);
 }
 
@@ -195,7 +198,7 @@ void Kernel::start() {
       if (t.state != TaskState::kNotStarted) return;
       set_state(id, TaskState::kReady);
       t.started_at = sim_.now();
-      trace("RTOS", t.name + " released");
+      trace("RTOS", [&] { return t.name + " released"; });
       reschedule(t.pe);
     });
   }
@@ -250,16 +253,17 @@ void Kernel::reschedule(PeId pe) {
     Task& c = task(cur);
     if (best == kNoTask || task(best).priority >= c.priority) return;
     // Preempt the running task (it must be in a preemptible compute).
-    auto ev = compute_event_.find(cur);
-    if (ev == compute_event_.end()) return;  // between ops; let it settle
-    sim_.cancel(ev->second);
-    compute_event_.erase(ev);
-    c.compute_left = compute_done_at_[cur] - sim_.now();
+    if (!c.compute_armed) return;  // between ops; let it settle
+    sim_.cancel(c.compute_event);
+    c.compute_armed = false;
+    c.compute_left = c.compute_done_at - sim_.now();
     set_state(cur, TaskState::kReady);
     ++c.preemptions;
     ctr_preemptions_->add();
     running_[pe] = kNoTask;
-    trace("RTOS", c.name + " preempted by " + task(best).name);
+    trace("RTOS", [&] {
+      return c.name + " preempted by " + task(best).name;
+    });
   }
   if (best == kNoTask) return;
   dispatch(pe, best);
@@ -274,10 +278,10 @@ void Kernel::dispatch(PeId pe, TaskId id) {
   obs_->trace.record(obs::EventKind::kContextSwitch,
                      static_cast<std::uint16_t>(pe), sim_.now(),
                      cfg_.costs.context_switch, id);
-  const std::uint64_t gen = ++task_gen_[id];
+  const std::uint64_t gen = ++t.gen;
   sim_.schedule_in(cfg_.costs.context_switch, [this, pe, id, gen] {
     if (halted_) return;
-    if (running_[pe] != id || task_gen_[id] != gen) return;  // stale
+    if (running_[pe] != id || task(id).gen != gen) return;  // stale
     Task& t = task(id);
     if (t.state != TaskState::kRunning) return;
     // A higher-priority task may have arrived during the switch window;
@@ -300,10 +304,10 @@ void Kernel::arm_time_slice(PeId pe) {
   if (cfg_.time_slice == 0) return;
   const TaskId id = running_[pe];
   if (id == kNoTask) return;
-  const std::uint64_t gen = task_gen_[id];
+  const std::uint64_t gen = task(id).gen;
   sim_.schedule_in(cfg_.time_slice, [this, pe, id, gen] {
     if (halted_) return;
-    if (running_[pe] != id || task_gen_[id] != gen) return;
+    if (running_[pe] != id || task(id).gen != gen) return;
     Task& c = task(id);
     if (c.state != TaskState::kRunning) return;
     // Rotate only when an equal-priority peer is ready.
@@ -315,20 +319,19 @@ void Kernel::arm_time_slice(PeId pe) {
       arm_time_slice(pe);
       return;
     }
-    auto ev = compute_event_.find(id);
-    if (ev == compute_event_.end()) {
+    if (!c.compute_armed) {
       arm_time_slice(pe);  // in a service; try next slice
       return;
     }
-    sim_.cancel(ev->second);
-    compute_event_.erase(ev);
-    c.compute_left = compute_done_at_[id] - sim_.now();
+    sim_.cancel(c.compute_event);
+    c.compute_armed = false;
+    c.compute_left = c.compute_done_at - sim_.now();
     set_state(id, TaskState::kReady);
     c.order_key = cfg_.max_tasks + (++sched_seq_);  // to the back
     ++c.preemptions;
     ctr_preemptions_->add();
     running_[pe] = kNoTask;
-    trace("RTOS", c.name + " time-sliced out");
+    trace("RTOS", [&] { return c.name + " time-sliced out"; });
     reschedule(pe);
   });
 }
@@ -383,9 +386,10 @@ void Kernel::finish_task(TaskId id) {
     t.worst_response = std::max(t.worst_response, response);
     if (t.deadline != 0 && response > t.deadline) {
       ++t.deadline_miss_count;
-      trace("RTOS", t.name + " MISSED its deadline (" +
-                        std::to_string(response) + " > " +
-                        std::to_string(t.deadline) + ")");
+      trace("RTOS", [&] {
+        return t.name + " MISSED its deadline (" + std::to_string(response) +
+               " > " + std::to_string(t.deadline) + ")";
+      });
     }
     if (t.activations_left > 0) {
       // Re-arm for the next period; an overrunning activation releases
@@ -409,11 +413,13 @@ void Kernel::finish_task(TaskId id) {
 
   set_state(id, TaskState::kFinished);
   t.finished_at = sim_.now();
-  trace("RTOS", t.name + " finished");
+  trace("RTOS", [&] { return t.name + " finished"; });
   if (t.period == 0 && t.missed_deadline())
-    trace("RTOS", t.name + " MISSED its deadline (" +
-                      std::to_string(t.turnaround()) + " > " +
-                      std::to_string(t.deadline) + ")");
+    trace("RTOS", [&] {
+      return t.name + " MISSED its deadline (" +
+             std::to_string(t.turnaround()) + " > " +
+             std::to_string(t.deadline) + ")";
+    });
   reschedule(t.pe);
 }
 
@@ -460,9 +466,9 @@ void Kernel::record_wait_for(const Task& t, WaitKind why,
       }
       return;
     case WaitKind::kLock: {
-      const auto it = waiting_lock_.find(t.id);
-      const LockId lk =
-          it != waiting_lock_.end() ? it->second : static_cast<LockId>(object);
+      const LockId lk = waiting_lock_[t.id] != kNoLock
+                            ? waiting_lock_[t.id]
+                            : static_cast<LockId>(object);
       emit(obs::WaitObject::kLock, lk, locks_->owner(lk));
       return;
     }
@@ -496,7 +502,8 @@ void Kernel::wake_task(TaskId id) {
   reschedule(t.pe);
 }
 
-void Kernel::service(PeId pe, sim::Cycles cycles, std::function<void()> done) {
+template <class F>
+void Kernel::service(PeId pe, sim::Cycles cycles, F done) {
   // Every kernel service window funnels through here; the event is what
   // lets obs/critpath charge these cycles to the overhead bucket of the
   // task being serviced.
@@ -506,7 +513,7 @@ void Kernel::service(PeId pe, sim::Cycles cycles, std::function<void()> done) {
                                              : running_[pe]);
   in_service_[pe] = true;
   devices_.set_masked(pe, true);  // kernel services run interrupts-off
-  sim_.schedule_in(cycles, [this, pe, done = std::move(done)] {
+  sim_.schedule_in(cycles, [this, pe, done = std::move(done)]() mutable {
     in_service_[pe] = false;
     if (halted_) return;
     done();
@@ -520,10 +527,11 @@ void Kernel::service(PeId pe, sim::Cycles cycles, std::function<void()> done) {
 void Kernel::op_compute(Task& t, const op::Compute& c) {
   const sim::Cycles cycles = t.compute_left ? t.compute_left : c.cycles;
   const TaskId id = t.id;
-  compute_done_at_[id] = sim_.now() + cycles;
-  compute_event_[id] = sim_.schedule_in(cycles, [this, id] {
-    compute_event_.erase(id);
+  t.compute_done_at = sim_.now() + cycles;
+  t.compute_armed = true;
+  t.compute_event = sim_.schedule_in(cycles, [this, id] {
     Task& tk = task(id);
+    tk.compute_armed = false;
     if (tk.state != TaskState::kRunning) return;  // aborted meanwhile
     tk.compute_left = 0;
     ++tk.pc;
@@ -533,15 +541,32 @@ void Kernel::op_compute(Task& t, const op::Compute& c) {
 
 // ---------------------------------------------------------- resources --
 
+namespace {
+
+/// Comma-joined resource-name list for request/release trace lines.
+template <class Names>
+std::string join_names(const std::vector<ResourceId>& rs,
+                       const Names& name_of) {
+  std::string out;
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    if (i) out += ", ";
+    out += name_of(rs[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
 void Kernel::op_request(Task& t, const op::Request& r) {
   const sim::Cycles now = sim_.now();
   const sim::Cycles start = std::max(now, resmgr_lock_until_);
   sim::Cycles cursor = start + cfg_.costs.kernel_entry;
 
-  std::ostringstream what;
-  for (std::size_t i = 0; i < r.resources.size(); ++i)
-    what << (i ? ", " : "") << resource_name(r.resources[i]);
-  trace("RTOS", t.name + " requests " + what.str());
+  trace("RTOS", [&] {
+    return t.name + " requests " +
+           join_names(r.resources,
+                      [&](ResourceId x) { return resource_name(x); });
+  });
 
   std::vector<std::pair<ResourceId, ResourceEvent>> events;
   for (ResourceId res : r.resources) {
@@ -561,7 +586,9 @@ void Kernel::op_request(Task& t, const op::Request& r) {
     for (const auto& [res, ev] : events) {
       if (ev.granted) {
         tk.held.insert(res);
-        trace("RM", resource_name(res) + " granted to " + tk.name);
+        trace("RM", [&] {
+          return resource_name(res) + " granted to " + tk.name;
+        });
       } else if (tk.held.count(res) != 0) {
         // Granted by another PE's release while this service was in
         // flight (grant_resource already updated the sets).
@@ -571,7 +598,9 @@ void Kernel::op_request(Task& t, const op::Request& r) {
         tk.waiting_for.insert(res);
       } else {
         tk.waiting_for.insert(res);
-        trace("RM", tk.name + " waits for " + resource_name(res));
+        trace("RM", [&] {
+          return tk.name + " waits for " + resource_name(res);
+        });
       }
       apply_resource_event(ev, res, sim_.now());
     }
@@ -592,10 +621,11 @@ void Kernel::op_release(Task& t, const op::Release& r) {
   const sim::Cycles start = std::max(now, resmgr_lock_until_);
   sim::Cycles cursor = start + cfg_.costs.kernel_entry;
 
-  std::ostringstream what;
-  for (std::size_t i = 0; i < r.resources.size(); ++i)
-    what << (i ? ", " : "") << resource_name(r.resources[i]);
-  trace("RTOS", t.name + " releases " + what.str());
+  trace("RTOS", [&] {
+    return t.name + " releases " +
+           join_names(r.resources,
+                      [&](ResourceId x) { return resource_name(x); });
+  });
 
   std::vector<std::pair<ResourceId, ResourceEvent>> events;
   for (ResourceId res : r.resources) {
@@ -624,8 +654,10 @@ void Kernel::op_release(Task& t, const op::Release& r) {
 void Kernel::op_use_device(Task& t, const op::UseDevice& u) {
   const TaskId id = t.id;
   if (t.held.count(u.resource) == 0) {
-    trace("DEV", t.name + " tried to use " + resource_name(u.resource) +
-                     " without holding it");
+    trace("DEV", [&] {
+      return t.name + " tried to use " + resource_name(u.resource) +
+             " without holding it";
+    });
     ++t.pc;
     step_task(id);
     return;
@@ -636,12 +668,16 @@ void Kernel::op_use_device(Task& t, const op::UseDevice& u) {
   const sim::Cycles cycles = u.cycles;
   service(t.pe, cfg_.costs.kernel_entry, [this, id, dev, cycles] {
     Task& tk = task(id);
-    trace("DEV", tk.name + " starts a " + std::to_string(cycles) +
-                     "-cycle job on " + resource_name(dev));
+    trace("DEV", [&] {
+      return tk.name + " starts a " + std::to_string(cycles) +
+             "-cycle job on " + resource_name(dev);
+    });
     devices_.start_job(dev, tk.pe, cycles, [this, id, dev] {
       if (halted_) return;
       Task& w = task(id);
-      trace("DEV", resource_name(dev) + " interrupt wakes " + w.name);
+      trace("DEV", [&] {
+        return resource_name(dev) + " interrupt wakes " + w.name;
+      });
       if (w.state == TaskState::kBlocked &&
           w.wait_kind == WaitKind::kDevice) {
         ++w.pc;
@@ -657,7 +693,9 @@ void Kernel::apply_resource_event(const ResourceEvent& ev, ResourceId res,
   for (const auto& [to, what] : ev.grants) grant_resource(to, what);
   if (ev.livelock) {
     starved_.insert(res);
-    trace("RM", "livelock detected on " + resource_name(res));
+    trace("RM", [&] {
+      return "livelock detected on " + resource_name(res);
+    });
   }
   if (ev.asked != kNoTask && !ev.ask_give_up.empty())
     schedule_give_up(ev.asked, ev.ask_give_up);
@@ -668,7 +706,7 @@ void Kernel::grant_resource(TaskId to, ResourceId res) {
   Task& t = task(to);
   t.held.insert(res);
   t.waiting_for.erase(res);
-  trace("RM", resource_name(res) + " granted to " + t.name);
+  trace("RM", [&] { return resource_name(res) + " granted to " + t.name; });
   maybe_wake_resource_waiter(to);
 }
 
@@ -682,10 +720,10 @@ void Kernel::maybe_wake_resource_waiter(TaskId id) {
 }
 
 void Kernel::schedule_give_up(TaskId victim, std::vector<ResourceId> rs) {
-  std::ostringstream what;
-  for (std::size_t i = 0; i < rs.size(); ++i)
-    what << (i ? ", " : "") << resource_name(rs[i]);
-  trace("RM", "asking " + task(victim).name + " to give up " + what.str());
+  trace("RM", [&] {
+    return "asking " + task(victim).name + " to give up " +
+           join_names(rs, [&](ResourceId x) { return resource_name(x); });
+  });
 
   sim_.schedule_in(cfg_.costs.give_up_delay, [this, victim,
                                               rs = std::move(rs)] {
@@ -695,7 +733,9 @@ void Kernel::schedule_give_up(TaskId victim, std::vector<ResourceId> rs) {
     sim::Cycles cursor = sim_.now();
     for (ResourceId res : rs) {
       if (v.held.erase(res) == 0) continue;
-      trace("RM", v.name + " gives up " + resource_name(res));
+      trace("RM", [&] {
+        return v.name + " gives up " + resource_name(res);
+      });
       ResourceEvent ev = strategy_->release(victim, res, cursor);
       cursor += ev.pe_cycles;
       apply_resource_event(ev, res, sim_.now());
@@ -709,7 +749,9 @@ void Kernel::schedule_give_up(TaskId victim, std::vector<ResourceId> rs) {
         grant_resource(victim, res);
       } else {
         v.waiting_for.insert(res);
-        trace("RM", v.name + " re-requests " + resource_name(res));
+        trace("RM", [&] {
+          return v.name + " re-requests " + resource_name(res);
+        });
       }
       apply_resource_event(ev, res, sim_.now());
     }
@@ -731,7 +773,7 @@ void Kernel::note_detection(const ResourceEvent& ev, sim::Cycles at) {
     deadlock_detected_ = true;
     deadlock_time_ = at;
   }
-  trace("RM", "deadlock detected");
+  trace("RM", [] { return "deadlock detected"; });
   if (cfg_.recovery != RecoveryPolicy::kNone) {
     recover_from_deadlock();
     return;
@@ -767,19 +809,20 @@ void Kernel::recover_from_deadlock() {
   Task& v = task(victim);
   ++recoveries_;
   ++restarts_[victim];
-  trace("RM", "recovery: aborting " + v.name + " and restarting it");
+  trace("RM", [&] {
+    return "recovery: aborting " + v.name + " and restarting it";
+  });
 
   // Detach the victim from its PE: it may be aborted mid-compute or even
   // mid-service (its own request can be the deadlocking event). Stale
   // dispatch/slice events are invalidated through the generation counter,
   // and in-flight service continuations bail out on the state check.
-  const auto ev = compute_event_.find(victim);
-  if (ev != compute_event_.end()) {
-    sim_.cancel(ev->second);
-    compute_event_.erase(ev);
+  if (v.compute_armed) {
+    sim_.cancel(v.compute_event);
+    v.compute_armed = false;
   }
   if (running_[v.pe] == victim) running_[v.pe] = kNoTask;
-  ++task_gen_[victim];
+  ++v.gen;
 
   // Withdraw pending requests, then force-release everything held. The
   // releases re-grant to waiters through the normal strategy path, which
@@ -798,10 +841,9 @@ void Kernel::recover_from_deadlock() {
 
   // Surrender every lock the victim holds (hand-off as in op_unlock) and
   // abandon any lock wait, so lock state cannot leak across the restart.
-  const auto lock_wait = waiting_lock_.find(victim);
-  if (lock_wait != waiting_lock_.end()) {
-    locks_->cancel_wait(lock_wait->second, victim);
-    waiting_lock_.erase(lock_wait);
+  if (waiting_lock_[victim] != kNoLock) {
+    locks_->cancel_wait(waiting_lock_[victim], victim);
+    waiting_lock_[victim] = kNoLock;
   }
   const std::set<LockId> held_locks = held_locks_[victim];
   for (LockId lk : held_locks) force_unlock(victim, lk);
@@ -822,7 +864,7 @@ void Kernel::recover_from_deadlock() {
     Task& t = task(victim);
     if (t.state != TaskState::kNotStarted) return;
     set_state(victim, TaskState::kReady);
-    trace("RTOS", t.name + " restarted after recovery");
+    trace("RTOS", [&] { return t.name + " restarted after recovery"; });
     reschedule(t.pe);
   });
 }
@@ -848,7 +890,9 @@ void Kernel::op_lock(Task& t, const op::Lock& l) {
       obs_->trace.record(obs::EventKind::kLockAcquire,
                          static_cast<std::uint16_t>(tk.pe),
                          sim_.now() - total, total, lk, 0);
-      trace("LOCK", tk.name + " acquired lock " + std::to_string(lk));
+      trace("LOCK", [&] {
+        return tk.name + " acquired lock " + std::to_string(lk);
+      });
       ++tk.pc;
       step_task(id);
       return;
@@ -856,24 +900,29 @@ void Kernel::op_lock(Task& t, const op::Lock& l) {
     ctr_lock_contended_->add();
     // The lock may have been handed to us while this service was still
     // in flight (a release on another PE); consume that grant.
-    const auto pending = pending_lock_grant_.find(id);
-    if (pending != pending_lock_grant_.end() && pending->second == lk) {
-      pending_lock_grant_.erase(pending);
+    if (pending_lock_grant_[id] == lk) {
+      pending_lock_grant_[id] = kNoLock;
       obs_->trace.record(obs::EventKind::kLockAcquire,
                          static_cast<std::uint16_t>(tk.pe),
                          sim_.now() - total, total, lk, 1);
-      trace("LOCK", tk.name + " acquired lock " + std::to_string(lk) +
-                        " (handed during acquire)");
+      trace("LOCK", [&] {
+        return tk.name + " acquired lock " + std::to_string(lk) +
+               " (handed during acquire)";
+      });
       ++tk.pc;
       step_task(id);
       return;
     }
     if (cfg_.spin_short_locks && locks_->is_short(lk)) {
-      trace("LOCK", tk.name + " spins on lock " + std::to_string(lk));
+      trace("LOCK", [&] {
+        return tk.name + " spins on lock " + std::to_string(lk);
+      });
       spin_on_lock(id, lk);
       return;
     }
-    trace("LOCK", tk.name + " blocks on lock " + std::to_string(lk));
+    trace("LOCK", [&] {
+      return tk.name + " blocks on lock " + std::to_string(lk);
+    });
     if (!locks_->provides_ceiling())
       boost_owner_chain(locks_->owner(lk), tk.priority);
     waiting_lock_[id] = lk;
@@ -905,23 +954,27 @@ void Kernel::op_unlock(Task& t, const op::Unlock& u) {
     ctr_lock_releases_->add();
     obs_->trace.record(obs::EventKind::kLockRelease,
                        static_cast<std::uint16_t>(tk.pe), sim_.now(), 0, lk);
-    trace("LOCK", tk.name + " released lock " + std::to_string(lk));
+    trace("LOCK", [&] {
+      return tk.name + " released lock " + std::to_string(lk);
+    });
     if (res.next != kNoTask) {
       Task& nx = task(res.next);
       held_locks_[res.next].insert(lk);
-      waiting_lock_.erase(res.next);
+      waiting_lock_[res.next] = kNoLock;
       if (res.ceiling) {
         ceiling_stack_[res.next].push_back({lk, nx.priority});
         nx.priority = std::min(nx.priority, *res.ceiling);
       }
-      const auto it = lock_requested_at_.find(res.next);
-      if (it != lock_requested_at_.end()) {
-        lock_delay_->add(static_cast<double>(sim_.now() - it->second));
+      const sim::Cycles asked_at = lock_requested_at_[res.next];
+      if (asked_at != sim::kNeverCycles) {
+        lock_delay_->add(static_cast<double>(sim_.now() - asked_at));
         obs_->trace.record(obs::EventKind::kLockAcquire,
-                           static_cast<std::uint16_t>(nx.pe), it->second,
-                           sim_.now() - it->second, lk, 1);
+                           static_cast<std::uint16_t>(nx.pe), asked_at,
+                           sim_.now() - asked_at, lk, 1);
       }
-      trace("LOCK", "lock " + std::to_string(lk) + " handed to " + nx.name);
+      trace("LOCK", [&] {
+        return "lock " + std::to_string(lk) + " handed to " + nx.name;
+      });
       if (nx.state == TaskState::kBlocked &&
           nx.wait_kind == WaitKind::kLock) {
         ++nx.pc;  // past the Lock op it blocked on
@@ -944,14 +997,14 @@ void Kernel::spin_on_lock(TaskId id, LockId lk) {
   // the spin protocol runs with preemption off).
   in_service_[pe] = true;
   // One poll now; the hand-off is observed on a subsequent poll.
-  const auto grant = pending_lock_grant_.find(id);
-  if (grant != pending_lock_grant_.end() && grant->second == lk) {
-    pending_lock_grant_.erase(grant);
+  if (pending_lock_grant_[id] == lk) {
+    pending_lock_grant_[id] = kNoLock;
     in_service_[pe] = false;
     Task& tk = task(id);
     // The delay sample was taken at hand-off time in op_unlock.
-    trace("LOCK", tk.name + " acquired lock " + std::to_string(lk) +
-                      " (spin)");
+    trace("LOCK", [&] {
+      return tk.name + " acquired lock " + std::to_string(lk) + " (spin)";
+    });
     ++tk.pc;
     step_task(id);
     reschedule(pe);
@@ -980,11 +1033,12 @@ void Kernel::boost_owner_chain(TaskId owner, Priority prio) {
     Task& o = task(owner);
     if (o.priority <= prio) return;
     o.priority = prio;
-    trace("LOCK", o.name + " inherits priority " + std::to_string(prio));
+    trace("LOCK", [&] {
+      return o.name + " inherits priority " + std::to_string(prio);
+    });
     if (o.state == TaskState::kReady) reschedule(o.pe);
-    const auto it = waiting_lock_.find(owner);
-    if (it == waiting_lock_.end()) return;
-    owner = locks_->owner(it->second);
+    if (waiting_lock_[owner] == kNoLock) return;
+    owner = locks_->owner(waiting_lock_[owner]);
   }
 }
 
@@ -998,19 +1052,21 @@ void Kernel::force_unlock(TaskId id, LockId lk) {
   if (res.next != kNoTask) {
     Task& nx = task(res.next);
     held_locks_[res.next].insert(lk);
-    waiting_lock_.erase(res.next);
+    waiting_lock_[res.next] = kNoLock;
     if (res.ceiling) {
       ceiling_stack_[res.next].push_back({lk, nx.priority});
       nx.priority = std::min(nx.priority, *res.ceiling);
     }
-    const auto it = lock_requested_at_.find(res.next);
-    if (it != lock_requested_at_.end()) {
-      lock_delay_->add(static_cast<double>(sim_.now() - it->second));
+    const sim::Cycles asked_at = lock_requested_at_[res.next];
+    if (asked_at != sim::kNeverCycles) {
+      lock_delay_->add(static_cast<double>(sim_.now() - asked_at));
       obs_->trace.record(obs::EventKind::kLockAcquire,
-                         static_cast<std::uint16_t>(nx.pe), it->second,
-                         sim_.now() - it->second, lk, 1);
+                         static_cast<std::uint16_t>(nx.pe), asked_at,
+                         sim_.now() - asked_at, lk, 1);
     }
-    trace("LOCK", "lock " + std::to_string(lk) + " handed to " + nx.name);
+    trace("LOCK", [&] {
+      return "lock " + std::to_string(lk) + " handed to " + nx.name;
+    });
     if (nx.state == TaskState::kBlocked && nx.wait_kind == WaitKind::kLock) {
       ++nx.pc;
       wake_task(res.next);
@@ -1041,14 +1097,18 @@ void Kernel::op_alloc(Task& t, const op::Alloc& a) {
   obs_->trace.record(obs::EventKind::kAlloc,
                      static_cast<std::uint16_t>(t.pe), sim_.now(),
                      cfg_.costs.kernel_entry + res.pe_cycles, a.bytes, 0);
-  const std::string slot = a.slot;
+  // Capture only the result fields the continuation reads: the whole
+  // MemResult would push the service closure past SmallFn's inline
+  // buffer and onto the heap.
   service(t.pe, cfg_.costs.kernel_entry + res.pe_cycles,
-          [this, id, slot, res] {
+          [this, id, slot = a.slot, ok = res.ok, addr = res.addr] {
             Task& tk = task(id);
-            if (res.ok) {
-              tk.allocations[slot] = res.addr;
+            if (ok) {
+              tk.allocations[slot] = addr;
             } else {
-              trace("MEM", tk.name + " allocation failed for " + slot);
+              trace("MEM", [&] {
+                return tk.name + " allocation failed for " + slot;
+              });
             }
             ++tk.pc;
             step_task(id);
@@ -1065,16 +1125,18 @@ void Kernel::op_alloc_shared(Task& t, const op::AllocShared& a) {
   obs_->trace.record(obs::EventKind::kAlloc,
                      static_cast<std::uint16_t>(t.pe), sim_.now(),
                      cfg_.costs.kernel_entry + res.pe_cycles, a.bytes, 1);
-  const std::string slot = a.slot;
   service(t.pe, cfg_.costs.kernel_entry + res.pe_cycles,
-          [this, id, slot, res] {
+          [this, id, slot = a.slot, ok = res.ok, addr = res.addr] {
             Task& tk = task(id);
-            if (res.ok) {
-              tk.allocations[slot] = res.addr;
-              trace("MEM", tk.name + " mapped shared region into " + slot);
+            if (ok) {
+              tk.allocations[slot] = addr;
+              trace("MEM", [&] {
+                return tk.name + " mapped shared region into " + slot;
+              });
             } else {
-              trace("MEM",
-                    tk.name + " shared allocation failed for " + slot);
+              trace("MEM", [&] {
+                return tk.name + " shared allocation failed for " + slot;
+              });
             }
             ++tk.pc;
             step_task(id);
@@ -1085,7 +1147,7 @@ void Kernel::op_free(Task& t, const op::Free& f) {
   const TaskId id = t.id;
   const auto it = t.allocations.find(f.slot);
   if (it == t.allocations.end()) {
-    trace("MEM", t.name + " frees unknown slot " + f.slot);
+    trace("MEM", [&] { return t.name + " frees unknown slot " + f.slot; });
     ++t.pc;
     step_task(id);
     return;
@@ -1221,11 +1283,12 @@ void Kernel::op_queue_recv(Task& t, const op::QueueRecv& r) {
             if (!q.messages.empty()) {
               tk.last_message = q.messages.front();
               q.messages.pop_front();
-              // Admit one blocked sender into the freed slot.
+              // Admit one blocked sender into the freed slot (its payload
+              // stays parked in queue_send_payload_ until overwritten by
+              // its next blocking send).
               const TaskId sx = q.senders.pop();
               if (sx != kNoTask) {
                 q.messages.push_back(queue_send_payload_[sx]);
-                queue_send_payload_.erase(sx);
                 Task& snd = task(sx);
                 ++snd.pc;
                 wake_task(sx);

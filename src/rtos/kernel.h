@@ -200,15 +200,18 @@ class Kernel {
   std::vector<MessageQueue> queues_;
   std::vector<EventGroup> event_groups_;
 
-  // Lock bookkeeping.
-  std::map<TaskId, LockId> waiting_lock_;
+  // Lock bookkeeping. Indexed by TaskId (dense, grown in create_task);
+  // kNoLock / kNeverCycles mark absent entries so the hot path is an
+  // array load instead of a map walk.
+  static constexpr LockId kNoLock = static_cast<LockId>(-1);
+  std::vector<LockId> waiting_lock_;
   /// Locks handed to a task while its acquire service was still in
   /// flight; the acquire completion consumes the entry as a grant.
-  std::map<TaskId, LockId> pending_lock_grant_;
-  std::map<TaskId, sim::Cycles> lock_requested_at_;
-  std::map<TaskId, std::vector<std::pair<LockId, Priority>>> ceiling_stack_;
-  std::map<TaskId, std::set<LockId>> held_locks_;
-  std::map<TaskId, std::uint64_t> queue_send_payload_;
+  std::vector<LockId> pending_lock_grant_;
+  std::vector<sim::Cycles> lock_requested_at_;  ///< kNeverCycles = none
+  std::vector<std::vector<std::pair<LockId, Priority>>> ceiling_stack_;
+  std::vector<std::set<LockId>> held_locks_;
+  std::vector<std::uint64_t> queue_send_payload_;
 
   // Observability. All pointers below index into obs_->metrics and are
   // re-cached by set_observer(); own_obs_ is the always-present fallback.
@@ -238,12 +241,15 @@ class Kernel {
 
   std::set<ResourceId> starved_;  ///< livelock-idled resources to retry
   std::uint64_t sched_seq_ = 0;   ///< round-robin rotation counter
-  std::map<TaskId, std::uint64_t> task_gen_;
-  std::map<TaskId, sim::EventId> compute_event_;
-  std::map<TaskId, sim::Cycles> compute_done_at_;
 
   // ------------------------------------------------------- internals --
-  void trace(const std::string& channel, const std::string& text);
+  /// Lazy trace: `make_text` (returning something convertible to
+  /// std::string) only runs when tracing is on, so hot paths never
+  /// format strings for a disabled trace.
+  template <class F>
+  void trace(const char* channel, F&& make_text) {
+    if (cfg_.trace) sim_.trace().record(sim_.now(), channel, make_text());
+  }
   /// Set a task's state and append to the transition log.
   void set_state(TaskId id, TaskState to);
   void reschedule(PeId pe);
@@ -264,8 +270,12 @@ class Kernel {
   }
 
   /// Begin a non-preemptible kernel service on `pe` lasting `cycles`;
-  /// `done` runs at completion (service flag cleared first).
-  void service(PeId pe, sim::Cycles cycles, std::function<void()> done);
+  /// `done` runs at completion (service flag cleared first). Templated
+  /// on the continuation so the closure relocates straight into the
+  /// event queue's slab — no std::function boxing on the hot path.
+  /// Defined in kernel.cpp; every instantiation lives there.
+  template <class F>
+  void service(PeId pe, sim::Cycles cycles, F done);
 
   // Op handlers.
   void op_compute(Task& t, const op::Compute& c);

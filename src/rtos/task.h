@@ -7,6 +7,7 @@
 
 #include "rtos/program.h"
 #include "rtos/types.h"
+#include "sim/event_queue.h"
 #include "sim/sim_time.h"
 
 namespace delta::rtos {
@@ -25,6 +26,15 @@ struct Task {
   Program program;
   std::size_t pc = 0;             ///< next op index
   sim::Cycles compute_left = 0;   ///< remaining cycles of a preempted Compute
+
+  /// Dispatch generation: bumped whenever the task is (re)dispatched or
+  /// recovered, so in-flight completion events can detect they are stale.
+  std::uint64_t gen = 0;
+
+  /// In-flight Compute completion event (valid iff compute_armed).
+  sim::EventId compute_event = 0;
+  bool compute_armed = false;
+  sim::Cycles compute_done_at = 0;  ///< absolute finish time while armed
 
   sim::Cycles release_time = 0;   ///< arrival (start) time
   sim::Cycles started_at = sim::kNeverCycles;

@@ -1,43 +1,231 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
+#include <functional>
 
 namespace delta::sim {
 
+EventQueue::EventQueue() : buckets_(kBuckets) {}
+
+std::uint32_t EventQueue::alloc_node(Cycles at) {
+  std::uint32_t slot;
+  if (free_head_ != kNil) {
+    slot = free_head_;
+    free_head_ = slab_[slot].next;
+  } else {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  Node& n = slab_[slot];
+  n.at = at;
+  n.seq = next_seq_++;
+  n.next = kNil;
+  n.prev = kNil;
+  return slot;
+}
+
+void EventQueue::free_node(std::uint32_t slot) {
+  Node& n = slab_[slot];
+  n.fn.reset();  // destroy the closure (and its captures) eagerly
+  ++n.gen;       // invalidate every outstanding EventId for this slot
+  n.next = free_head_;
+  free_head_ = slot;
+}
+
+void EventQueue::link_into_bucket(std::uint32_t slot) {
+  Node& n = slab_[slot];
+  const std::size_t b = n.at & kMask;
+  Bucket& bucket = buckets_[b];
+  n.next = kNil;
+  n.prev = bucket.tail;
+  if (bucket.tail == kNil) {
+    bucket.head = slot;
+    occupied_[b >> 6] |= 1ULL << (b & 63);
+  } else {
+    slab_[bucket.tail].next = slot;
+  }
+  bucket.tail = slot;
+}
+
 EventId EventQueue::schedule(Cycles at, EventFn fn) {
   assert(fn && "scheduling an empty callback");
-  const EventId id = static_cast<EventId>(pending_.size());
-  pending_.push_back(std::move(fn));
-  heap_.push(Entry{at, id});
-  ++live_;
-  return id;
+  assert(at >= base_ && "scheduling into the past");
+  if (at < base_) at = base_;  // release-mode safety: never lose an event
+  const std::uint32_t slot = alloc_node(at);
+  Node& n = slab_[slot];
+  n.fn = std::move(fn);
+  if (at - base_ < kBuckets) {
+    link_into_bucket(slot);
+    ++ring_live_;
+  } else {
+    overflow_.push_back(OverflowEntry{at, n.seq, slot, n.gen});
+    std::push_heap(overflow_.begin(), overflow_.end(),
+                   std::greater<OverflowEntry>{});
+    ++heap_live_;
+    if (at < overflow_min_) overflow_min_ = at;
+  }
+  return (static_cast<EventId>(slot) << 32) | n.gen;
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (id >= pending_.size() || !pending_[id]) return false;
-  pending_[id] = nullptr;  // lazily removed from the heap on pop
-  --live_;
+  const auto slot = static_cast<std::uint32_t>(id >> 32);
+  const auto gen = static_cast<std::uint32_t>(id);
+  if (slot >= slab_.size() || slab_[slot].gen != gen) return false;
+  Node& n = slab_[slot];
+  if (n.at - base_ < kBuckets) {
+    // Calendar event: unlink in O(1).
+    const std::size_t b = n.at & kMask;
+    Bucket& bucket = buckets_[b];
+    if (n.prev != kNil) slab_[n.prev].next = n.next;
+    else bucket.head = n.next;
+    if (n.next != kNil) slab_[n.next].prev = n.prev;
+    else bucket.tail = n.prev;
+    if (bucket.head == kNil)
+      occupied_[b >> 6] &= ~(1ULL << (b & 63));
+    --ring_live_;
+  } else {
+    // Overflow event: the heap entry goes stale (gen mismatch) and is
+    // dropped when it reaches the top; the payload dies right now.
+    --heap_live_;
+    compact_overflow_if_mostly_stale();
+  }
+  free_node(slot);
   return true;
 }
 
-void EventQueue::drop_dead_heads() const {
-  while (!heap_.empty() && !pending_[heap_.top().id]) heap_.pop();
+void EventQueue::prune_overflow_top() const {
+  while (!overflow_.empty()) {
+    const OverflowEntry& top = overflow_.front();
+    if (slab_[top.slot].gen == top.gen) return;  // live
+    std::pop_heap(overflow_.begin(), overflow_.end(),
+                  std::greater<OverflowEntry>{});
+    overflow_.pop_back();
+  }
+}
+
+void EventQueue::compact_overflow_if_mostly_stale() {
+  // Lazy deletion parks one stale entry per cancelled overflow event
+  // until its cycle is reached, which a schedule/cancel storm can turn
+  // into unbounded growth. Rebuilding when stale entries outnumber live
+  // ones is amortized O(1) per cancel, and pop order is untouched: it
+  // is fully determined by the (at, seq) comparator, never by layout.
+  const std::size_t stale = overflow_.size() - heap_live_;
+  if (stale < 64 || stale <= heap_live_) return;
+  std::erase_if(overflow_, [this](const OverflowEntry& e) {
+    return slab_[e.slot].gen != e.gen;
+  });
+  std::make_heap(overflow_.begin(), overflow_.end(),
+                 std::greater<OverflowEntry>{});
+  overflow_min_ = overflow_.empty() ? kNeverCycles : overflow_.front().at;
+}
+
+void EventQueue::drain_overflow() {
+  // Pop in (at, seq) order so same-cycle events append to their bucket
+  // in schedule order; any event still in overflow at a given cycle was
+  // scheduled before every calendar event later appended to that
+  // bucket, so the global FIFO tie-break is preserved.
+  while (!overflow_.empty()) {
+    const OverflowEntry top = overflow_.front();
+    const bool live = slab_[top.slot].gen == top.gen;
+    if (live && top.at - base_ >= kBuckets) break;  // still far future
+    std::pop_heap(overflow_.begin(), overflow_.end(),
+                  std::greater<OverflowEntry>{});
+    overflow_.pop_back();
+    if (!live) continue;  // cancelled; payload already reclaimed
+    link_into_bucket(top.slot);
+    ++ring_live_;
+    --heap_live_;
+  }
+  // The surviving front (live or stale) still lower-bounds every live
+  // entry's time, since the heap min is the min over both kinds.
+  overflow_min_ = overflow_.empty() ? kNeverCycles : overflow_.front().at;
+}
+
+std::size_t EventQueue::next_ring_offset() const {
+  const std::size_t start = base_ & kMask;
+  std::size_t w = start >> 6;
+  std::uint64_t word = occupied_[w] & (~0ULL << (start & 63));
+  // <= kWords iterations: the start word is revisited once in full to
+  // pick up wrapped-around bits below the start position.
+  for (std::size_t i = 0; i <= kWords; ++i) {
+    if (word != 0) {
+      const std::size_t idx =
+          (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+      return (idx - start) & kMask;
+    }
+    w = (w + 1) & (kWords - 1);
+    word = occupied_[w];
+  }
+  assert(false && "next_ring_offset: occupancy bitmap empty");
+  return 0;
 }
 
 Cycles EventQueue::next_time() const {
-  drop_dead_heads();
-  return heap_.empty() ? kNeverCycles : heap_.top().at;
+  if (ring_live_ > 0) return base_ + next_ring_offset();
+  if (heap_live_ > 0) {
+    prune_overflow_top();
+    return overflow_.front().at;
+  }
+  return kNeverCycles;
 }
 
-std::pair<Cycles, EventFn> EventQueue::pop() {
-  drop_dead_heads();
-  assert(!heap_.empty() && "pop() on empty event queue");
-  const Entry e = heap_.top();
-  heap_.pop();
-  EventFn fn = std::move(pending_[e.id]);
-  pending_[e.id] = nullptr;
-  --live_;
-  return {e.at, std::move(fn)};
+void EventQueue::pop_at(Cycles t, Fired& out) {
+  base_ = t;
+  // overflow_min_ never undershoots base_ (time does not run backwards),
+  // so this test alone decides ripeness; drain re-tightens the bound.
+  if (overflow_min_ < t + kBuckets) drain_overflow();
+  Bucket& bucket = buckets_[t & kMask];
+  const std::uint32_t slot = bucket.head;
+  Node& n = slab_[slot];
+  assert(n.at == t && "bucket head time mismatch");
+  bucket.head = n.next;
+  if (n.next != kNil) slab_[n.next].prev = kNil;
+  else bucket.tail = kNil;
+  if (bucket.head == kNil)
+    occupied_[(t & kMask) >> 6] &= ~(1ULL << (t & 63));
+  --ring_live_;
+  out.at = t;
+  out.fn = std::move(n.fn);
+  free_node(slot);
+}
+
+Fired EventQueue::pop() {
+  assert(!empty() && "pop() on empty event queue");
+  Cycles t;
+  if (ring_live_ > 0) {
+    t = base_ + next_ring_offset();
+  } else {
+    prune_overflow_top();
+    assert(!overflow_.empty() && "pop() on empty event queue");
+    t = overflow_.front().at;
+  }
+  Fired f;
+  pop_at(t, f);
+  return f;
+}
+
+bool EventQueue::pop_if_at_most(Cycles limit, Fired& out) {
+  // One scan finds the next time; pop_at then extracts without
+  // re-deriving it.
+  Cycles t;
+  if (ring_live_ > 0) {
+    t = base_ + next_ring_offset();
+  } else {
+    if (heap_live_ == 0) return false;
+    prune_overflow_top();
+    t = overflow_.front().at;
+  }
+  if (t > limit) return false;
+  pop_at(t, out);
+  return true;
+}
+
+std::size_t EventQueue::footprint_bytes() const {
+  return slab_.capacity() * sizeof(Node) +
+         buckets_.capacity() * sizeof(Bucket) +
+         overflow_.capacity() * sizeof(OverflowEntry) + sizeof(occupied_);
 }
 
 }  // namespace delta::sim

@@ -1,66 +1,180 @@
 // Deterministic pending-event set for the discrete-event kernel.
 //
-// Events scheduled for the same cycle fire in insertion order (stable FIFO
-// tie-break via a monotonically increasing sequence number), which keeps
-// multi-PE simulations reproducible run to run.
+// Events scheduled for the same cycle fire in insertion order (stable
+// FIFO tie-break via a monotonically increasing sequence number), which
+// keeps multi-PE simulations reproducible run to run.
+//
+// Layout (the high-throughput redesign):
+//
+//   - A calendar of kBuckets one-cycle-wide buckets covers the near
+//     window [base, base + kBuckets). Scheduling into the window is
+//     O(1): append to the target bucket's intrusive doubly-linked list
+//     and set its bit in the occupancy bitmap. base is the time of the
+//     most recently popped event, so the window always covers "now".
+//   - Events beyond the window go to a small binary-heap overflow tier
+//     ordered by (time, sequence). Every time base advances (only in
+//     pop()), ripe overflow events migrate into their buckets *before*
+//     any callback runs; the heap ordering makes the migration hit each
+//     bucket in sequence order, so global FIFO-at-equal-time survives
+//     the tier crossing.
+//   - Event payloads live in a slab of fixed-size nodes (a freelist
+//     recycles slots), and callbacks are sim::SmallFn, so schedule()
+//     never heap-allocates on the hot path: the closure is constructed
+//     inline at the call site and relocated into the node.
+//   - cancel() is O(1) and eager: the node is unlinked (ring) or its
+//     generation invalidated (overflow), the closure destroyed on the
+//     spot — cancelled captures never linger until pop — and the slot
+//     returned to the freelist. Ids carry a generation so stale handles
+//     to recycled slots are rejected.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <utility>
 #include <vector>
 
 #include "sim/sim_time.h"
+#include "sim/small_fn.h"
 
 namespace delta::sim {
 
 /// Opaque handle identifying a scheduled event, usable for cancellation.
+/// Encodes (slab slot, generation); a handle dies when its event fires
+/// or is cancelled.
 using EventId = std::uint64_t;
 
 /// Callback invoked when an event fires.
-using EventFn = std::function<void()>;
+using EventFn = SmallFn;
+
+/// An event popped from the queue: its firing time and its callback.
+struct Fired {
+  Cycles at = 0;
+  EventFn fn;
+};
 
 /// Time-ordered, insertion-stable event queue.
+///
+/// Time must not run backwards: schedule() requires `at` to be no
+/// earlier than the time of the most recently popped event (the
+/// simulator's "now"). The simulator enforces this at its API edge.
 class EventQueue {
  public:
-  /// Schedule `fn` to fire at absolute time `at`. Returns a cancellation id.
+  /// Calendar width in cycles (and bucket count; one bucket per cycle).
+  /// Covers the common scheduling horizon — bus transfers, kernel
+  /// service costs, context switches, device jobs, and periodic task
+  /// releases (tens of kcycles) — while longer delays take the overflow
+  /// heap, whose cost matches the old global priority queue. The wide
+  /// window costs 256 KiB of buckets + 4 KiB of bitmap; pops stay cheap
+  /// because the bitmap scan ends at the first occupied bucket, and
+  /// under load events sit only a few hundred cycles apart.
+  static constexpr std::size_t kBuckets = 32768;
+
+  EventQueue();
+  EventQueue(EventQueue&&) = delete;
+  EventQueue& operator=(EventQueue&&) = delete;
+
+  /// Schedule `fn` to fire at absolute time `at`. Returns a
+  /// cancellation id. Never heap-allocates unless the closure exceeds
+  /// SmallFn::kInlineBytes or the slab must grow.
   EventId schedule(Cycles at, EventFn fn);
 
-  /// Cancel a previously scheduled event. Returns false if the event already
-  /// fired, was already cancelled, or the id is unknown.
+  /// Cancel a previously scheduled event. Returns false if the event
+  /// already fired, was already cancelled, or the id is unknown. The
+  /// callback (and everything it captured) is destroyed immediately.
   bool cancel(EventId id);
 
   /// True if no live (non-cancelled) events remain.
-  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] bool empty() const { return ring_live_ + heap_live_ == 0; }
 
   /// Number of live events.
-  [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] std::size_t size() const { return ring_live_ + heap_live_; }
 
   /// Time of the earliest live event; kNeverCycles when empty.
   [[nodiscard]] Cycles next_time() const;
 
   /// Pop and return the earliest live event. Precondition: !empty().
-  std::pair<Cycles, EventFn> pop();
+  Fired pop();
+
+  /// Pop the earliest live event only if it fires at or before `limit`.
+  /// Returns false (leaving the queue untouched) when the queue is
+  /// empty or the next event is later. Single-scan fast path for the
+  /// simulator's step loop.
+  bool pop_if_at_most(Cycles limit, Fired& out);
+
+  /// Bytes of heap memory retained by the queue (slab, calendar,
+  /// overflow tier). Exposed so regression tests can bound the memory
+  /// of schedule/cancel storms.
+  [[nodiscard]] std::size_t footprint_bytes() const;
 
  private:
-  struct Entry {
+  static constexpr std::size_t kMask = kBuckets - 1;
+  static constexpr std::size_t kWords = kBuckets / 64;
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  /// Slab node: one scheduled event. 128 bytes (two cache lines) with
+  /// SmallFn's 88-byte inline closure buffer.
+  struct Node {
+    Cycles at = 0;
+    std::uint64_t seq = 0;       ///< global schedule order (FIFO key)
+    std::uint32_t gen = 0;       ///< bumped on free; validates EventIds
+    std::uint32_t next = kNil;   ///< bucket list / freelist link
+    std::uint32_t prev = kNil;   ///< bucket list back link
+    EventFn fn;
+  };
+
+  /// Calendar bucket: an intrusive FIFO list through the slab.
+  struct Bucket {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+  };
+
+  /// Overflow-tier entry; ordered by (at, seq) through operator>.
+  struct OverflowEntry {
     Cycles at;
-    EventId id;
-    bool operator>(const Entry& o) const {
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+    bool operator>(const OverflowEntry& o) const {
       if (at != o.at) return at > o.at;
-      return id > o.id;  // ids increase monotonically => FIFO at equal time
+      return seq > o.seq;
     }
   };
 
-  // Heap holds (time, id); payloads live in `pending_` so cancel() is O(1).
-  // Mutable so const observers (next_time()) may drop lazily-cancelled
-  // heads; the set of live events they expose never changes.
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::vector<EventFn> pending_;  // indexed by id; empty fn == cancelled
-  std::size_t live_ = 0;
+  [[nodiscard]] std::uint32_t alloc_node(Cycles at);
+  void free_node(std::uint32_t slot);
+  void link_into_bucket(std::uint32_t slot);
+  /// Migrate every ripe overflow event into the calendar (call after
+  /// every base_ advance), dropping cancelled entries on the way.
+  void drain_overflow();
+  /// Drop cancelled entries off the overflow top so top() is live.
+  void prune_overflow_top() const;
+  /// Rebuild the overflow heap once stale (cancelled) entries outnumber
+  /// live ones, so cancel storms cannot grow it without bound.
+  void compact_overflow_if_mostly_stale();
+  /// Ring distance from base_ to the next occupied bucket.
+  /// Precondition: ring_live_ > 0.
+  [[nodiscard]] std::size_t next_ring_offset() const;
+  /// Advance base_ to `t` (the pre-computed next live time) and move
+  /// that cycle's FIFO head into `out`.
+  void pop_at(Cycles t, Fired& out);
 
-  void drop_dead_heads() const;
+  std::vector<Node> slab_;
+  std::uint32_t free_head_ = kNil;
+  std::vector<Bucket> buckets_;
+  std::array<std::uint64_t, kWords> occupied_{};  ///< bucket bitmap
+  /// Overflow min-heap (std::push_heap/pop_heap with greater<>);
+  /// mutable so const observers may drop lazily-cancelled heads — the
+  /// set of live events they expose never changes.
+  mutable std::vector<OverflowEntry> overflow_;
+  Cycles base_ = 0;              ///< calendar window start (= last pop time)
+  /// Lower bound on the earliest overflow entry's time (kNeverCycles
+  /// when the tier is empty). Lets pop skip the drain call entirely
+  /// while no overflow event can be ripe — the common case, since most
+  /// events land in the calendar window.
+  Cycles overflow_min_ = kNeverCycles;
+  std::uint64_t next_seq_ = 0;
+  std::size_t ring_live_ = 0;    ///< live events in the calendar
+  std::size_t heap_live_ = 0;    ///< live events in the overflow tier
 };
 
 }  // namespace delta::sim

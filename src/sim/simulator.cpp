@@ -21,13 +21,12 @@ Cycles Simulator::run(Cycles limit) {
 }
 
 bool Simulator::step(Cycles limit) {
-  const Cycles next = queue_.next_time();
-  if (next == kNeverCycles || next > limit) return false;
-  auto [at, fn] = queue_.pop();
-  assert(at >= now_ && "event queue went backwards");
-  now_ = at;
+  Fired f;
+  if (!queue_.pop_if_at_most(limit, f)) return false;
+  assert(f.at >= now_ && "event queue went backwards");
+  now_ = f.at;
   ++dispatched_;
-  fn();
+  f.fn();
   return true;
 }
 

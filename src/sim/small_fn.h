@@ -1,0 +1,137 @@
+// Small-buffer callable for the simulation hot path.
+//
+// std::function<void()> heap-allocates any closure larger than its tiny
+// SSO window (16 bytes on libstdc++), and the DES kernel constructs one
+// closure per scheduled event — the single hottest allocation site in
+// the whole simulator. SmallFn keeps closures up to kInlineBytes inline
+// (sized so every kernel/bus/device closure fits), falling back to a
+// boxed heap allocation only for oversized captures, so EventQueue's
+// slab can own callback storage with no per-event allocation.
+//
+// Semantics: move-only (closures are consumed exactly once by the event
+// loop; copyability is what forces std::function to heap-allocate
+// non-copyable captures). Moving relocates the closure with its real
+// move constructor, which for the typical POD capture block compiles to
+// a handful of stores.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace delta::sim {
+
+/// Move-only `void()` callable with fixed-size inline storage.
+class SmallFn {
+ public:
+  /// Inline closure capacity. Chosen so a whole EventQueue slab node
+  /// (time + sequence + generation + SmallFn) packs into 128 bytes, two
+  /// cache lines, while still fitting every closure the RTOS kernel
+  /// schedules (the largest — the allocator service continuations —
+  /// capture ~88 bytes).
+  static constexpr std::size_t kInlineBytes = 88;
+
+  SmallFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
+                    // std::function at ~50 schedule_in call sites.
+    construct(std::forward<F>(f));
+  }
+
+  SmallFn(SmallFn&& o) noexcept { move_from(o); }
+  SmallFn& operator=(SmallFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { reset(); }
+
+  /// Invoke the stored closure. Precondition: non-empty.
+  void operator()() { vt_->invoke(&buf_); }
+
+  [[nodiscard]] explicit operator bool() const { return vt_ != nullptr; }
+
+  /// Destroy the stored closure (eagerly releasing its captures).
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(&buf_);
+      vt_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* self);
+    /// Move-construct the closure into `dst` from `src` and destroy the
+    /// `src` copy (relocation).
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* self);
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static const VTable* inline_vtable() {
+    static constexpr VTable vt = {
+        [](void* self) { (*static_cast<Fn*>(self))(); },
+        [](void* dst, void* src) {
+          Fn* s = static_cast<Fn*>(src);
+          ::new (dst) Fn(std::move(*s));
+          s->~Fn();
+        },
+        [](void* self) { static_cast<Fn*>(self)->~Fn(); },
+    };
+    return &vt;
+  }
+
+  template <typename Fn>
+  static const VTable* boxed_vtable() {
+    static constexpr VTable vt = {
+        [](void* self) { (**static_cast<Fn**>(self))(); },
+        [](void* dst, void* src) {
+          ::new (dst) Fn*(*static_cast<Fn**>(src));
+        },
+        [](void* self) { delete *static_cast<Fn**>(self); },
+    };
+    return &vt;
+  }
+
+  template <typename F>
+  void construct(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(&buf_)) Fn(std::forward<F>(f));
+      vt_ = inline_vtable<Fn>();
+    } else {
+      ::new (static_cast<void*>(&buf_)) Fn*(new Fn(std::forward<F>(f)));
+      vt_ = boxed_vtable<Fn>();
+    }
+  }
+
+  void move_from(SmallFn& o) noexcept {
+    if (o.vt_ != nullptr) {
+      o.vt_->relocate(&buf_, &o.buf_);
+      vt_ = o.vt_;
+      o.vt_ = nullptr;
+    }
+  }
+
+  const VTable* vt_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+};
+
+}  // namespace delta::sim

@@ -174,14 +174,6 @@ std::string rtos_preset_description(RtosPreset p) {
   throw std::invalid_argument("rtos_preset_description: unknown preset");
 }
 
-DeltaConfig rtos_preset(int index) {
-  return rtos_preset(rtos_preset_from_int(index));
-}
-
-std::string rtos_preset_description(int index) {
-  return rtos_preset_description(rtos_preset_from_int(index));
-}
-
 std::unique_ptr<Mpsoc> generate(const DeltaConfig& cfg) {
   return std::make_unique<Mpsoc>(cfg.to_mpsoc_config());
 }

@@ -103,13 +103,6 @@ inline constexpr std::array<RtosPreset, 7> kAllRtosPresets = {
 /// Short description of a Table 3 row ("PDDA in software", ...).
 [[nodiscard]] std::string rtos_preset_description(RtosPreset p);
 
-/// Deprecated magic-int entry points, kept so out-of-tree callers keep
-/// compiling; `index` is the paper's row number (1..7).
-[[deprecated("use rtos_preset(RtosPreset)")]] DeltaConfig rtos_preset(
-    int index);
-[[deprecated("use rtos_preset_description(RtosPreset)")]] std::string
-rtos_preset_description(int index);
-
 /// Generate (configure + construct) the simulatable RTOS/MPSoC.
 std::unique_ptr<Mpsoc> generate(const DeltaConfig& cfg);
 

@@ -1,0 +1,162 @@
+// Property test: the calendar/overflow EventQueue must be externally
+// indistinguishable from the obvious reference implementation — a
+// vector of (time, sequence, payload) kept sorted by (time, sequence).
+// Random interleavings of schedule / cancel / pop are replayed against
+// both; any divergence in pop order, next_time, size, or cancel results
+// is a bug. The schedule times straddle the calendar window boundary so
+// the overflow tier and its migration path are exercised constantly.
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace delta::sim {
+namespace {
+
+/// Reference model: brute-force sorted vector with FIFO tie-break.
+class ModelQueue {
+ public:
+  std::size_t schedule(Cycles at) {
+    const std::size_t id = next_id_++;
+    events_.push_back({at, id});
+    return id;
+  }
+
+  bool cancel(std::size_t id) {
+    const auto it =
+        std::find_if(events_.begin(), events_.end(),
+                     [&](const Entry& e) { return e.id == id; });
+    if (it == events_.end()) return false;
+    events_.erase(it);
+    return true;
+  }
+
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  [[nodiscard]] Cycles next_time() const {
+    if (events_.empty()) return kNeverCycles;
+    return min_it()->at;
+  }
+
+  /// Pop the earliest event (FIFO among equal times); returns its id.
+  std::size_t pop(Cycles* at_out) {
+    const auto it = min_it();
+    const std::size_t id = it->id;
+    *at_out = it->at;
+    events_.erase(it);
+    return id;
+  }
+
+ private:
+  struct Entry {
+    Cycles at;
+    std::size_t id;  ///< monotonically increasing = schedule order
+  };
+
+  [[nodiscard]] std::vector<Entry>::const_iterator min_it() const {
+    return std::min_element(events_.begin(), events_.end(),
+                            [](const Entry& a, const Entry& b) {
+                              if (a.at != b.at) return a.at < b.at;
+                              return a.id < b.id;
+                            });
+  }
+  [[nodiscard]] std::vector<Entry>::iterator min_it() {
+    return std::min_element(events_.begin(), events_.end(),
+                            [](const Entry& a, const Entry& b) {
+                              if (a.at != b.at) return a.at < b.at;
+                              return a.id < b.id;
+                            });
+  }
+
+  std::vector<Entry> events_;
+  std::size_t next_id_ = 0;
+};
+
+TEST(EventQueueProperty, MatchesSortedVectorModel) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    EventQueue q;
+    ModelQueue model;
+    Rng rng(seed);
+    Cycles now = 0;           // time of the last pop; schedules are >= now
+    std::size_t last_model_id = 0;
+    std::vector<std::pair<EventId, std::size_t>> live;  // (real, model) ids
+
+    for (int step = 0; step < 20'000; ++step) {
+      const std::uint64_t dice = rng.below(100);
+      if (dice < 55 || q.empty()) {
+        // Schedule. Spread delays across the near calendar window, the
+        // window edge, and the far-future overflow tier.
+        const std::uint64_t kind = rng.below(4);
+        Cycles delay = 0;
+        if (kind == 0) delay = rng.below(8);                    // same-cycle
+        else if (kind == 1) delay = rng.below(2000);            // in window
+        else if (kind == 2) delay = 2040 + rng.below(16);       // edge
+        else delay = 3000 + rng.below(100'000);                 // overflow
+        const Cycles at = now + delay;
+        const EventId real = q.schedule(at, [] {});
+        const std::size_t mid = model.schedule(at);
+        last_model_id = mid;
+        live.emplace_back(real, mid);
+      } else if (dice < 75 && !live.empty()) {
+        // Cancel a random live event — both must agree it existed.
+        const std::size_t pick = rng.below(live.size());
+        const auto [real, mid] = live[pick];
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+        ASSERT_TRUE(q.cancel(real));
+        ASSERT_TRUE(model.cancel(mid));
+        ASSERT_FALSE(q.cancel(real)) << "double cancel must fail";
+      } else {
+        // Pop — times and FIFO order must match the model exactly.
+        ASSERT_EQ(q.next_time(), model.next_time());
+        Cycles model_at = 0;
+        const std::size_t mid = model.pop(&model_at);
+        const Fired f = q.pop();
+        ASSERT_EQ(f.at, model_at) << "seed " << seed << " step " << step;
+        ASSERT_GE(f.at, now) << "time ran backwards";
+        now = f.at;
+        const auto it = std::find_if(
+            live.begin(), live.end(),
+            [&](const auto& p) { return p.second == mid; });
+        ASSERT_NE(it, live.end());
+        live.erase(it);
+      }
+      ASSERT_EQ(q.size(), model.size());
+      ASSERT_EQ(q.empty(), model.empty());
+    }
+    (void)last_model_id;
+    // Drain: the remaining events must come out in exact model order.
+    while (!model.empty()) {
+      Cycles model_at = 0;
+      model.pop(&model_at);
+      ASSERT_EQ(q.pop().at, model_at);
+    }
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+TEST(EventQueueProperty, FifoAcrossOverflowMigration) {
+  // Events scheduled for the same far-future cycle, half before and
+  // half after the calendar window reaches them, must fire in global
+  // schedule order.
+  EventQueue q;
+  std::vector<int> fired;
+  const Cycles target = EventQueue::kBuckets * 3 + 17;
+  for (int i = 0; i < 4; ++i)
+    q.schedule(target, [&fired, i] { fired.push_back(i); });  // overflow tier
+  // Walk the window forward so `target` enters the calendar.
+  q.schedule(EventQueue::kBuckets * 2, [] {});
+  q.pop().fn();
+  for (int i = 4; i < 8; ++i)
+    q.schedule(target, [&fired, i] { fired.push_back(i); });  // calendar tier
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+}  // namespace
+}  // namespace delta::sim

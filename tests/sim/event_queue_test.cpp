@@ -20,7 +20,7 @@ TEST(EventQueue, PopsInTimeOrder) {
   q.schedule(30, [&] { fired.push_back(3); });
   q.schedule(10, [&] { fired.push_back(1); });
   q.schedule(20, [&] { fired.push_back(2); });
-  while (!q.empty()) q.pop().second();
+  while (!q.empty()) q.pop().fn();
   EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
 }
 
@@ -28,7 +28,7 @@ TEST(EventQueue, SameTimeIsFifo) {
   EventQueue q;
   std::vector<int> fired;
   for (int i = 0; i < 8; ++i) q.schedule(5, [&fired, i] { fired.push_back(i); });
-  while (!q.empty()) q.pop().second();
+  while (!q.empty()) q.pop().fn();
   for (int i = 0; i < 8; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], i);
 }
 
@@ -50,7 +50,7 @@ TEST(EventQueue, CancelPreventsFiring) {
   EXPECT_TRUE(q.cancel(id));
   EXPECT_EQ(q.size(), 1u);
   EXPECT_EQ(q.next_time(), 20u);
-  while (!q.empty()) q.pop().second();
+  while (!q.empty()) q.pop().fn();
   EXPECT_FALSE(fired);
 }
 
@@ -64,7 +64,7 @@ TEST(EventQueue, CancelTwiceFails) {
 TEST(EventQueue, CancelAfterFireFails) {
   EventQueue q;
   const EventId id = q.schedule(10, [] {});
-  q.pop().second();
+  q.pop().fn();
   EXPECT_FALSE(q.cancel(id));
 }
 
@@ -99,7 +99,7 @@ TEST(EventQueue, CancelThenRescheduleAtSameCycle) {
   // once and never resurrect the cancelled one.
   q.schedule(10, [&] { fired.push_back(2); });
   EXPECT_EQ(q.next_time(), 10u);
-  while (!q.empty()) q.pop().second();
+  while (!q.empty()) q.pop().fn();
   EXPECT_EQ(fired, (std::vector<int>{2}));
 }
 

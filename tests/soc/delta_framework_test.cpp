@@ -48,14 +48,13 @@ TEST(DeltaFramework, PresetNamesRoundTrip) {
   EXPECT_THROW((void)rtos_preset_from_string(""), std::invalid_argument);
 }
 
-TEST(DeltaFramework, DeprecatedIntShimStillWorks) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_EQ(rtos_preset(4).deadlock, DeadlockComponent::kDau);
-  EXPECT_NE(rtos_preset_description(2).find("DDU"), std::string::npos);
-  EXPECT_THROW(rtos_preset(0), std::invalid_argument);
-  EXPECT_THROW(rtos_preset(8), std::invalid_argument);
-#pragma GCC diagnostic pop
+TEST(DeltaFramework, IntLookupGoesThroughEnum) {
+  EXPECT_EQ(rtos_preset(rtos_preset_from_int(4)).deadlock,
+            DeadlockComponent::kDau);
+  EXPECT_NE(rtos_preset_description(rtos_preset_from_int(2)).find("DDU"),
+            std::string::npos);
+  EXPECT_THROW((void)rtos_preset_from_int(0), std::invalid_argument);
+  EXPECT_THROW((void)rtos_preset_from_int(8), std::invalid_argument);
 }
 
 TEST(DeltaFramework, ValidationCatchesBadInput) {
