@@ -104,6 +104,9 @@ int main() {
     soc::MpsocConfig mc =
         soc::rtos_preset(soc::rtos_preset_from_int(cfg_i == 0 ? 5 : 6)).to_mpsoc_config();
     mc.lock_ceilings = {1, 3, 5};
+    // Unused SoCLC locks keep the reset ceiling 0; Mpsoc wants the
+    // vector to name every configured lock.
+    mc.lock_ceilings.resize(mc.soclc.short_locks + mc.soclc.long_locks, 0);
     soc::Mpsoc soc(mc);
     build(soc.kernel());
     soc.run(10'000'000);

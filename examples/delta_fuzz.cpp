@@ -77,8 +77,12 @@ int main(int argc, char** argv) {
   args.opt("runs", "N", "scenarios to draw (default 100)")
       .opt("seed", "N", "campaign base seed (default 1)")
       .opt("pairs", "LIST",
-           "comma list of backend pairs (default: all)\nknown: pdda-ddu, "
-           "daa-dau, locks, heap, presets")
+           "comma list of backend pairs (default: all\nnon-sharded pairs)\n"
+           "known: pdda-ddu, daa-dau, locks, heap,\npresets, ddu-sharded, "
+           "dau-sharded")
+      .opt("generator", "NAME",
+           "scenario generator params: default, or\nlarge (up to 64 PEs x "
+           "64 resources x 64\ntasks, for the sharded pairs)")
       .opt("threads", "N",
            "worker threads (default 1; report bytes are\nidentical for any "
            "value)")
@@ -103,6 +107,16 @@ int main(int argc, char** argv) {
   if (args.on("pairs")) opts.pairs = args.list("pairs");
   if (args.on("threads")) opts.threads = args.size("threads");
   if (args.on("inject-fault")) opts.fault = args.str("inject-fault");
+  if (args.on("generator")) {
+    const std::string g = args.str("generator");
+    if (g == "large") opts.generator = fuzz::large_geometry_params();
+    else if (g != "default") {
+      std::fprintf(stderr,
+                   "delta_fuzz: unknown generator '%s' (default, large)\n",
+                   g.c_str());
+      return 2;
+    }
+  }
   if (args.on("limit")) opts.generator.run_limit = args.u64("limit");
   if (args.on("shrink-attempts"))
     opts.shrink_attempts = args.size("shrink-attempts");

@@ -21,18 +21,65 @@
 # Host wall-clock is noisy, so the throughput compare only fails on a
 # *drop* beyond the tolerance (default 25%) — it is a regression tripwire,
 # not an exact pin like the cycle-count baseline.
+#
+# With `--scaling` the modes operate on bench/BENCH_scaling.json, the
+# sw vs monolithic-hw vs sharded-hw deadlock-unit cost curves emitted by
+# scaling_hierarchy (4x4 .. 256x256). Every number in it is simulated or
+# structural — no wall-clock — so the compare is an exact byte compare.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 THROUGHPUT=0
+SCALING=0
 if [[ "${1:-}" == "--throughput" ]]; then
   THROUGHPUT=1
+  shift
+elif [[ "${1:-}" == "--scaling" ]]; then
+  SCALING=1
   shift
 fi
 
 MODE="${1:-compare}"
 BUILD="${2:-build}"
 PROFILE="$BUILD/examples/delta_profile"
+
+if [[ "$SCALING" == 1 ]]; then
+  BASELINE=bench/BENCH_scaling.json
+  BENCH="$BUILD/bench/scaling_hierarchy"
+
+  if [[ ! -x "$BENCH" ]]; then
+    echo "error: $BENCH not built (cmake --build $BUILD -j)" >&2
+    exit 2
+  fi
+
+  case "$MODE" in
+    write)
+      mkdir -p bench
+      "$BENCH" --out "$BASELINE"
+      echo "scaling baseline written to $BASELINE"
+      ;;
+    compare)
+      if [[ ! -f "$BASELINE" ]]; then
+        echo "error: $BASELINE missing (run: $0 --scaling write $BUILD)" >&2
+        exit 2
+      fi
+      CURRENT="$(mktemp)"
+      trap 'rm -f "$CURRENT"' EXIT
+      "$BENCH" --out "$CURRENT"
+      if ! cmp -s "$BASELINE" "$CURRENT"; then
+        echo "scaling comparison FAILED: $BASELINE differs from current run" >&2
+        diff "$BASELINE" "$CURRENT" | head -40 >&2 || true
+        exit 1
+      fi
+      echo "scaling comparison OK (byte-identical)"
+      ;;
+    *)
+      echo "usage: $0 --scaling {write|compare} [build-dir]" >&2
+      exit 2
+      ;;
+  esac
+  exit 0
+fi
 
 if [[ "$THROUGHPUT" == 1 ]]; then
   TOL="${3:-25}"

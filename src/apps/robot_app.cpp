@@ -1,5 +1,6 @@
 #include "apps/robot_app.h"
 
+#include "hw/soclc.h"
 #include "rtos/program.h"
 
 namespace delta::apps {
@@ -14,8 +15,17 @@ constexpr int kIterations = 22;
 }  // namespace
 
 std::vector<rtos::Priority> robot_lock_ceilings() {
-  // Ceiling = highest priority among the lock's users.
-  return {1, 3, 5};
+  // Ceiling = highest priority among the lock's users. The SoCLC's
+  // remaining locks are unused by the app and keep ceiling 0 (the
+  // hardware reset value); Mpsoc requires the vector to name every
+  // configured lock exactly, so the table is full-length.
+  const hw::SoclcConfig soclc;
+  std::vector<rtos::Priority> ceilings(soclc.short_locks + soclc.long_locks,
+                                       0);
+  ceilings[kPositionLock] = 1;
+  ceilings[kDisplayLock] = 3;
+  ceilings[kFrameLock] = 5;
+  return ceilings;
 }
 
 void build_robot_app(soc::Mpsoc& soc) {

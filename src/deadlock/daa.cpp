@@ -75,6 +75,7 @@ RequestResult DaaEngine::request(ProcId p, ResId q) {
     const ReleaseResult arb = arbitrate(q);
     res.g_dl = arb.g_dl;
     res.livelock = arb.outcome == ReleaseOutcome::kLivelockResolved;
+    res.grantee = arb.grantee;
     if (arb.grantee == p) {
       res.outcome = RequestOutcome::kGranted;
     } else {

@@ -63,6 +63,12 @@ struct RequestResult {
   bool livelock = false;           ///< livelock breaker engaged
   rag::ProcId asked = rag::kNoProc;///< process asked to release/give up
   std::vector<rag::ResId> asked_resources;  ///< what it should give up
+  /// A request to a free resource with queued waiters re-runs grant
+  /// arbitration; the resource can then go to an *already-queued* waiter
+  /// rather than the requester. That grant is committed in the state
+  /// matrix, so the caller must learn who won (kGranted covers only the
+  /// requester itself): kNoProc when nothing was handed out.
+  rag::ProcId grantee = rag::kNoProc;
 };
 
 /// Result of DaaEngine::release().

@@ -16,7 +16,10 @@ namespace {
 std::vector<std::string> resolve_pairs(const std::vector<std::string>& names) {
   std::vector<std::string> out;
   if (names.empty()) {
-    for (const BackendPair& p : standard_pairs()) out.push_back(p.name);
+    // Only default-campaign pairs: the sharded pairs opt out so the
+    // golden-pinned campaign reports keep their pre-sharding pair list.
+    for (const BackendPair& p : standard_pairs())
+      if (p.default_campaign) out.push_back(p.name);
     return out;
   }
   for (const std::string& n : names) {

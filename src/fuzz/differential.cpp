@@ -4,6 +4,7 @@
 #include <exception>
 #include <stdexcept>
 
+#include "deadlock/hierarchical.h"
 #include "rag/oracle.h"
 #include "rag/reduction.h"
 #include "soc/mpsoc.h"
@@ -47,6 +48,23 @@ const std::vector<BackendPair>& standard_pairs() {
         {"RTOS5", RtosPreset::kRtos5, Semantics::kUnmanaged},
         {"RTOS6", RtosPreset::kRtos6, Semantics::kUnmanaged},
         {"RTOS7", RtosPreset::kRtos7, Semantics::kUnmanaged}}},
+      // Sharded pairs: software reference vs the monolithic unit vs the
+      // hierarchical (auto-clustered) unit. Opted out of the default
+      // campaign to keep golden-pinned reports stable; name them
+      // explicitly (--pairs ddu-sharded,dau-sharded) or via the
+      // large-geometry CI step.
+      {"ddu-sharded",
+       "PDDA vs monolithic DDU vs sharded DDU (auto clusters)",
+       {{"PDDA", RtosPreset::kRtos1, Semantics::kDetect},
+        {"DDU", RtosPreset::kRtos2, Semantics::kDetect},
+        {"SDDU", RtosPreset::kRtos2, Semantics::kDetect, 0}},
+       false},
+      {"dau-sharded",
+       "DAA vs monolithic DAU vs sharded DAU (auto clusters)",
+       {{"DAA", RtosPreset::kRtos3, Semantics::kAvoid},
+        {"DAU", RtosPreset::kRtos4, Semantics::kAvoid},
+        {"SDAU", RtosPreset::kRtos4, Semantics::kAvoid, 0}},
+       false},
   };
   return pairs;
 }
@@ -152,6 +170,10 @@ RunOutcome run_scenario(const Scenario& s, const SystemUnderTest& sut,
     cfg.pe_count = s.pe_count;
     cfg.task_count = s.tasks.size();
     cfg.resource_count = s.resource_count;
+    cfg.deadlock_clusters =
+        sut.clusters == 0
+            ? deadlock::ClusterMap::default_clusters(s.resource_count)
+            : std::min(sut.clusters, s.resource_count);
     soc::MpsocConfig mc = cfg.to_mpsoc_config();
     // The preset carries the paper's four media devices; a scenario
     // wants anonymous single-unit resources with no device processing
@@ -160,6 +182,10 @@ RunOutcome run_scenario(const Scenario& s, const SystemUnderTest& sut,
     for (std::size_t r = 0; r < s.resource_count; ++r)
       mc.resources.push_back({"q" + std::to_string(r + 1), 0});
     mc.trace = false;
+    // Nothing here reads the phase log, and large-geometry scenarios
+    // run long enough (run_limit up to 2e9 cycles) for its unbounded
+    // growth to exhaust memory.
+    mc.record_transitions = false;
     const auto mpsoc = std::make_unique<soc::Mpsoc>(mc);
     rtos::Kernel& k = mpsoc->kernel();
     if (!fault.empty()) o.fault_armed = k.strategy().enable_fault(fault);

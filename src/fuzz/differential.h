@@ -50,6 +50,10 @@ struct SystemUnderTest {
   std::string name;        ///< e.g. "RTOS4" or "DAU"
   soc::RtosPreset preset;  ///< Table 3 row providing the DeltaConfig
   Semantics semantics;
+  /// Deadlock-unit sharding: 1 = monolithic (the paper's unit), > 1 =
+  /// that many clusters, 0 = auto (ClusterMap::default_clusters for the
+  /// scenario's resource count).
+  std::size_t clusters = 1;
 };
 
 /// A named set of configurations compared against each other.
@@ -57,10 +61,16 @@ struct BackendPair {
   std::string name;         ///< CLI spelling, e.g. "daa-dau"
   std::string description;
   std::vector<SystemUnderTest> suts;
+  /// True for pairs the default campaign runs when no --pairs are named.
+  /// The sharded pairs opt out so golden-pinned campaign reports keep
+  /// their pre-sharding pair list; they still run when named explicitly.
+  bool default_campaign = true;
 };
 
 /// The built-in pairs: "pdda-ddu", "daa-dau", "locks" (sw PI vs SoCLC),
-/// "heap" (malloc/free vs SoCDMMU), and "presets" (all of RTOS1-7).
+/// "heap" (malloc/free vs SoCDMMU), "presets" (all of RTOS1-7), plus the
+/// non-default sharded pairs "ddu-sharded" (PDDA vs DDU vs sharded DDU)
+/// and "dau-sharded" (DAA vs DAU vs sharded DAU).
 [[nodiscard]] const std::vector<BackendPair>& standard_pairs();
 
 /// Look one up by name ("all" is not valid here; callers expand it).

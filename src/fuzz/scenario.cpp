@@ -143,6 +143,24 @@ std::size_t draw_between(std::size_t lo, std::size_t hi, sim::Rng& rng) {
 
 }  // namespace
 
+GeneratorParams large_geometry_params() {
+  GeneratorParams p;
+  p.min_pes = 8;
+  p.max_pes = 64;
+  p.min_resources = 16;
+  p.max_resources = 64;
+  p.min_tasks = 16;
+  p.max_tasks = 64;
+  p.max_locks = 8;
+  p.min_rounds = 2;
+  p.max_rounds = 5;
+  // Software detection costs O(m*n) cycles per request, so a 64-task
+  // 64-resource workload needs far more headroom than the default
+  // 4x6-geometry budget before "hit the limit" means livelock.
+  p.run_limit = 2'000'000'000;
+  return p;
+}
+
 Scenario random_scenario(const GeneratorParams& p, sim::Rng& rng) {
   Scenario s;
   s.pe_count = draw_between(p.min_pes, p.max_pes, rng);

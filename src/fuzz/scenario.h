@@ -113,6 +113,14 @@ struct GeneratorParams {
   sim::Cycles run_limit = 50'000'000;
 };
 
+/// Generator tuning for large sharded geometries: up to 64 PEs, 64
+/// resources and 64 tasks with more rounds per task, so cross-cluster
+/// contention actually happens. A separate factory (the defaults above
+/// stay untouched) because the default campaign's scenario stream — and
+/// with it the golden-pinned reports — is a pure function of
+/// GeneratorParams' defaults.
+[[nodiscard]] GeneratorParams large_geometry_params();
+
 /// Draw a random well-formed scenario. Pure function of (`params`,
 /// `rng` state): the same seed always yields the same scenario.
 [[nodiscard]] Scenario random_scenario(const GeneratorParams& params,

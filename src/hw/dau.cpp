@@ -19,13 +19,15 @@ void Dau::set_priority(rag::ProcId p, int priority) {
   engine_->set_priority(p, priority);
 }
 
-namespace {
-DauStatus from_request(const deadlock::RequestResult& r, rag::ResId q) {
+DauStatus dau_status_from_request(const deadlock::RequestResult& r,
+                                  rag::ResId q) {
   using deadlock::RequestOutcome;
   DauStatus st;
   st.done = true;
   st.r_dl = r.r_dl;
   st.which_resource = q;
+  if (r.grantee != rag::kNoProc && r.outcome != RequestOutcome::kGranted)
+    st.granted_to = r.grantee;
   switch (r.outcome) {
     case RequestOutcome::kGranted:
       st.successful = true;
@@ -51,7 +53,8 @@ DauStatus from_request(const deadlock::RequestResult& r, rag::ResId q) {
   return st;
 }
 
-DauStatus from_release(const deadlock::ReleaseResult& r, rag::ResId q) {
+DauStatus dau_status_from_release(const deadlock::ReleaseResult& r,
+                                  rag::ResId q) {
   using deadlock::ReleaseOutcome;
   DauStatus st;
   st.done = true;
@@ -76,7 +79,6 @@ DauStatus from_release(const deadlock::ReleaseResult& r, rag::ResId q) {
   }
   return st;
 }
-}  // namespace
 
 DauStatus Dau::request(rag::ProcId p, rag::ResId q) {
   probe_cycles_ = 0;
@@ -85,7 +87,7 @@ DauStatus Dau::request(rag::ProcId p, rag::ResId q) {
   last_cycles_ = kRequestFsmSteps + probe_cycles_;
   asked_resources_ = r.asked_resources;
   note_command();
-  return from_request(r, q);
+  return dau_status_from_request(r, q);
 }
 
 DauStatus Dau::release(rag::ProcId p, rag::ResId q) {
@@ -97,7 +99,7 @@ DauStatus Dau::release(rag::ProcId p, rag::ResId q) {
   last_cycles_ = fsm + probe_cycles_;
   asked_resources_ = r.asked_resources;
   note_command();
-  return from_release(r, q);
+  return dau_status_from_release(r, q);
 }
 
 DauStatus Dau::retry_grant(rag::ResId q) {
@@ -107,7 +109,7 @@ DauStatus Dau::retry_grant(rag::ResId q) {
   last_cycles_ = kReleaseFsmSteps + probe_cycles_;
   asked_resources_ = r.asked_resources;
   note_command();
-  return from_release(r, q);
+  return dau_status_from_release(r, q);
 }
 
 void Dau::cancel_request(rag::ProcId p, rag::ResId q) {

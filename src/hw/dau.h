@@ -32,6 +32,12 @@ struct DauStatus {
   bool livelock = false;
   rag::ProcId which_process = rag::kNoProc;  ///< grantee or asked process
   rag::ResId which_resource = rag::kNoRes;
+  /// Request command only: a request to a free resource with queued
+  /// waiters re-arbitrates, and the resource can be handed to an
+  /// already-queued waiter instead of the requester. The status register
+  /// reports that grantee so the OS can unblock it (kNoProc otherwise;
+  /// `successful` still means "the requester itself was granted").
+  rag::ProcId granted_to = rag::kNoProc;
 };
 
 /// Hardware DAU for a fixed m x n system.
@@ -112,5 +118,13 @@ class Dau {
   obs::Counter* ctr_commands_ = nullptr;
   obs::Counter* ctr_probes_ = nullptr;
 };
+
+/// Map the decision engine's results onto the DauStatus register layout.
+/// Shared with the sharded DAU (hw/sharded_dau.h) so both units present
+/// identical status words for identical decisions.
+DauStatus dau_status_from_request(const deadlock::RequestResult& r,
+                                  rag::ResId q);
+DauStatus dau_status_from_release(const deadlock::ReleaseResult& r,
+                                  rag::ResId q);
 
 }  // namespace delta::hw

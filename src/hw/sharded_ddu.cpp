@@ -1,0 +1,67 @@
+#include "hw/sharded_ddu.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace delta::hw {
+
+ShardedDdu::ShardedDdu(std::size_t resources, std::size_t processes,
+                       std::size_t clusters)
+    : cells_(resources, processes),
+      det_(deadlock::ClusterMap(resources, processes, clusters)) {}
+
+void ShardedDdu::load(const rag::StateMatrix& m) {
+  if (m.resources() != cells_.resources() ||
+      m.processes() != cells_.processes())
+    throw std::invalid_argument("ShardedDdu::load: dimension mismatch");
+  cells_ = m;
+  clean_ = false;  // unknown until the next evaluation
+}
+
+ShardedDduResult ShardedDdu::finish(const deadlock::HierOutcome& o) {
+  ShardedDduResult r;
+  clean_ = !o.deadlock;
+  r.deadlock = o.deadlock;
+  r.escalated = o.escalated;
+  r.unit_cycles = o.local_unit_cycles;
+  r.residue_pe_cycles = o.residue_sw_cycles;
+  r.residue_resources = o.residue_resources;
+  if (ctr_runs_ != nullptr) {
+    ctr_runs_->add();
+    ctr_iterations_->add(o.local_iterations);
+    if (o.escalated) ctr_escalations_->add();
+  }
+  return r;
+}
+
+ShardedDduResult ShardedDdu::run_event(rag::ResId res) {
+  // detect_event's monolithic-equivalence argument assumes the pre-event
+  // state was deadlock-free; after a deadlock verdict (or a load of an
+  // unevaluated state) a cycle may linger in clusters the event row never
+  // touches, so revalidate the whole state until a pass comes back clean.
+  if (!clean_) return run_all();
+  return finish(det_.detect_event(cells_, res));
+}
+
+ShardedDduResult ShardedDdu::run_all() {
+  return finish(det_.detect_all(cells_));
+}
+
+std::size_t ShardedDdu::cluster_iteration_bound() const {
+  const deadlock::ClusterMap& map = det_.map();
+  std::size_t bound = 1;
+  for (std::size_t c = 0; c < map.clusters(); ++c) {
+    const std::size_t k =
+        std::min(map.resource_count(c), map.process_count(c));
+    bound = std::max(bound, k < 2 ? std::size_t{1} : 2 * k - 3 + 1);
+  }
+  return bound;
+}
+
+void ShardedDdu::attach_metrics(obs::MetricsRegistry& m) {
+  ctr_runs_ = &m.counter("sharded_ddu.runs");
+  ctr_iterations_ = &m.counter("sharded_ddu.local_iterations");
+  ctr_escalations_ = &m.counter("sharded_ddu.escalations");
+}
+
+}  // namespace delta::hw

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "deadlock/hierarchical.h"
+
 namespace delta::hw {
 
 AreaReport ddu_area(std::size_t m, std::size_t n, const GateCosts& g) {
@@ -39,6 +41,63 @@ AreaReport dau_area(std::size_t m, std::size_t n, std::size_t pe_count,
   a.fsm = 5.0 * g.flipflop + 19.0 * 6.0 * g.nand2 +
           static_cast<double>(n) * 10.0 * g.nand2 + 30.0 * g.nand2;
   return a;
+}
+
+namespace {
+
+double ceil_log2(std::size_t v) {
+  double bits = 1.0;
+  while ((std::size_t{1} << static_cast<std::size_t>(bits)) < v) bits += 1.0;
+  return bits;
+}
+
+/// Inter-cluster resolver: remote-edge table + per-cluster aggregation.
+double resolver_gates(std::size_t m, std::size_t n, std::size_t clusters,
+                      const GateCosts& g) {
+  const double entries = static_cast<double>(m + n);
+  const double entry_bits = ceil_log2(m) + ceil_log2(n) + 2.0;
+  // Table storage + per-entry valid/compare logic, plus per-cluster
+  // incidence flags and done/deadlock OR aggregation.
+  return entries * entry_bits * g.flipflop +
+         entries * (entry_bits * g.xor2 / 2.0 + 2.0 * g.and2) +
+         static_cast<double>(clusters) * (g.flipflop + 2.0 * g.or2) +
+         50.0 * g.nand2;
+}
+
+template <typename UnitArea>
+AreaReport sharded_area(std::size_t m, std::size_t n, std::size_t clusters,
+                        const GateCosts& g, UnitArea unit) {
+  const deadlock::ClusterMap map(m, n, clusters);
+  AreaReport a;
+  for (std::size_t c = 0; c < map.clusters(); ++c) {
+    const AreaReport u = unit(map.resource_count(c), map.process_count(c));
+    a.matrix_cells += u.matrix_cells;
+    a.weight_cells += u.weight_cells;
+    a.decide += u.decide;
+    a.registers += u.registers;
+    a.fsm += u.fsm;
+  }
+  a.registers += resolver_gates(m, n, map.clusters(), g);
+  return a;
+}
+
+}  // namespace
+
+AreaReport sharded_ddu_area(std::size_t m, std::size_t n,
+                            std::size_t clusters, const GateCosts& g) {
+  return sharded_area(m, n, clusters, g,
+                      [&](std::size_t mc, std::size_t nc) {
+                        return ddu_area(mc, nc, g);
+                      });
+}
+
+AreaReport sharded_dau_area(std::size_t m, std::size_t n,
+                            std::size_t clusters, std::size_t pe_count,
+                            const GateCosts& g) {
+  return sharded_area(m, n, clusters, g,
+                      [&](std::size_t mc, std::size_t nc) {
+                        return dau_area(mc, nc, pe_count, g);
+                      });
 }
 
 AreaReport soclc_area(const SoclcConfig& cfg, std::size_t pe_count,

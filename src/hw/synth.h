@@ -48,6 +48,22 @@ AreaReport ddu_area(std::size_t resources, std::size_t processes,
 AreaReport dau_area(std::size_t resources, std::size_t processes,
                     std::size_t pe_count = 4, const GateCosts& g = {});
 
+/// Sharded DDU area: C per-cluster units over the ClusterMap's
+/// contiguous near-equal partition (sum of ddu_area(m_c, n_c)) plus the
+/// inter-cluster resolver. The resolver keeps a remote-edge table of
+/// m + n entries (cross-cluster grants are bounded by m, outstanding
+/// cross-cluster requests by n) of log2(m) + log2(n) + 2 bits each, with
+/// per-entry match logic and per-cluster incidence/status aggregation.
+/// Matrix cells drop from m*n to ~m*n/C — the area win that makes
+/// sharding beat a monolithic unit at 64x64 and above.
+AreaReport sharded_ddu_area(std::size_t resources, std::size_t processes,
+                            std::size_t clusters, const GateCosts& g = {});
+
+/// Sharded DAU area: C per-cluster dau_area units + the same resolver.
+AreaReport sharded_dau_area(std::size_t resources, std::size_t processes,
+                            std::size_t clusters, std::size_t pe_count = 4,
+                            const GateCosts& g = {});
+
 /// SoCLC area: per-lock state + waiter queue + priority encoder + IPCP
 /// ceiling registers.
 AreaReport soclc_area(const SoclcConfig& cfg, std::size_t pe_count = 4,

@@ -70,7 +70,8 @@ void Kernel::set_observer(obs::Observer* o) {
 
 void Kernel::set_state(TaskId id, TaskState to) {
   task(id).state = to;
-  transitions_.push_back(StateTransition{sim_.now(), id, to});
+  if (cfg_.record_transitions)
+    transitions_.push_back(StateTransition{sim_.now(), id, to});
 }
 
 // ---------------------------------------------------------------- tasks --
@@ -78,9 +79,16 @@ void Kernel::set_state(TaskId id, TaskState to) {
 TaskId Kernel::create_task(std::string name, PeId pe, Priority priority,
                            Program program, sim::Cycles release_time) {
   if (pe >= cfg_.pe_count)
-    throw std::invalid_argument("create_task: bad PE index");
+    throw std::invalid_argument(
+        "create_task: PE index " + std::to_string(pe) +
+        " out of range (configured pe_count is " +
+        std::to_string(cfg_.pe_count) + ")");
   if (tasks_.size() >= cfg_.max_tasks)
-    throw std::invalid_argument("create_task: task table full");
+    throw std::invalid_argument(
+        "create_task: task table full (task " +
+        std::to_string(tasks_.size()) +
+        " exceeds configured max_tasks of " +
+        std::to_string(cfg_.max_tasks) + ")");
   auto t = std::make_unique<Task>();
   t->id = tasks_.size();
   t->name = std::move(name);
@@ -411,6 +419,23 @@ void Kernel::finish_task(TaskId id) {
     }
   }
 
+  // Exit reclamation. A give-up can strip a running owner of a resource
+  // and re-request it on its behalf; if the script then passes its
+  // release (the resource is no longer held, so the release is a no-op)
+  // the pending re-request would outlive the task — and a later grant
+  // would park the resource on a finished task forever. Withdraw pending
+  // requests and hand back anything still held, exactly as deadlock
+  // recovery does.
+  for (ResourceId res : std::set<ResourceId>(t.waiting_for))
+    strategy_->cancel_request(id, res);
+  t.waiting_for.clear();
+  const std::set<ResourceId> held = t.held;
+  for (ResourceId res : held) {
+    t.held.erase(res);
+    const ResourceEvent ev = strategy_->release(id, res, sim_.now());
+    apply_resource_event(ev, res, sim_.now());
+  }
+
   set_state(id, TaskState::kFinished);
   t.finished_at = sim_.now();
   trace("RTOS", [&] { return t.name + " finished"; });
@@ -704,6 +729,16 @@ void Kernel::apply_resource_event(const ResourceEvent& ev, ResourceId res,
 
 void Kernel::grant_resource(TaskId to, ResourceId res) {
   Task& t = task(to);
+  if (t.state == TaskState::kFinished) {
+    // The grantee finished while this grant was in flight (exit
+    // reclamation cancels pending *requests*, but an arbitration that
+    // already converted the request to a grant commits immediately in
+    // the strategy). Hand the resource straight back so it cannot park
+    // on a dead task; the release re-arbitrates among live waiters.
+    const ResourceEvent ev = strategy_->release(to, res, sim_.now());
+    apply_resource_event(ev, res, sim_.now());
+    return;
+  }
   t.held.insert(res);
   t.waiting_for.erase(res);
   trace("RM", [&] { return resource_name(res) + " granted to " + t.name; });

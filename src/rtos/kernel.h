@@ -63,6 +63,12 @@ struct KernelConfig {
   sim::Cycles spin_poll_interval = 12;
   std::vector<std::string> resource_names;  ///< default q1..qm
   bool trace = true;
+  /// Keep the per-transition phase log (transitions()) that the
+  /// utilization report, timeline and critical-path profiler fold. It
+  /// grows without bound — one entry per task state change — so callers
+  /// that run billions of cycles and never read it (the differential
+  /// fuzzer) turn it off.
+  bool record_transitions = true;
 };
 
 class Kernel {

@@ -4,6 +4,8 @@
 #include <cassert>
 
 #include "deadlock/baselines.h"
+#include "hw/sharded_dau.h"
+#include "hw/sharded_ddu.h"
 #include "rag/reduction.h"
 
 namespace delta::rtos {
@@ -194,6 +196,67 @@ class DduStrategy final : public GrantingManagerBase {
   }
 };
 
+// Sharded DDU: per-cluster units + inter-cluster resolver. Cell writes
+// cross the bus exactly as for the monolithic DDU (the resolver's remote
+// table is memory-mapped like the cluster units); local detection runs in
+// the event cluster's unit, and escalated residues execute as software on
+// the invoking PE (charged to pe_cycles, not unit_cycles).
+class ShardedDduStrategy final : public GrantingManagerBase {
+ public:
+  ShardedDduStrategy(std::size_t resources, std::size_t tasks,
+                     std::size_t clusters, const ServiceCosts& costs,
+                     bus::SharedBus* bus,
+                     std::vector<std::size_t> master_of_task)
+      : GrantingManagerBase(resources, tasks, costs),
+        ddu_(resources, tasks, clusters),
+        bus_(bus),
+        master_of_task_(std::move(master_of_task)) {}
+
+  std::string name() const override {
+    return "ddu-sharded (C=" +
+           std::to_string(ddu_.cluster_map().clusters()) + ")";
+  }
+
+  void attach_observer(obs::Observer* o) override {
+    if (o != nullptr) ddu_.attach_metrics(o->metrics);
+  }
+
+  bool enable_fault(const std::string& name) override {
+    if (name != "ddu-silent") return false;
+    silent_ = true;
+    return true;
+  }
+
+ private:
+  hw::ShardedDdu ddu_;
+  bool silent_ = false;
+
+  void on_cancelled(TaskId who, ResourceId res) override {
+    ddu_.set_edge(res, who, Edge::kNone);
+  }
+  bus::SharedBus* bus_;
+  std::vector<std::size_t> master_of_task_;
+
+  void run_detection(ResourceEvent& ev, sim::Cycles now) override {
+    for (const CellChange& c : changed_)
+      ddu_.set_edge(c.res, c.who, c.value);
+    if (bus_ != nullptr) {
+      sim::Cycles done = now;
+      for (std::size_t i = 0; i < changed_.size(); ++i)
+        done = bus_->transfer(0, done, 1).complete;
+      ev.pe_cycles += done > now ? done - now : 0;
+    } else {
+      ev.pe_cycles += 3 * changed_.size();
+    }
+    if (changed_.empty()) return;  // malformed event: nothing to evaluate
+    const hw::ShardedDduResult r = ddu_.run_event(changed_.front().res);
+    algo_times_.add(static_cast<double>(r.unit_cycles));
+    ev.unit_cycles = r.unit_cycles;
+    ev.pe_cycles += r.residue_pe_cycles;  // software residue on the PE
+    ev.deadlock_detected = silent_ ? false : r.deadlock;
+  }
+};
+
 // Prior-work software detectors in place of PDDA (ablation support).
 class BaselineDetectionStrategy final : public GrantingManagerBase {
  public:
@@ -238,13 +301,17 @@ class BaselineDetectionStrategy final : public GrantingManagerBase {
 // Avoidance strategies (RTOS3 / RTOS4).
 // ----------------------------------------------------------------------
 
-ResourceEvent map_request(const deadlock::RequestResult& r) {
+ResourceEvent map_request(const deadlock::RequestResult& r, ResourceId res) {
   using deadlock::RequestOutcome;
   ResourceEvent ev;
   ev.granted = r.outcome == RequestOutcome::kGranted;
   ev.r_dl = r.r_dl;
   ev.g_dl = r.g_dl;
   ev.livelock = r.livelock;
+  // Free-with-waiters arbitration can commit the grant to an
+  // already-queued *other* waiter; surface it so the kernel wakes it.
+  if (r.grantee != rag::kNoProc && r.outcome != RequestOutcome::kGranted)
+    ev.grants.emplace_back(static_cast<TaskId>(r.grantee), res);
   if (r.outcome == RequestOutcome::kOwnerAsked ||
       r.outcome == RequestOutcome::kGiveUpAsked || r.livelock) {
     ev.asked = r.asked == rag::kNoProc ? kNoTask
@@ -306,7 +373,7 @@ class DaaSoftwareStrategy final : public DeadlockStrategy {
   ResourceEvent request(TaskId who, ResourceId res, sim::Cycles) override {
     detect_cycles_ = 0;
     const deadlock::RequestResult r = engine_.request(who, res);
-    ResourceEvent ev = map_request(r);
+    ResourceEvent ev = map_request(r, res);
     finish(ev);
     return ev;
   }
@@ -387,6 +454,8 @@ class DauStrategy final : public DeadlockStrategy {
     ev.r_dl = st.r_dl;
     ev.g_dl = st.g_dl;
     ev.livelock = st.livelock;
+    if (st.granted_to != rag::kNoProc && !ev.granted)
+      ev.grants.emplace_back(static_cast<TaskId>(st.granted_to), res);
     if (st.give_up && st.which_process != rag::kNoProc) {
       ev.asked = static_cast<TaskId>(st.which_process);
       ev.ask_give_up.assign(dau_.asked_resources().begin(),
@@ -462,6 +531,137 @@ class DauStrategy final : public DeadlockStrategy {
   }
 };
 
+// Sharded DAU: the same Algorithm-3 decisions as the monolithic DAU
+// (shared DaaEngine + hierarchical detector with monolithic-equivalent
+// verdicts), but probes pay the event cluster's small unit and escalated
+// residues run as software on the commanding PE before it can read the
+// final status word.
+class ShardedDauStrategy final : public DeadlockStrategy {
+ public:
+  ShardedDauStrategy(std::size_t resources, std::size_t tasks,
+                     std::size_t clusters, const ServiceCosts& costs,
+                     bus::SharedBus* bus,
+                     std::vector<std::size_t> master_of_task)
+      : costs_(costs),
+        dau_(resources, tasks, clusters),
+        bus_(bus),
+        master_of_task_(std::move(master_of_task)) {}
+
+  std::string name() const override {
+    return "dau-sharded (C=" +
+           std::to_string(dau_.cluster_map().clusters()) + ")";
+  }
+
+  void attach_observer(obs::Observer* o) override {
+    if (o != nullptr) dau_.attach_metrics(o->metrics);
+  }
+
+  bool enable_fault(const std::string& name) override {
+    if (name != "dau-grant") return false;
+    dau_.inject_grant_fault(true);
+    return true;
+  }
+
+  void set_priority(TaskId who, Priority prio) override {
+    dau_.set_priority(who, prio);
+  }
+
+  TaskId owner(ResourceId res) const override {
+    const rag::ProcId p = dau_.owner(res);
+    return p == rag::kNoProc ? kNoTask : static_cast<TaskId>(p);
+  }
+
+  const rag::StateMatrix* state() const override { return &dau_.state(); }
+
+  void cancel_request(TaskId who, ResourceId res) override {
+    dau_.cancel_request(who, res);
+  }
+
+  ResourceEvent request(TaskId who, ResourceId res, sim::Cycles now) override {
+    const hw::DauStatus st = dau_.request(who, res);
+    ResourceEvent ev;
+    ev.granted = st.successful;
+    ev.r_dl = st.r_dl;
+    ev.g_dl = st.g_dl;
+    ev.livelock = st.livelock;
+    if (st.granted_to != rag::kNoProc && !ev.granted)
+      ev.grants.emplace_back(static_cast<TaskId>(st.granted_to), res);
+    if (st.give_up && st.which_process != rag::kNoProc) {
+      ev.asked = static_cast<TaskId>(st.which_process);
+      ev.ask_give_up.assign(dau_.asked_resources().begin(),
+                            dau_.asked_resources().end());
+    }
+    charge(ev, who, now);
+    return ev;
+  }
+
+  ResourceEvent release(TaskId who, ResourceId res, sim::Cycles now) override {
+    const hw::DauStatus st = dau_.release(who, res);
+    ResourceEvent ev;
+    if (st.successful && st.which_process != rag::kNoProc) {
+      ev.grants.emplace_back(static_cast<TaskId>(st.which_process), res);
+    }
+    ev.g_dl = st.g_dl;
+    ev.livelock = st.livelock;
+    if (st.give_up && st.which_process != rag::kNoProc && st.livelock) {
+      ev.asked = static_cast<TaskId>(st.which_process);
+      ev.ask_give_up.assign(dau_.asked_resources().begin(),
+                            dau_.asked_resources().end());
+      ev.grants.clear();
+    }
+    charge(ev, who, now);
+    return ev;
+  }
+
+  ResourceEvent retry(ResourceId res, sim::Cycles now) override {
+    const hw::DauStatus st = dau_.retry_grant(res);
+    ResourceEvent ev;
+    if (st.successful && st.which_process != rag::kNoProc)
+      ev.grants.emplace_back(static_cast<TaskId>(st.which_process), res);
+    ev.g_dl = st.g_dl;
+    ev.livelock = st.livelock;
+    if (st.livelock && st.give_up && st.which_process != rag::kNoProc) {
+      ev.asked = static_cast<TaskId>(st.which_process);
+      ev.ask_give_up.assign(dau_.asked_resources().begin(),
+                            dau_.asked_resources().end());
+      ev.grants.clear();
+    }
+    charge(ev, 0, now);
+    return ev;
+  }
+
+ private:
+  ServiceCosts costs_;
+  hw::ShardedDau dau_;
+  bus::SharedBus* bus_;
+  std::vector<std::size_t> master_of_task_;
+  sim::Cycles unit_busy_until_ = 0;
+
+  void charge(ResourceEvent& ev, TaskId who, sim::Cycles now) {
+    // Command write + unit busy + (escalated residue in software) +
+    // status read. An escalation interposes before the final status is
+    // valid: the resolver raises "escalate", the PE runs the residue
+    // PDDA and writes the verdict back, then the FSM completes.
+    const std::size_t master =
+        who < master_of_task_.size() ? master_of_task_[who] : 0;
+    const sim::Cycles unit = dau_.last_cycles();
+    const sim::Cycles residue = dau_.last_escalation_cycles();
+    algo_times_.add(static_cast<double>(unit + residue));
+    ev.unit_cycles = unit;
+    sim::Cycles done = now;
+    if (bus_ != nullptr) {
+      done = bus_->transfer(master, done, 1).complete;  // command write
+      done = std::max(done + unit, unit_busy_until_);
+      unit_busy_until_ = done;
+      done += residue;  // software residue on the commanding PE
+      done = bus_->transfer(master, done, 1).complete;  // status read
+    } else {
+      done = now + 3 + unit + residue + 3;
+    }
+    ev.pe_cycles = costs_.resource_service + (done - now);
+  }
+};
+
 }  // namespace
 
 std::unique_ptr<DeadlockStrategy> make_none_strategy(
@@ -491,6 +691,24 @@ std::unique_ptr<DeadlockStrategy> make_dau_strategy(
     bus::SharedBus* bus, std::vector<std::size_t> master_of_task) {
   return std::make_unique<DauStrategy>(resources, tasks, costs, bus,
                                        std::move(master_of_task));
+}
+
+std::unique_ptr<DeadlockStrategy> make_sharded_ddu_strategy(
+    std::size_t resources, std::size_t tasks, std::size_t clusters,
+    const ServiceCosts& costs, bus::SharedBus* bus,
+    std::vector<std::size_t> master_of_task) {
+  return std::make_unique<ShardedDduStrategy>(resources, tasks, clusters,
+                                              costs, bus,
+                                              std::move(master_of_task));
+}
+
+std::unique_ptr<DeadlockStrategy> make_sharded_dau_strategy(
+    std::size_t resources, std::size_t tasks, std::size_t clusters,
+    const ServiceCosts& costs, bus::SharedBus* bus,
+    std::vector<std::size_t> master_of_task) {
+  return std::make_unique<ShardedDauStrategy>(resources, tasks, clusters,
+                                              costs, bus,
+                                              std::move(master_of_task));
 }
 
 std::unique_ptr<DeadlockStrategy> make_baseline_detection_strategy(

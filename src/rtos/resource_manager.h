@@ -128,6 +128,22 @@ std::unique_ptr<DeadlockStrategy> make_dau_strategy(
     std::size_t resources, std::size_t tasks, const ServiceCosts& costs,
     bus::SharedBus* bus, std::vector<std::size_t> master_of_task);
 
+/// Sharded hierarchical units (hw/sharded_ddu.h, hw/sharded_dau.h):
+/// `clusters` per-cluster units + an inter-cluster resolver that
+/// escalates cross-cluster residues to software on the invoking PE.
+/// Detection/avoidance decisions are identical to the monolithic units;
+/// only the cost split differs. `clusters <= 1` is the monolithic shape
+/// (callers normally pick make_ddu_strategy/make_dau_strategy instead).
+std::unique_ptr<DeadlockStrategy> make_sharded_ddu_strategy(
+    std::size_t resources, std::size_t tasks, std::size_t clusters,
+    const ServiceCosts& costs, bus::SharedBus* bus,
+    std::vector<std::size_t> master_of_task);
+
+std::unique_ptr<DeadlockStrategy> make_sharded_dau_strategy(
+    std::size_t resources, std::size_t tasks, std::size_t clusters,
+    const ServiceCosts& costs, bus::SharedBus* bus,
+    std::vector<std::size_t> master_of_task);
+
 /// Prior-work software detector dropped into the RTOS in place of PDDA
 /// (ablation: §3.3.2's complexity claims measured in-system).
 enum class BaselineDetector : std::uint8_t { kHolt, kShoshani, kLeibfried };

@@ -55,6 +55,11 @@ std::string write_config(const DeltaConfig& cfg) {
   os << "task_count = " << cfg.task_count << "\n";
   os << "resource_count = " << cfg.resource_count << "\n";
   os << "deadlock = " << deadlock_key(cfg.deadlock) << "\n";
+  // Only emitted when sharding is on, so monolithic configs (including
+  // every golden-pinned paper geometry) serialize byte-identically to
+  // before the key existed.
+  if (cfg.deadlock_clusters != 1)
+    os << "deadlock_clusters = " << cfg.deadlock_clusters << "\n";
   os << "lock = "
      << (cfg.lock == LockComponent::kSoclc ? "soclc" : "software-pi")
      << "\n";
@@ -110,6 +115,8 @@ DeltaConfig read_config(const std::string& text) {
       cfg.resource_count = parse_u64(value, line_no);
     } else if (key == "deadlock") {
       cfg.deadlock = parse_deadlock(value, line_no);
+    } else if (key == "deadlock_clusters") {
+      cfg.deadlock_clusters = parse_u64(value, line_no);
     } else if (key == "lock") {
       if (value == "soclc") cfg.lock = LockComponent::kSoclc;
       else if (value == "software-pi") cfg.lock = LockComponent::kSoftwarePi;

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "deadlock/hierarchical.h"
 #include "hw/verilog_gen.h"
 #include "soc/archi_gen.h"
 
@@ -42,9 +43,25 @@ std::vector<ConfigError> DeltaConfig::validate() const {
     errors.push_back({"task_count", "zero tasks"});
   if (resource_count == 0)
     errors.push_back({"resource_count", "zero resources"});
+  if (deadlock_clusters == 0)
+    errors.push_back({"deadlock_clusters",
+                      "zero clusters (use 1 for a monolithic unit)"});
+  else if (resource_count > 0 && deadlock_clusters > resource_count)
+    errors.push_back({"deadlock_clusters",
+                      "more clusters (" + std::to_string(deadlock_clusters) +
+                          ") than resources (" +
+                          std::to_string(resource_count) + ")"});
   if (lock == LockComponent::kSoclc &&
       soclc.short_locks + soclc.long_locks == 0)
     errors.push_back({"soclc", "SoCLC selected with zero locks"});
+  if (lock == LockComponent::kSoclc && !lock_ceilings.empty() &&
+      lock_ceilings.size() != soclc.short_locks + soclc.long_locks)
+    errors.push_back(
+        {"lock_ceilings",
+         std::to_string(lock_ceilings.size()) +
+             " ceilings for " +
+             std::to_string(soclc.short_locks + soclc.long_locks) +
+             " SoCLC locks (must be empty or match exactly)"});
   if (memory == MemoryComponent::kSocdmmu && socdmmu.total_blocks == 0)
     errors.push_back({"socdmmu", "SoCDMMU selected with zero blocks"});
   try {
@@ -70,11 +87,24 @@ MpsocConfig DeltaConfig::to_mpsoc_config() const {
   mc.pe_count = pe_count;
   mc.max_tasks = task_count;
   mc.deadlock_unit_resources = resource_count;
+  mc.deadlock_clusters = deadlock_clusters;
+  // The default resource_count (5) is the paper geometry: the four media
+  // devices plus the spare unit row, which MpsocConfig's defaults carry.
+  // Any other count synthesizes a table of that many anonymous
+  // single-unit devices (q1..qm, no per-job processing time of their
+  // own) — previously the requested count was silently dropped and the
+  // kernel kept simulating the paper's four devices.
+  if (resource_count != MpsocConfig{}.resources.size() + 1) {
+    mc.resources.clear();
+    for (std::size_t r = 0; r < resource_count; ++r)
+      mc.resources.push_back({"q" + std::to_string(r + 1), 0});
+  }
   mc.deadlock = deadlock;
   mc.lock = lock;
   mc.memory = memory;
   mc.costs = costs;
   mc.soclc = soclc;
+  mc.lock_ceilings = lock_ceilings;
   mc.socdmmu = socdmmu;
   mc.stop_on_deadlock = stop_on_deadlock;
   return mc;
@@ -86,6 +116,11 @@ std::string DeltaConfig::describe() const {
   os << "  Target: " << pe_count << " x " << cpu_type << ", "
      << resource_count << " resources, " << task_count << " tasks\n";
   os << "  Deadlock component: " << deadlock_name(deadlock) << "\n";
+  if (deadlock_clusters > 1 &&
+      (deadlock == DeadlockComponent::kDdu ||
+       deadlock == DeadlockComponent::kDau))
+    os << "    sharded into " << deadlock_clusters
+       << " clusters + inter-cluster resolver\n";
   os << "  Lock component:     " << lock_name(lock) << "\n";
   os << "  Memory component:   " << memory_name(memory) << "\n";
   if (lock == LockComponent::kSoclc)
@@ -185,8 +220,31 @@ std::vector<GeneratedFile> generate_hdl(const DeltaConfig& cfg) {
   if (cfg.deadlock == DeadlockComponent::kDdu ||
       cfg.deadlock == DeadlockComponent::kDau)
     files.push_back({"ddu_cells.v", hw::generate_ddu_cell_library()});
+  // Sharded units emit one small per-cluster module each instead of the
+  // monolithic m x n array; cluster geometries come from the same
+  // ClusterMap the simulation uses, so HDL and model always agree.
+  const deadlock::ClusterMap* shards = nullptr;
+  deadlock::ClusterMap shard_map;
+  if (cfg.deadlock_clusters > 1 &&
+      (cfg.deadlock == DeadlockComponent::kDdu ||
+       cfg.deadlock == DeadlockComponent::kDau)) {
+    shard_map = deadlock::ClusterMap(cfg.resource_count, cfg.task_count,
+                                     cfg.deadlock_clusters);
+    shards = &shard_map;
+  }
   switch (cfg.deadlock) {
     case DeadlockComponent::kDdu: {
+      if (shards) {
+        for (std::size_t c = 0; c < shards->clusters(); ++c) {
+          const std::size_t mc = shards->resource_count(c);
+          const std::size_t nc = shards->process_count(c);
+          const std::string name = "ddu_c" + std::to_string(c) + "_" +
+                                   std::to_string(mc) + "x" +
+                                   std::to_string(nc) + ".v";
+          files.push_back({name, hw::generate_ddu_verilog(mc, nc)});
+        }
+        break;
+      }
       const std::string name = "ddu_" + std::to_string(cfg.resource_count) +
                                "x" + std::to_string(cfg.task_count) + ".v";
       files.push_back({name, hw::generate_ddu_verilog(cfg.resource_count,
@@ -194,6 +252,18 @@ std::vector<GeneratedFile> generate_hdl(const DeltaConfig& cfg) {
       break;
     }
     case DeadlockComponent::kDau: {
+      if (shards) {
+        for (std::size_t c = 0; c < shards->clusters(); ++c) {
+          const std::size_t mc = shards->resource_count(c);
+          const std::size_t nc = shards->process_count(c);
+          const std::string name = "dau_c" + std::to_string(c) + "_" +
+                                   std::to_string(mc) + "x" +
+                                   std::to_string(nc) + ".v";
+          files.push_back(
+              {name, hw::generate_dau_verilog(mc, nc, cfg.pe_count)});
+        }
+        break;
+      }
       const std::string name = "dau_" + std::to_string(cfg.resource_count) +
                                "x" + std::to_string(cfg.task_count) + ".v";
       files.push_back({name, hw::generate_dau_verilog(

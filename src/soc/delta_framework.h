@@ -37,6 +37,12 @@ struct DeltaConfig {
   std::size_t task_count = 5;      ///< sizes the deadlock unit columns
   std::size_t resource_count = 5;  ///< sizes the deadlock unit rows
 
+  /// Deadlock-unit sharding: 1 = the paper's monolithic DDU/DAU; > 1
+  /// splits the unit into that many per-cluster units plus an
+  /// inter-cluster resolver (MpsocConfig::deadlock_clusters). Must not
+  /// exceed resource_count.
+  std::size_t deadlock_clusters = 1;
+
   // Bus configuration (Figs. 4-6).
   bus::BusSystemConfig bus = bus::BusSystemConfig::base_mpsoc();
 
@@ -46,6 +52,11 @@ struct DeltaConfig {
   MemoryComponent memory = MemoryComponent::kMallocFree;
   hw::SoclcConfig soclc;      ///< parameterized SoCLC generator inputs
   hw::SocdmmuConfig socdmmu;  ///< parameterized SoCDMMU generator inputs
+
+  /// Per-lock IPCP ceilings for the SoCLC (MpsocConfig::lock_ceilings).
+  /// Either empty (every ceiling defaults to the highest priority) or
+  /// exactly short_locks + long_locks entries.
+  std::vector<rtos::Priority> lock_ceilings;
 
   rtos::ServiceCosts costs;
   bool stop_on_deadlock = true;

@@ -24,11 +24,19 @@ std::unique_ptr<rtos::DeadlockStrategy> make_strategy(
     case DeadlockComponent::kPddaSoftware:
       return rtos::make_pdda_software_strategy(m, n, cfg.costs);
     case DeadlockComponent::kDdu:
+      if (cfg.deadlock_clusters > 1)
+        return rtos::make_sharded_ddu_strategy(m, n, cfg.deadlock_clusters,
+                                               cfg.costs, bus,
+                                               std::move(master_of_task));
       return rtos::make_ddu_strategy(m, n, cfg.costs, bus,
                                      std::move(master_of_task));
     case DeadlockComponent::kDaaSoftware:
       return rtos::make_daa_software_strategy(m, n, cfg.costs);
     case DeadlockComponent::kDau:
+      if (cfg.deadlock_clusters > 1)
+        return rtos::make_sharded_dau_strategy(m, n, cfg.deadlock_clusters,
+                                               cfg.costs, bus,
+                                               std::move(master_of_task));
       return rtos::make_dau_strategy(m, n, cfg.costs, bus,
                                      std::move(master_of_task));
   }
@@ -71,6 +79,15 @@ Mpsoc::Mpsoc(MpsocConfig cfg) : cfg_(std::move(cfg)) {
   if (cfg_.pe_count == 0) throw std::invalid_argument("Mpsoc: zero PEs");
   if (cfg_.resources.empty())
     throw std::invalid_argument("Mpsoc: no resources");
+  if (cfg_.lock == LockComponent::kSoclc && !cfg_.lock_ceilings.empty() &&
+      cfg_.lock_ceilings.size() !=
+          cfg_.soclc.short_locks + cfg_.soclc.long_locks)
+    throw std::invalid_argument(
+        "Mpsoc: lock_ceilings has " +
+        std::to_string(cfg_.lock_ceilings.size()) +
+        " entries but the SoCLC is configured with " +
+        std::to_string(cfg_.soclc.short_locks + cfg_.soclc.long_locks) +
+        " locks");
   // Masters: PEs plus one port for the hardware units.
   bus_ = std::make_unique<bus::SharedBus>(cfg_.pe_count + 1,
                                           cfg_.bus_timing);
@@ -88,6 +105,7 @@ Mpsoc::Mpsoc(MpsocConfig cfg) : cfg_(std::move(cfg)) {
   kc.time_slice = cfg_.time_slice;
   kc.spin_short_locks = cfg_.spin_short_locks;
   kc.trace = cfg_.trace;
+  kc.record_transitions = cfg_.record_transitions;
   for (const ResourceSpec& r : cfg_.resources)
     kc.resource_names.push_back(r.name);
 

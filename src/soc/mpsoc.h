@@ -66,6 +66,14 @@ struct MpsocConfig {
   /// §5.4); the spare row simply stays empty.
   std::size_t deadlock_unit_resources = 5;
 
+  /// Deadlock-unit sharding (hierarchical mode). 1 (or 0) keeps the
+  /// paper's monolithic DDU/DAU; > 1 splits resources and tasks into
+  /// that many contiguous clusters, each with its own small unit, plus
+  /// an inter-cluster resolver that escalates cross-cluster residues to
+  /// software (deadlock/hierarchical.h). Values above min(rows, tasks)
+  /// are clamped. Ignored for software/none deadlock components.
+  std::size_t deadlock_clusters = 1;
+
   DeadlockComponent deadlock = DeadlockComponent::kNone;
   LockComponent lock = LockComponent::kSoftwarePi;
   MemoryComponent memory = MemoryComponent::kMallocFree;
@@ -82,6 +90,10 @@ struct MpsocConfig {
   bool spin_short_locks = false;  ///< short-CS spin protocol (§2.3.1)
   sim::Cycles time_slice = 0;
   bool trace = true;
+  /// Forwarded to KernelConfig::record_transitions (the unbounded phase
+  /// log behind utilization_report()/profiling). Leave on unless the
+  /// run is long and nothing reads it.
+  bool record_transitions = true;
   /// Structured-trace ring capacity (obs::TraceRecorder). 0 keeps the
   /// recorder disabled — the zero-cost default for sweeps and benches.
   std::size_t trace_capacity = 0;

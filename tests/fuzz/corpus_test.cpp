@@ -38,7 +38,7 @@ std::string slurp(const std::filesystem::path& p) {
   return buf.str();
 }
 
-TEST(Corpus, HasSeeds) { EXPECT_GE(corpus_files().size(), 4u); }
+TEST(Corpus, HasSeeds) { EXPECT_GE(corpus_files().size(), 7u); }
 
 TEST(Corpus, EveryScenarioParsesAndRoundTrips) {
   for (const auto& path : corpus_files()) {
@@ -78,6 +78,60 @@ TEST(Corpus, CrossedRequestsSeedActuallyDeadlocksDetection) {
   for (const RunOutcome& o : d.outcomes) {
     EXPECT_FALSE(o.all_finished) << o.sut;
     EXPECT_TRUE(o.deadlock_detected) << o.sut;
+  }
+}
+
+TEST(Corpus, KernelBugSeedsCompleteOnAvoidancePairs) {
+  // Shrunk differential-fuzzer repros for two real kernel/engine bugs:
+  //  - giveup_rerequest_race: a give-up stripped a running owner and
+  //    re-requested on its behalf; the pending re-request outlived the
+  //    task's scripted release, so a later grant parked the resource on
+  //    a finished task ("strategy state not empty").
+  //  - free_waiters_regrant: a request to a free resource with queued
+  //    waiters re-runs grant arbitration, which can commit the grant to
+  //    an already-queued *other* waiter; the grantee was dropped on the
+  //    way back to the kernel, stranding the winner forever.
+  // Avoidance configurations must now complete every task on both.
+  for (const char* seed : {"giveup_rerequest_race", "free_waiters_regrant"}) {
+    const auto files = corpus_files();
+    const auto it = std::find_if(files.begin(), files.end(), [&](const auto& p) {
+      return p.stem() == seed;
+    });
+    ASSERT_NE(it, files.end()) << seed;
+    const Scenario s = scenario_from_json(slurp(*it));
+    for (const char* pair_name : {"dau-sharded", "daa-dau"}) {
+      SCOPED_TRACE(std::string(seed) + " on " + pair_name);
+      const DiffResult d = run_pair(s, find_pair(pair_name));
+      EXPECT_FALSE(d.failed())
+          << (d.all_violations().empty() ? "?" : d.all_violations().front());
+      for (const RunOutcome& o : d.outcomes)
+        EXPECT_TRUE(o.all_finished) << o.sut;
+    }
+  }
+}
+
+TEST(Corpus, LargeShardedSeedPassesShardedPairsAndDeadlocks) {
+  // The 64x64 seed is the sharded units' regression anchor: monolithic
+  // and sharded DDU/DAU must agree on it, and the detection run must
+  // actually reach a deadlock so the verdict comparison is non-vacuous.
+  const auto files = corpus_files();
+  const auto it =
+      std::find_if(files.begin(), files.end(), [](const auto& p) {
+        return p.filename() == "large_sharded_64x64.json";
+      });
+  ASSERT_NE(it, files.end());
+  const Scenario s = scenario_from_json(slurp(*it));
+  EXPECT_EQ(s.resource_count, 64u);
+  EXPECT_GE(s.tasks.size(), 48u);
+  for (const char* pair_name : {"ddu-sharded", "dau-sharded"}) {
+    const DiffResult d = run_pair(s, find_pair(pair_name));
+    EXPECT_FALSE(d.failed())
+        << pair_name << ": "
+        << (d.all_violations().empty() ? "?" : d.all_violations().front());
+    if (std::string(pair_name) == "ddu-sharded") {
+      for (const RunOutcome& o : d.outcomes)
+        EXPECT_TRUE(o.deadlock_detected) << o.sut;
+    }
   }
 }
 

@@ -72,9 +72,16 @@ Scenario independent_tasks() {
 }
 
 TEST(Pairs, RegistryIsComplete) {
-  EXPECT_EQ(standard_pairs().size(), 5u);
+  EXPECT_EQ(standard_pairs().size(), 7u);
   EXPECT_EQ(find_pair("daa-dau").suts.size(), 2u);
   EXPECT_EQ(find_pair("presets").suts.size(), 7u);
+  // The sharded triples run sw vs monolithic-hw vs sharded-hw, and stay
+  // out of the default campaign so committed fuzz reports are unchanged.
+  EXPECT_EQ(find_pair("ddu-sharded").suts.size(), 3u);
+  EXPECT_EQ(find_pair("dau-sharded").suts.size(), 3u);
+  EXPECT_FALSE(find_pair("ddu-sharded").default_campaign);
+  EXPECT_FALSE(find_pair("dau-sharded").default_campaign);
+  EXPECT_TRUE(find_pair("daa-dau").default_campaign);
   EXPECT_THROW((void)find_pair("bogus"), std::invalid_argument);
 }
 

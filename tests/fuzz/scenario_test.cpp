@@ -72,6 +72,28 @@ TEST(Scenario, GeneratorIsDeterministicPerSeed) {
   EXPECT_NE(random_scenario(params, a2), random_scenario(params, c));
 }
 
+TEST(Scenario, LargeGeometryParamsProduceValidLargeScenarios) {
+  const GeneratorParams params = large_geometry_params();
+  EXPECT_EQ(params.max_resources, 64u);
+  EXPECT_EQ(params.max_tasks, 64u);
+  // The default-campaign stream is a pure function of GeneratorParams'
+  // defaults; the large profile must be a separate object, not a
+  // mutation of them.
+  EXPECT_EQ(GeneratorParams{}.max_resources, 6u);
+  EXPECT_EQ(GeneratorParams{}.max_tasks, 6u);
+  bool saw_big = false;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    sim::Rng rng(seed);
+    const Scenario s = random_scenario(params, rng);
+    EXPECT_TRUE(s.validate().empty())
+        << "seed " << seed << ": " << s.validate().front();
+    EXPECT_GE(s.resource_count, params.min_resources);
+    EXPECT_LE(s.resource_count, params.max_resources);
+    saw_big |= s.resource_count >= 48 && s.tasks.size() >= 48;
+  }
+  EXPECT_TRUE(saw_big) << "large profile never drew a large geometry";
+}
+
 TEST(Scenario, ValidateCatchesStructuralMistakes) {
   Scenario s = tiny_scenario();
   ASSERT_TRUE(s.validate().empty());
@@ -112,6 +134,47 @@ TEST(ScenarioJson, RoundTripPreservesEverything) {
     // Byte-stable: serializing the parse yields identical bytes.
     EXPECT_EQ(scenario_to_json(scenario_from_json(json)), json);
   }
+}
+
+TEST(ScenarioJson, WideIdsAndFullRangeIntegersRoundTripExactly) {
+  // 256-resource geometries put ids and counts beyond what a
+  // double-based JSON number path would keep exact; everything must
+  // survive integer-exact.
+  Scenario s;
+  s.name = "wide";
+  s.seed = 0xFFFF'FFFF'FFFF'FFFFULL;  // largest u64: doubles would round
+  s.pe_count = 64;
+  s.resource_count = 256;
+  s.lock_count = 64;
+  s.run_limit = 9'007'199'254'740'993ULL;  // 2^53 + 1: not a double
+  ScenarioTask t;
+  t.name = "t0";
+  t.pe = 63;
+  t.release_time = 9'007'199'254'740'995ULL;
+  Step req;
+  req.kind = Step::Kind::kRequest;
+  req.resources = {0, 255};
+  Step rel;
+  rel.kind = Step::Kind::kRelease;
+  rel.resources = {0, 255};
+  Step lk;
+  lk.kind = Step::Kind::kLock;
+  lk.lock = 63;
+  Step un;
+  un.kind = Step::Kind::kUnlock;
+  un.lock = 63;
+  t.steps = {req, lk, un, rel};
+  s.tasks.push_back(t);
+  ASSERT_TRUE(s.validate().empty());
+  const std::string json = scenario_to_json(s);
+  EXPECT_NE(json.find("18446744073709551615"), std::string::npos);
+  EXPECT_NE(json.find("9007199254740993"), std::string::npos);
+  EXPECT_NE(json.find("9007199254740995"), std::string::npos);
+  const Scenario back = scenario_from_json(json);
+  EXPECT_EQ(back, s);
+  EXPECT_EQ(back.seed, 0xFFFF'FFFF'FFFF'FFFFULL);
+  EXPECT_EQ(back.run_limit, 9'007'199'254'740'993ULL);
+  EXPECT_EQ(back.tasks[0].steps[0].resources[1], 255u);
 }
 
 TEST(ScenarioJson, HandWrittenInputIsAccepted) {

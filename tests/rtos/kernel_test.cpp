@@ -312,5 +312,27 @@ TEST(Kernel, BlockedCyclesAccounted) {
   EXPECT_GT(w.k().task(id).blocked_cycles, 3000u);
 }
 
+TEST(Kernel, CreateTaskErrorsNameTheOffendingIndexAndLimit) {
+  World w;  // pe_count 4, max_tasks 8
+  try {
+    w.k().create_task("bad-pe", 9, 1, Program{});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("PE index 9"), std::string::npos) << what;
+    EXPECT_NE(what.find("pe_count is 4"), std::string::npos) << what;
+  }
+  for (int i = 0; i < 8; ++i)
+    w.k().create_task("t" + std::to_string(i), 0, 1, Program{});
+  try {
+    w.k().create_task("overflow", 0, 1, Program{});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("task 8"), std::string::npos) << what;
+    EXPECT_NE(what.find("max_tasks of 8"), std::string::npos) << what;
+  }
+}
+
 }  // namespace
 }  // namespace delta::rtos

@@ -84,5 +84,23 @@ TEST(ConfigIo, WriteIsStable) {
   EXPECT_EQ(a, write_config(read_config(a)));
 }
 
+TEST(ConfigIo, DeadlockClustersRoundTripsAndStaysOffMonolithicOutput) {
+  // Monolithic configs serialize byte-identically to before the key
+  // existed (golden-pinned reports embed written configs).
+  const std::string mono = write_config(rtos_preset(RtosPreset::kRtos2));
+  EXPECT_EQ(mono.find("deadlock_clusters"), std::string::npos);
+
+  DeltaConfig cfg = rtos_preset(RtosPreset::kRtos2);
+  cfg.resource_count = 64;
+  cfg.task_count = 64;
+  cfg.deadlock_clusters = 8;
+  const std::string sharded = write_config(cfg);
+  EXPECT_NE(sharded.find("deadlock_clusters = 8"), std::string::npos);
+  const DeltaConfig parsed = read_config(sharded);
+  EXPECT_EQ(parsed.deadlock_clusters, 8u);
+  EXPECT_EQ(sharded, write_config(parsed));
+  EXPECT_EQ(read_config("deadlock_clusters = 4\n").deadlock_clusters, 4u);
+}
+
 }  // namespace
 }  // namespace delta::soc

@@ -170,6 +170,91 @@ TEST(DeltaFramework, GeneratedHdlMatchesSelection) {
                                       "soclc.v", "socdmmu.v"}));
 }
 
+TEST(DeltaFramework, ResourceTableFollowsResourceCount) {
+  // Regression: to_mpsoc_config() never populated MpsocConfig::resources,
+  // so any resource_count != 4 silently kept simulating the paper's four
+  // media devices while only the deadlock unit grew.
+  DeltaConfig cfg = rtos_preset(RtosPreset::kRtos2);
+  cfg.resource_count = 16;
+  cfg.task_count = 16;
+  const MpsocConfig mc = cfg.to_mpsoc_config();
+  ASSERT_EQ(mc.resources.size(), 16u);
+  EXPECT_EQ(mc.resources.front().name, "q1");
+  EXPECT_EQ(mc.resources.back().name, "q16");
+  EXPECT_EQ(mc.deadlock_unit_resources, 16u);
+  const auto soc = generate(cfg);
+  EXPECT_EQ(soc->kernel().config().resource_count, 16u);
+  EXPECT_EQ(soc->resource("q16"), 15u);
+}
+
+TEST(DeltaFramework, PaperDefaultKeepsTheFourNamedDevices) {
+  // The default resource_count (5) is the paper geometry: four devices
+  // plus the spare deadlock-unit row — synthesis must not clobber it.
+  const MpsocConfig mc = rtos_preset(RtosPreset::kRtos2).to_mpsoc_config();
+  ASSERT_EQ(mc.resources.size(), 4u);
+  EXPECT_EQ(mc.resources[0].name, "VI");
+  EXPECT_EQ(mc.resources[1].name, "IDCT");
+  EXPECT_EQ(mc.deadlock_unit_resources, 5u);
+}
+
+TEST(DeltaFramework, ValidationCatchesClusterGeometry) {
+  DeltaConfig cfg = rtos_preset(RtosPreset::kRtos2);
+  cfg.deadlock_clusters = 0;
+  ASSERT_EQ(cfg.validate().size(), 1u);
+  EXPECT_EQ(cfg.validate().front().field, "deadlock_clusters");
+  cfg.deadlock_clusters = cfg.resource_count + 1;
+  ASSERT_EQ(cfg.validate().size(), 1u);
+  EXPECT_NE(cfg.validate().front().message.find("than resources"),
+            std::string::npos);
+  cfg.deadlock_clusters = cfg.resource_count;
+  EXPECT_TRUE(cfg.validate().empty());
+}
+
+TEST(DeltaFramework, ValidationCatchesCeilingCountMismatch) {
+  DeltaConfig cfg = rtos_preset(RtosPreset::kRtos6);
+  // 8 short + 8 long locks by default: 16 ceilings or none.
+  cfg.lock_ceilings = {1, 2, 3};
+  ASSERT_EQ(cfg.validate().size(), 1u);
+  EXPECT_EQ(cfg.validate().front().field, "lock_ceilings");
+  EXPECT_NE(cfg.validate().front().message.find("3 ceilings for 16"),
+            std::string::npos);
+  cfg.lock_ceilings.assign(16, 1);
+  EXPECT_TRUE(cfg.validate().empty());
+  EXPECT_EQ(cfg.to_mpsoc_config().lock_ceilings.size(), 16u);
+  cfg.lock_ceilings.clear();
+  EXPECT_TRUE(cfg.validate().empty());
+}
+
+TEST(DeltaFramework, MpsocRejectsCeilingCountMismatchDirectly) {
+  // Mpsoc used to forward a wrong-length ceiling table straight into
+  // make_locks, silently defaulting the missing ceilings to highest.
+  MpsocConfig mc;
+  mc.lock = LockComponent::kSoclc;
+  mc.lock_ceilings = {1, 2, 3};
+  try {
+    Mpsoc sys(mc);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("16"), std::string::npos);
+  }
+}
+
+TEST(DeltaFramework, ShardedHdlEmitsPerClusterUnits) {
+  DeltaConfig cfg = rtos_preset(RtosPreset::kRtos4);
+  cfg.resource_count = 16;
+  cfg.task_count = 16;
+  cfg.deadlock_clusters = 4;
+  std::vector<std::string> names;
+  for (const auto& f : generate_hdl(cfg)) names.push_back(f.name);
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"Top.v", "ddu_cells.v", "dau_c0_4x4.v",
+                                      "dau_c1_4x4.v", "dau_c2_4x4.v",
+                                      "dau_c3_4x4.v"}));
+  EXPECT_NE(cfg.describe().find("sharded into 4 clusters"),
+            std::string::npos);
+}
+
 TEST(DeltaFramework, PresetDescriptionsQuoteTable3) {
   EXPECT_NE(rtos_preset_description(RtosPreset::kRtos1).find("PDDA"),
             std::string::npos);
