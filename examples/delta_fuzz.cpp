@@ -77,9 +77,9 @@ int main(int argc, char** argv) {
   args.opt("runs", "N", "scenarios to draw (default 100)")
       .opt("seed", "N", "campaign base seed (default 1)")
       .opt("pairs", "LIST",
-           "comma list of backend pairs (default: all\nnon-sharded pairs)\n"
-           "known: pdda-ddu, daa-dau, locks, heap,\npresets, ddu-sharded, "
-           "dau-sharded")
+           "comma list of backend pairs (default: the\ndefault-campaign "
+           "pairs)\nknown: pdda-ddu, daa-dau, locks, heap,\npresets, "
+           "ddu-sharded, dau-sharded,\nbankers-vs-daa, wfg-recovery")
       .opt("generator", "NAME",
            "scenario generator params: default, or\nlarge (up to 64 PEs x "
            "64 resources x 64\ntasks, for the sharded pairs)")
@@ -88,7 +88,9 @@ int main(int argc, char** argv) {
            "value)")
       .opt("inject-fault", "F",
            "arm a strategy fault in every run, e.g.\ndau-grant (DAU grants "
-           "unsafely) or\nddu-silent (DDU stops reporting deadlocks)")
+           "unsafely),\nddu-silent (DDU stops reporting deadlocks),\n"
+           "bankers-unsafe-grant (skip the safety\nprobe) or wfg-miss-cycle "
+           "(scans lie)")
       .opt("repro", "FILE",
            "write the first failure's shrunk scenario as\na replayable JSON "
            "repro")

@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
   cli::Args args("delta_profile", "[options]");
   args.opt("preset", "LIST",
            "comma list of Table 3 rows (default kRtos4;\naccepts 4 / RTOS4 "
-           "/ kRtos4)",
+           "/ kRtos4) or the protocol-zoo\nnames bankers, wfg-recovery",
            "4")
       .alias("presets", "preset")
       .opt("scenario", "FILE",
@@ -124,8 +124,7 @@ int main(int argc, char** argv) {
 
   try {
     for (const std::string& p : args.list("preset"))
-      spec.configs.push_back(
-          exp::preset_point(soc::rtos_preset_from_string(p)));
+      spec.configs.push_back(exp::named_config_point(p));
     if (scenario_path.empty()) {
       spec.workloads.push_back(exp::find_workload(workload));
       // The built-in workloads are deadlock-free by construction; don't

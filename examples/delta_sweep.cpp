@@ -42,7 +42,8 @@ int main(int argc, char** argv) {
            "0")
       .opt("seeds", "N", "seeds 1..N per cell (default 4)", "4")
       .opt("presets", "LIST",
-           "comma list of Table 3 rows, e.g. 1,4,5\n(default: all seven)")
+           "comma list of Table 3 rows, e.g. 1,4,5, plus\nthe protocol-zoo "
+           "names bankers, wfg-recovery\n(default: all seven rows)")
       .opt("workloads", "LIST", "comma list of workload names (default: mixed)",
            "mixed")
       .opt("limit", "CYCLES", "per-run simulation cap (default 50000000)")
@@ -82,8 +83,7 @@ int main(int argc, char** argv) {
       spec.configs = exp::all_preset_points();
     } else {
       for (const std::string& p : args.list("presets"))
-        spec.configs.push_back(
-            exp::preset_point(soc::rtos_preset_from_string(p)));
+        spec.configs.push_back(exp::named_config_point(p));
     }
     for (const std::string& wname : args.list("workloads"))
       spec.workloads.push_back(exp::find_workload(wname));

@@ -1,0 +1,33 @@
+// Wait-for-graph cycle detection (ROADMAP item 3c).
+//
+// The classic software baseline the paper lacks: collapse the bipartite
+// RAG into a process-level wait-for graph (p waits on the owner of every
+// resource p has requested) and trim nodes that cannot lie on a cycle —
+// out-degree 0 (not waiting, can finish) or in-degree 0 (nobody waits on
+// it). The residue is non-empty iff the RAG has a cycle; with
+// single-unit resources a cycle is a deadlock, so the residue is the
+// victim-candidate set for detection-and-recovery.
+#pragma once
+
+#include <vector>
+
+#include "deadlock/meter.h"
+#include "rag/state_matrix.h"
+
+namespace delta::deadlock {
+
+/// One periodic scan's verdict.
+struct WfgScan {
+  bool deadlock = false;
+  /// Trim residue: processes on (or between) wait-for cycles, ascending.
+  /// A subset of rag::deadlocked_processes() — pure waiters blocked
+  /// *behind* a cycle are trimmed here but also reduced away there.
+  std::vector<rag::ProcId> deadlocked;
+  /// Bookkeeping-operation count of this scan (software cost model).
+  OpMeter meter;
+};
+
+/// Scan the current state matrix. Pure function of the matrix.
+[[nodiscard]] WfgScan scan_wait_for_graph(const rag::StateMatrix& state);
+
+}  // namespace delta::deadlock

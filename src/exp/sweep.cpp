@@ -32,6 +32,22 @@ std::vector<ConfigPoint> all_preset_points() {
   return points;
 }
 
+ConfigPoint named_config_point(std::string_view name) {
+  if (name == "bankers") {
+    ConfigPoint cp;
+    cp.name = "bankers";
+    cp.config = soc::bankers_config();
+    return cp;
+  }
+  if (name == "wfg-recovery") {
+    ConfigPoint cp;
+    cp.name = "wfg-recovery";
+    cp.config = soc::wfg_recovery_config();
+    return cp;
+  }
+  return preset_point(soc::rtos_preset_from_string(name));
+}
+
 std::uint64_t derive_run_seed(std::uint64_t base_seed,
                               std::size_t config_index,
                               std::size_t workload_index,

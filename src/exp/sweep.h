@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "obs/critpath.h"
@@ -51,6 +52,13 @@ struct ConfigPoint {
 
 /// All seven Table 3 rows, in paper order.
 [[nodiscard]] std::vector<ConfigPoint> all_preset_points();
+
+/// A config point by name: any Table 3 spelling ("4" / "RTOS4" /
+/// "kRtos4"), or a protocol-zoo configuration — "bankers"
+/// (claim-everything Banker's avoidance, soc::bankers_config()) or
+/// "wfg-recovery" (periodic wait-for-graph scan + lowest-cost restart,
+/// soc::wfg_recovery_config()). Throws std::invalid_argument otherwise.
+[[nodiscard]] ConfigPoint named_config_point(std::string_view name);
 
 /// A cross product of configurations x workloads x seeds.
 struct SweepSpec {

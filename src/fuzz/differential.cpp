@@ -16,6 +16,7 @@ const char* semantics_name(Semantics s) {
     case Semantics::kAvoid: return "avoid";
     case Semantics::kDetect: return "detect";
     case Semantics::kUnmanaged: return "unmanaged";
+    case Semantics::kRecover: return "recover";
   }
   return "?";
 }
@@ -65,6 +66,21 @@ const std::vector<BackendPair>& standard_pairs() {
         {"DAU", RtosPreset::kRtos4, Semantics::kAvoid},
         {"SDAU", RtosPreset::kRtos4, Semantics::kAvoid, 0}},
        false},
+      // Protocol-zoo pairs (ROADMAP item 3): runtime Banker's avoidance
+      // vs the DAA, and periodic wait-for-graph detection-and-recovery
+      // vs the halting PDDA. Opted out of the default campaign to keep
+      // golden-pinned reports stable; name them explicitly
+      // (--pairs bankers-vs-daa,wfg-recovery) or via CI.
+      {"bankers-vs-daa",
+       "Banker's max-claims avoidance vs software DAA",
+       {{"BANKERS", RtosPreset::kRtos3, Semantics::kAvoid, 1, "bankers"},
+        {"DAA", RtosPreset::kRtos3, Semantics::kAvoid}},
+       false},
+      {"wfg-recovery",
+       "periodic WFG detection + restart recovery vs halting PDDA",
+       {{"WFG", RtosPreset::kRtos1, Semantics::kRecover, 1, "wfg"},
+        {"PDDA", RtosPreset::kRtos1, Semantics::kDetect}},
+       false},
   };
   return pairs;
 }
@@ -82,6 +98,24 @@ const BackendPair& find_pair(const std::string& name) {
 }
 
 namespace {
+
+/// Banker's max-claims derived from the scripts: claims[t] is the sorted
+/// set of every resource task t ever requests. A task with no requests
+/// keeps the empty (claim-everything) default, which is conservative but
+/// still safe and live.
+std::vector<std::vector<rtos::ResourceId>> scenario_claims(
+    const Scenario& s) {
+  std::vector<std::vector<rtos::ResourceId>> claims(s.tasks.size());
+  for (std::size_t t = 0; t < s.tasks.size(); ++t) {
+    std::vector<rtos::ResourceId>& c = claims[t];
+    for (const Step& st : s.tasks[t].steps)
+      if (st.kind == Step::Kind::kRequest)
+        c.insert(c.end(), st.resources.begin(), st.resources.end());
+    std::sort(c.begin(), c.end());
+    c.erase(std::unique(c.begin(), c.end()), c.end());
+  }
+  return claims;
+}
 
 std::uint64_t counter_value(soc::Mpsoc& sys, const std::string& name) {
   return sys.observer().metrics.counter(name).value();
@@ -156,6 +190,18 @@ void check_invariants(const Scenario& s, const SystemUnderTest& sut,
         bad("stalled with no deadlock cycle in the final state "
             "(lost wakeup)");
       break;
+    case Semantics::kRecover:
+      // Detection + recovery must ride through any deadlock: every task
+      // completes (possibly after restarts), never a terminal halt, and
+      // detections/recoveries imply each other.
+      if (!o.all_finished)
+        bad("recovery configuration did not complete every task");
+      if (o.halted) bad("recovery configuration halted");
+      if (o.recoveries > 0 && !o.deadlock_detected)
+        bad("recovered without reporting a detection");
+      if (o.deadlock_detected && o.recoveries == 0)
+        bad("reported a detection without recovering");
+      break;
   }
 }
 
@@ -174,6 +220,21 @@ RunOutcome run_scenario(const Scenario& s, const SystemUnderTest& sut,
         sut.clusters == 0
             ? deadlock::ClusterMap::default_clusters(s.resource_count)
             : std::min(sut.clusters, s.resource_count);
+    if (!sut.protocol.empty()) {
+      if (sut.protocol == "bankers") {
+        cfg.deadlock = soc::DeadlockComponent::kBankers;
+        cfg.stop_on_deadlock = false;
+        cfg.claims = scenario_claims(s);
+      } else if (sut.protocol == "wfg") {
+        cfg.deadlock = soc::DeadlockComponent::kWfgRecovery;
+        cfg.stop_on_deadlock = false;
+        cfg.detection_period = 5000;
+        cfg.recovery = rtos::RecoveryPolicy::kAbortLowestCost;
+      } else {
+        throw std::invalid_argument("unknown protocol override '" +
+                                    sut.protocol + "'");
+      }
+    }
     soc::MpsocConfig mc = cfg.to_mpsoc_config();
     // The preset carries the paper's four media devices; a scenario
     // wants anonymous single-unit resources with no device processing

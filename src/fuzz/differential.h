@@ -41,6 +41,7 @@ enum class Semantics : std::uint8_t {
   kAvoid,      ///< RTOS3/RTOS4: deadlock can never happen
   kDetect,     ///< RTOS1/RTOS2: halts on detection (stop_on_deadlock)
   kUnmanaged,  ///< RTOS5/6/7: may deadlock silently (with a real cycle)
+  kRecover,    ///< periodic detection + recovery: must complete every task
 };
 
 const char* semantics_name(Semantics s);
@@ -54,6 +55,12 @@ struct SystemUnderTest {
   /// that many clusters, 0 = auto (ClusterMap::default_clusters for the
   /// scenario's resource count).
   std::size_t clusters = 1;
+  /// Protocol override beyond the preset's Table 3 component. "" keeps
+  /// the preset as-is; "bankers" swaps the deadlock component for
+  /// Banker's avoidance with claims derived from the scenario's scripts;
+  /// "wfg" swaps in the periodic wait-for-graph scan with lowest-cost
+  /// recovery. Anything else throws.
+  std::string protocol;
 };
 
 /// A named set of configurations compared against each other.
@@ -69,8 +76,11 @@ struct BackendPair {
 
 /// The built-in pairs: "pdda-ddu", "daa-dau", "locks" (sw PI vs SoCLC),
 /// "heap" (malloc/free vs SoCDMMU), "presets" (all of RTOS1-7), plus the
-/// non-default sharded pairs "ddu-sharded" (PDDA vs DDU vs sharded DDU)
-/// and "dau-sharded" (DAA vs DAU vs sharded DAU).
+/// non-default pairs "ddu-sharded" (PDDA vs DDU vs sharded DDU),
+/// "dau-sharded" (DAA vs DAU vs sharded DAU), "bankers-vs-daa"
+/// (Banker's max-claims avoidance vs the DAA) and "wfg-recovery"
+/// (periodic wait-for-graph scan + restart recovery vs the halting
+/// PDDA).
 [[nodiscard]] const std::vector<BackendPair>& standard_pairs();
 
 /// Look one up by name ("all" is not valid here; callers expand it).

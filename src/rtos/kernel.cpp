@@ -44,6 +44,7 @@ Kernel::Kernel(sim::Simulator& sim, bus::SharedBus& bus, KernelConfig cfg,
   }
   own_obs_ = std::make_unique<obs::Observer>();
   set_observer(own_obs_.get());
+  if (!cfg_.claims.empty()) strategy_->set_claims(cfg_.claims);
 }
 
 void Kernel::set_observer(obs::Observer* o) {
@@ -210,6 +211,26 @@ void Kernel::start() {
       reschedule(t.pe);
     });
   }
+  if (cfg_.detection_period > 0) schedule_scan();
+}
+
+void Kernel::schedule_scan() {
+  sim_.schedule_in(cfg_.detection_period, [this] {
+    // Stop re-arming once the run is over, or the simulator never goes
+    // idle: a halted system and a finished one both end the scan chain.
+    if (halted_ || all_finished()) return;
+    const sim::Cycles now = sim_.now();
+    const ResourceEvent ev = strategy_->scan(now);
+    // The scan executes inside the resource-manager critical section:
+    // concurrent resource services queue behind its software cost.
+    resmgr_lock_until_ = std::max(resmgr_lock_until_, now + ev.pe_cycles);
+    if (ev.deadlock_detected)
+      trace("WFG", [&] {
+        return "periodic scan found a wait-for cycle";
+      });
+    note_detection(ev, now);
+    if (!halted_) schedule_scan();
+  });
 }
 
 bool Kernel::all_finished() const {
@@ -829,10 +850,33 @@ TaskId Kernel::pick_recovery_victim() const {
       continue;
     }
     const Task& best = task(victim);
-    const bool worse =
-        cfg_.recovery == RecoveryPolicy::kAbortLowestPriority
-            ? cand.priority > best.priority
-            : cand.release_time > best.release_time;
+    bool worse = false;
+    switch (cfg_.recovery) {
+      case RecoveryPolicy::kNone:
+        break;
+      case RecoveryPolicy::kAbortLowestPriority:
+        worse = cand.priority > best.priority;
+        break;
+      case RecoveryPolicy::kAbortYoungest:
+        worse = cand.release_time > best.release_time;
+        break;
+      case RecoveryPolicy::kAbortLowestCost: {
+        // Least work to redo: fewest completed ops, then fewest held
+        // resources to unwind (ties keep the lower task id). Prior
+        // rollbacks dominate the cost: a restarted task sits at pc=0 and
+        // would otherwise be re-picked at every detection while the task
+        // whose release actually breaks the knot is never chosen
+        // (classical victim-selection starvation).
+        const std::uint64_t cr = restarts(p);
+        const std::uint64_t br = restarts(victim);
+        worse = cr < br ||
+                (cr == br &&
+                 (cand.pc < best.pc ||
+                  (cand.pc == best.pc &&
+                   cand.held.size() < best.held.size())));
+        break;
+      }
+    }
     if (worse) victim = p;
   }
   return victim;

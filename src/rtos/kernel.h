@@ -45,6 +45,8 @@ enum class RecoveryPolicy : std::uint8_t {
   kNone,                 ///< honor stop_on_deadlock (measurement mode)
   kAbortLowestPriority,  ///< restart the lowest-priority deadlocked task
   kAbortYoungest,        ///< restart the most recently released one
+  kAbortLowestCost,      ///< restart the one with the least work to redo
+                         ///< (lowest pc; ties: fewest held resources)
 };
 
 /// Kernel construction parameters.
@@ -61,6 +63,14 @@ struct KernelConfig {
   /// SoCLC spinners do not — §2.3.1's traffic-reduction claim.
   bool spin_short_locks = false;
   sim::Cycles spin_poll_interval = 12;
+  /// Periodic deadlock scan (wait-for-graph backend): every
+  /// `detection_period` cycles the kernel invokes the strategy's scan()
+  /// inside the resource-manager critical section. 0 = no periodic scan.
+  sim::Cycles detection_period = 0;
+  /// Max-claims declarations forwarded to the strategy (Banker's):
+  /// claims[t] lists every resource task t may ever request; an empty
+  /// inner list claims everything. Empty table = no declarations.
+  std::vector<std::vector<ResourceId>> claims;
   std::vector<std::string> resource_names;  ///< default q1..qm
   bool trace = true;
   /// Keep the per-transition phase log (transitions()) that the
@@ -309,6 +319,8 @@ class Kernel {
   void maybe_wake_resource_waiter(TaskId id);
   void schedule_give_up(TaskId victim, std::vector<ResourceId> resources);
   void note_detection(const ResourceEvent& ev, sim::Cycles at);
+  /// Arm the next periodic wait-for-graph scan (detection_period > 0).
+  void schedule_scan();
   void recover_from_deadlock();
   TaskId pick_recovery_victim() const;
 

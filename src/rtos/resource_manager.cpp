@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "deadlock/bankers.h"
 #include "deadlock/baselines.h"
+#include "deadlock/wfg.h"
 #include "hw/sharded_dau.h"
 #include "hw/sharded_ddu.h"
 #include "rag/reduction.h"
@@ -15,6 +17,8 @@ using rag::Edge;
 ResourceEvent DeadlockStrategy::retry(ResourceId, sim::Cycles) {
   return ResourceEvent{};
 }
+
+ResourceEvent DeadlockStrategy::scan(sim::Cycles) { return ResourceEvent{}; }
 
 namespace {
 
@@ -297,6 +301,40 @@ class BaselineDetectionStrategy final : public GrantingManagerBase {
   }
 };
 
+// Wait-for-graph periodic detection-and-recovery: the same unconditional
+// grant policy as none/RTOS1, but *no* per-event detection — cycles are
+// found by the kernel-driven periodic scan() (KernelConfig::
+// detection_period), which collapses the RAG into a process wait-for
+// graph on the invoking PE. Detection latency is traded for per-event
+// cost: allocation events are as cheap as the "none" baseline.
+class WfgStrategy final : public GrantingManagerBase {
+ public:
+  using GrantingManagerBase::GrantingManagerBase;
+
+  std::string name() const override { return "wfg-recovery (software)"; }
+
+  ResourceEvent scan(sim::Cycles) override {
+    ResourceEvent ev;
+    const deadlock::WfgScan s = deadlock::scan_wait_for_graph(state_);
+    const sim::Cycles algo = costs_.software.cycles(s.meter);
+    algo_times_.add(static_cast<double>(algo));
+    ev.pe_cycles = algo;
+    ev.deadlock_detected = miss_ ? false : s.deadlock;
+    return ev;
+  }
+
+  bool enable_fault(const std::string& name) override {
+    if (name != "wfg-miss-cycle") return false;
+    miss_ = true;
+    return true;
+  }
+
+ private:
+  bool miss_ = false;  ///< fault injection: scans never report a cycle
+
+  void run_detection(ResourceEvent&, sim::Cycles) override {}
+};
+
 // ----------------------------------------------------------------------
 // Avoidance strategies (RTOS3 / RTOS4).
 // ----------------------------------------------------------------------
@@ -402,6 +440,78 @@ class DaaSoftwareStrategy final : public DeadlockStrategy {
 
   void finish(ResourceEvent& ev) {
     const sim::Cycles algo = costs_.sw_avoidance_sync + detect_cycles_ +
+                             costs_.software.cycles(engine_.last_meter());
+    algo_times_.add(static_cast<double>(algo));
+    ev.pe_cycles = costs_.resource_service + algo;
+  }
+};
+
+// Runtime Banker's avoidance: max-claims safety probe on the invoking
+// PE. A refused request (busy or unsafe) parks the requester on a
+// request edge and the kernel blocks it; release-time grant arbitration
+// (BankersEngine::drain) hands out every safe grant via ev.grants.
+class BankersStrategy final : public DeadlockStrategy {
+ public:
+  BankersStrategy(std::size_t resources, std::size_t tasks,
+                  const ServiceCosts& costs)
+      : costs_(costs), engine_(resources, tasks) {}
+
+  std::string name() const override { return "bankers (software)"; }
+
+  void set_priority(TaskId who, Priority prio) override {
+    engine_.set_priority(who, prio);
+  }
+
+  void set_claims(
+      const std::vector<std::vector<ResourceId>>& claims) override {
+    for (TaskId t = 0; t < claims.size(); ++t)
+      engine_.declare_claims(t, claims[t]);
+  }
+
+  TaskId owner(ResourceId res) const override {
+    const rag::ProcId p = engine_.owner(res);
+    return p == rag::kNoProc ? kNoTask : static_cast<TaskId>(p);
+  }
+
+  const rag::StateMatrix* state() const override { return &engine_.state(); }
+
+  void cancel_request(TaskId who, ResourceId res) override {
+    engine_.cancel_request(who, res);
+  }
+
+  bool enable_fault(const std::string& name) override {
+    if (name != "bankers-unsafe-grant") return false;
+    engine_.force_unsafe_grants(true);
+    return true;
+  }
+
+  ResourceEvent request(TaskId who, ResourceId res, sim::Cycles) override {
+    const deadlock::BankersEngine::Result r = engine_.request(who, res);
+    ResourceEvent ev;
+    ev.granted = r.outcome == deadlock::BankersEngine::Outcome::kGranted;
+    ev.r_dl = r.unsafe_refusal;  // an unsafe grant was avoided
+    finish(ev);
+    return ev;
+  }
+
+  ResourceEvent release(TaskId who, ResourceId res, sim::Cycles) override {
+    const deadlock::BankersEngine::Result r = engine_.release(who, res);
+    ResourceEvent ev;
+    for (const auto& [t, q] : r.grants)
+      ev.grants.emplace_back(static_cast<TaskId>(t), q);
+    ev.g_dl = r.unsafe_refusal;  // a waiter stayed parked for safety
+    finish(ev);
+    return ev;
+  }
+
+ private:
+  ServiceCosts costs_;
+  deadlock::BankersEngine engine_;
+
+  void finish(ResourceEvent& ev) {
+    // Same cost shape as the software DAA: avoidance synchronization +
+    // the metered bookkeeping (which includes every safety probe).
+    const sim::Cycles algo = costs_.sw_avoidance_sync +
                              costs_.software.cycles(engine_.last_meter());
     algo_times_.add(static_cast<double>(algo));
     ev.pe_cycles = costs_.resource_service + algo;
@@ -709,6 +819,16 @@ std::unique_ptr<DeadlockStrategy> make_sharded_dau_strategy(
   return std::make_unique<ShardedDauStrategy>(resources, tasks, clusters,
                                               costs, bus,
                                               std::move(master_of_task));
+}
+
+std::unique_ptr<DeadlockStrategy> make_bankers_strategy(
+    std::size_t resources, std::size_t tasks, const ServiceCosts& costs) {
+  return std::make_unique<BankersStrategy>(resources, tasks, costs);
+}
+
+std::unique_ptr<DeadlockStrategy> make_wfg_strategy(
+    std::size_t resources, std::size_t tasks, const ServiceCosts& costs) {
+  return std::make_unique<WfgStrategy>(resources, tasks, costs);
 }
 
 std::unique_ptr<DeadlockStrategy> make_baseline_detection_strategy(

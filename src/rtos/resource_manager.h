@@ -65,6 +65,19 @@ class DeadlockStrategy {
   /// victim complied). Default: nothing to do.
   virtual ResourceEvent retry(ResourceId res, sim::Cycles now);
 
+  /// Periodic detection hook (wait-for-graph recovery backend). The
+  /// kernel invokes it every KernelConfig::detection_period cycles; the
+  /// returned event carries the scan's software cost in pe_cycles and
+  /// its verdict in deadlock_detected. Default: nothing to scan.
+  virtual ResourceEvent scan(sim::Cycles now);
+
+  /// Max-claims declarations (Banker's avoidance). claims[t] lists every
+  /// resource task t may ever request; an empty inner list means "claims
+  /// everything". Default: ignored.
+  virtual void set_claims(const std::vector<std::vector<ResourceId>>& claims) {
+    (void)claims;
+  }
+
   /// Withdraw a pending request (deadlock recovery / task abort).
   virtual void cancel_request(TaskId who, ResourceId res) = 0;
 
@@ -99,6 +112,9 @@ class DeadlockStrategy {
   /// true when the strategy recognizes the fault name:
   ///   "dau-grant"   (DAU)  — the grant-safety probe always reports safe
   ///   "ddu-silent"  (DDU)  — detection results are suppressed
+  ///   "bankers-unsafe-grant" (Banker's) — the safety probe is skipped on
+  ///                 request, so anything free is granted
+  ///   "wfg-miss-cycle" (WFG) — periodic scans never report a cycle
   /// The default recognizes nothing.
   virtual bool enable_fault(const std::string& name) {
     (void)name;
@@ -143,6 +159,20 @@ std::unique_ptr<DeadlockStrategy> make_sharded_dau_strategy(
     std::size_t resources, std::size_t tasks, std::size_t clusters,
     const ServiceCosts& costs, bus::SharedBus* bus,
     std::vector<std::size_t> master_of_task);
+
+/// Runtime Banker's avoidance (deadlock/bankers.h): max-claims
+/// declarations via set_claims(); an unsafe request is refused and the
+/// requester blocks until a release's grant arbitration hands it the
+/// resource. Pure software on the invoking PE.
+std::unique_ptr<DeadlockStrategy> make_bankers_strategy(
+    std::size_t resources, std::size_t tasks, const ServiceCosts& costs);
+
+/// Wait-for-graph periodic detection (deadlock/wfg.h): grants are
+/// unconditional (same policy as PDDA/none); scan() collapses the RAG
+/// into a process wait-for graph and reports cycles. Pair with a
+/// KernelConfig::detection_period and a recovery policy.
+std::unique_ptr<DeadlockStrategy> make_wfg_strategy(
+    std::size_t resources, std::size_t tasks, const ServiceCosts& costs);
 
 /// Prior-work software detector dropped into the RTOS in place of PDDA
 /// (ablation: §3.3.2's complexity claims measured in-system).

@@ -15,6 +15,8 @@ const char* deadlock_key(DeadlockComponent d) {
     case DeadlockComponent::kDdu: return "ddu";
     case DeadlockComponent::kDaaSoftware: return "daa-software";
     case DeadlockComponent::kDau: return "dau";
+    case DeadlockComponent::kBankers: return "bankers";
+    case DeadlockComponent::kWfgRecovery: return "wfg-recovery";
   }
   return "none";
 }
@@ -25,8 +27,48 @@ DeadlockComponent parse_deadlock(const std::string& v, int line) {
   if (v == "ddu") return DeadlockComponent::kDdu;
   if (v == "daa-software") return DeadlockComponent::kDaaSoftware;
   if (v == "dau") return DeadlockComponent::kDau;
+  if (v == "bankers") return DeadlockComponent::kBankers;
+  if (v == "wfg-recovery") return DeadlockComponent::kWfgRecovery;
   throw std::invalid_argument("config line " + std::to_string(line) +
                               ": unknown deadlock component '" + v + "'");
+}
+
+const char* victim_key(rtos::RecoveryPolicy p) {
+  switch (p) {
+    case rtos::RecoveryPolicy::kNone: return "none";
+    case rtos::RecoveryPolicy::kAbortLowestPriority: return "lowest-priority";
+    case rtos::RecoveryPolicy::kAbortYoungest: return "youngest";
+    case rtos::RecoveryPolicy::kAbortLowestCost: return "lowest-cost";
+  }
+  return "none";
+}
+
+rtos::RecoveryPolicy parse_victim(const std::string& v, int line) {
+  if (v == "none") return rtos::RecoveryPolicy::kNone;
+  if (v == "lowest-priority")
+    return rtos::RecoveryPolicy::kAbortLowestPriority;
+  if (v == "youngest") return rtos::RecoveryPolicy::kAbortYoungest;
+  if (v == "lowest-cost") return rtos::RecoveryPolicy::kAbortLowestCost;
+  throw std::invalid_argument("config line " + std::to_string(line) +
+                              ": unknown victim policy '" + v + "'");
+}
+
+std::uint64_t parse_u64(const std::string& v, int line);
+
+std::vector<rtos::ResourceId> parse_id_list(const std::string& v, int line) {
+  std::vector<rtos::ResourceId> ids;
+  std::string item;
+  std::istringstream is(v);
+  while (std::getline(is, item, ',')) {
+    const auto b = item.find_first_not_of(" \t");
+    const auto e = item.find_last_not_of(" \t");
+    if (b == std::string::npos)
+      throw std::invalid_argument("config line " + std::to_string(line) +
+                                  ": empty entry in id list '" + v + "'");
+    ids.push_back(static_cast<rtos::ResourceId>(
+        parse_u64(item.substr(b, e - b + 1), line)));
+  }
+  return ids;
 }
 
 std::uint64_t parse_u64(const std::string& v, int line) {
@@ -74,6 +116,19 @@ std::string write_config(const DeltaConfig& cfg) {
   os << "bus.data_width = " << cfg.bus.data_bus_width << "\n";
   os << "stop_on_deadlock = "
      << (cfg.stop_on_deadlock ? "true" : "false") << "\n";
+  // Protocol-zoo keys, emitted only when set so every pre-existing
+  // configuration (and its goldens) serializes byte-identically.
+  if (cfg.detection_period != 0)
+    os << "detection_period = " << cfg.detection_period << "\n";
+  if (cfg.recovery != rtos::RecoveryPolicy::kNone)
+    os << "victim = " << victim_key(cfg.recovery) << "\n";
+  for (std::size_t t = 0; t < cfg.claims.size(); ++t) {
+    if (cfg.claims[t].empty()) continue;  // empty = claim-all default
+    os << "claims.t" << t << " = ";
+    for (std::size_t i = 0; i < cfg.claims[t].size(); ++i)
+      os << (i ? "," : "") << cfg.claims[t][i];
+    os << "\n";
+  }
   return os.str();
 }
 
@@ -149,6 +204,18 @@ DeltaConfig read_config(const std::string& text) {
           static_cast<unsigned>(parse_u64(value, line_no));
     } else if (key == "stop_on_deadlock") {
       cfg.stop_on_deadlock = parse_bool(value, line_no);
+    } else if (key == "detection_period") {
+      cfg.detection_period = parse_u64(value, line_no);
+    } else if (key == "victim") {
+      cfg.recovery = parse_victim(value, line_no);
+    } else if (key.rfind("claims.t", 0) == 0) {
+      const std::size_t t = parse_u64(key.substr(8), line_no);
+      if (t >= 4096)
+        throw std::invalid_argument("config line " +
+                                    std::to_string(line_no) +
+                                    ": claims task index out of range");
+      if (cfg.claims.size() <= t) cfg.claims.resize(t + 1);
+      cfg.claims[t] = parse_id_list(value, line_no);
     } else {
       throw std::invalid_argument("config line " + std::to_string(line_no) +
                                   ": unknown key '" + key + "'");

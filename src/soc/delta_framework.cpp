@@ -1,5 +1,6 @@
 #include "soc/delta_framework.h"
 
+#include <algorithm>
 #include <cctype>
 #include <sstream>
 #include <stdexcept>
@@ -18,6 +19,19 @@ const char* deadlock_name(DeadlockComponent d) {
     case DeadlockComponent::kDdu: return "DDU (hardware)";
     case DeadlockComponent::kDaaSoftware: return "DAA in software";
     case DeadlockComponent::kDau: return "DAU (hardware)";
+    case DeadlockComponent::kBankers:
+      return "Banker's avoidance in software";
+    case DeadlockComponent::kWfgRecovery:
+      return "wait-for-graph detection in software";
+  }
+  return "?";
+}
+const char* victim_name(rtos::RecoveryPolicy p) {
+  switch (p) {
+    case rtos::RecoveryPolicy::kNone: return "none";
+    case rtos::RecoveryPolicy::kAbortLowestPriority: return "lowest-priority";
+    case rtos::RecoveryPolicy::kAbortYoungest: return "youngest";
+    case rtos::RecoveryPolicy::kAbortLowestCost: return "lowest-cost";
   }
   return "?";
 }
@@ -64,6 +78,43 @@ std::vector<ConfigError> DeltaConfig::validate() const {
              " SoCLC locks (must be empty or match exactly)"});
   if (memory == MemoryComponent::kSocdmmu && socdmmu.total_blocks == 0)
     errors.push_back({"socdmmu", "SoCDMMU selected with zero blocks"});
+  if (deadlock == DeadlockComponent::kWfgRecovery && detection_period == 0)
+    errors.push_back({"detection_period",
+                      "wait-for-graph detection requires a scan period "
+                      "(detection_period > 0)"});
+  if (deadlock != DeadlockComponent::kWfgRecovery && detection_period != 0)
+    errors.push_back({"detection_period",
+                      "a scan period is only meaningful for the "
+                      "wfg-recovery deadlock component"});
+  if (!claims.empty() && deadlock != DeadlockComponent::kBankers)
+    errors.push_back({"claims",
+                      "a max-claims table requires the bankers deadlock "
+                      "component"});
+  if (claims.size() > task_count)
+    errors.push_back({"claims",
+                      std::to_string(claims.size()) +
+                          " claim rows for " + std::to_string(task_count) +
+                          " tasks"});
+  for (std::size_t t = 0; t < claims.size(); ++t) {
+    std::vector<rtos::ResourceId> sorted = claims[t];
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end())
+      errors.push_back({"claims", "duplicate resource in claims for task " +
+                                      std::to_string(t)});
+    if (!sorted.empty() && sorted.back() >= resource_count)
+      errors.push_back(
+          {"claims", "claims for task " + std::to_string(t) +
+                         " name resource " + std::to_string(sorted.back()) +
+                         " but only " + std::to_string(resource_count) +
+                         " resources exist"});
+  }
+  if (recovery != rtos::RecoveryPolicy::kNone &&
+      !(deadlock == DeadlockComponent::kPddaSoftware ||
+        deadlock == DeadlockComponent::kDdu ||
+        deadlock == DeadlockComponent::kWfgRecovery))
+    errors.push_back({"recovery",
+                      "a victim policy requires a detection component "
+                      "(pdda-software, ddu, or wfg-recovery)"});
   try {
     bus.validate();
   } catch (const std::exception& e) {
@@ -107,6 +158,9 @@ MpsocConfig DeltaConfig::to_mpsoc_config() const {
   mc.lock_ceilings = lock_ceilings;
   mc.socdmmu = socdmmu;
   mc.stop_on_deadlock = stop_on_deadlock;
+  mc.recovery = recovery;
+  mc.detection_period = detection_period;
+  mc.claims = claims;
   return mc;
 }
 
@@ -121,6 +175,11 @@ std::string DeltaConfig::describe() const {
        deadlock == DeadlockComponent::kDau))
     os << "    sharded into " << deadlock_clusters
        << " clusters + inter-cluster resolver\n";
+  if (deadlock == DeadlockComponent::kWfgRecovery)
+    os << "    scan period: " << detection_period << " cycles, victim: "
+       << victim_name(recovery) << "\n";
+  if (deadlock == DeadlockComponent::kBankers)
+    os << "    max-claims rows declared: " << claims.size() << "\n";
   os << "  Lock component:     " << lock_name(lock) << "\n";
   os << "  Memory component:   " << memory_name(memory) << "\n";
   if (lock == LockComponent::kSoclc)
@@ -207,6 +266,22 @@ std::string rtos_preset_description(RtosPreset p) {
       return "SoCDMMU in hardware";
   }
   throw std::invalid_argument("rtos_preset_description: unknown preset");
+}
+
+DeltaConfig bankers_config() {
+  DeltaConfig cfg;
+  cfg.deadlock = DeadlockComponent::kBankers;
+  cfg.stop_on_deadlock = false;  // avoidance keeps the system running
+  return cfg;
+}
+
+DeltaConfig wfg_recovery_config() {
+  DeltaConfig cfg;
+  cfg.deadlock = DeadlockComponent::kWfgRecovery;
+  cfg.detection_period = 5000;
+  cfg.recovery = rtos::RecoveryPolicy::kAbortLowestCost;
+  cfg.stop_on_deadlock = false;  // recovery, not halt, handles detections
+  return cfg;
 }
 
 std::unique_ptr<Mpsoc> generate(const DeltaConfig& cfg) {

@@ -61,6 +61,20 @@ struct DeltaConfig {
   rtos::ServiceCosts costs;
   bool stop_on_deadlock = true;
 
+  /// Deadlock recovery once detection fires (kPddaSoftware/kDdu/
+  /// kWfgRecovery). Avoidance components never detect, so a victim
+  /// policy there is a configuration error.
+  rtos::RecoveryPolicy recovery = rtos::RecoveryPolicy::kNone;
+
+  /// Periodic wait-for-graph scan period in cycles. Required (> 0) for
+  /// kWfgRecovery and invalid for every other deadlock component.
+  sim::Cycles detection_period = 0;
+
+  /// Banker's max-claims table (kBankers only): claims[t] lists every
+  /// resource task slot t may ever request; an empty inner list claims
+  /// everything. Must not be taller than task_count.
+  std::vector<std::vector<rtos::ResourceId>> claims;
+
   /// Consistency checks mirroring the GUI's input validation. Collects
   /// *every* violated constraint (empty vector = valid) so a sweep
   /// author sees all problems in one pass instead of fixing them one
@@ -113,6 +127,15 @@ inline constexpr std::array<RtosPreset, 7> kAllRtosPresets = {
 
 /// Short description of a Table 3 row ("PDDA in software", ...).
 [[nodiscard]] std::string rtos_preset_description(RtosPreset p);
+
+/// Protocol-zoo configurations beyond Table 3 (ROADMAP item 3).
+/// Banker's max-claims avoidance in software; callers supply the claims
+/// table (or leave it empty for conservative claim-everything).
+[[nodiscard]] DeltaConfig bankers_config();
+/// Periodic wait-for-graph detection-and-recovery: scan every 5000
+/// cycles, abort the lowest-cost victim, keep running (the recovery
+/// replaces stop_on_deadlock).
+[[nodiscard]] DeltaConfig wfg_recovery_config();
 
 /// Generate (configure + construct) the simulatable RTOS/MPSoC.
 std::unique_ptr<Mpsoc> generate(const DeltaConfig& cfg);

@@ -39,6 +39,10 @@ std::unique_ptr<rtos::DeadlockStrategy> make_strategy(
                                                std::move(master_of_task));
       return rtos::make_dau_strategy(m, n, cfg.costs, bus,
                                      std::move(master_of_task));
+    case DeadlockComponent::kBankers:
+      return rtos::make_bankers_strategy(m, n, cfg.costs);
+    case DeadlockComponent::kWfgRecovery:
+      return rtos::make_wfg_strategy(m, n, cfg.costs);
   }
   throw std::logic_error("unknown deadlock component");
 }
@@ -102,6 +106,8 @@ Mpsoc::Mpsoc(MpsocConfig cfg) : cfg_(std::move(cfg)) {
   kc.costs = cfg_.costs;
   kc.stop_on_deadlock = cfg_.stop_on_deadlock;
   kc.recovery = cfg_.recovery;
+  kc.detection_period = cfg_.detection_period;
+  kc.claims = cfg_.claims;
   kc.time_slice = cfg_.time_slice;
   kc.spin_short_locks = cfg_.spin_short_locks;
   kc.trace = cfg_.trace;

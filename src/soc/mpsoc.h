@@ -30,6 +30,8 @@ enum class DeadlockComponent : std::uint8_t {
   kDdu,           ///< RTOS2
   kDaaSoftware,   ///< RTOS3
   kDau,           ///< RTOS4
+  kBankers,       ///< Banker's max-claims avoidance in software
+  kWfgRecovery,   ///< periodic wait-for-graph detection (+ recovery)
 };
 
 /// Which lock mechanism.
@@ -87,6 +89,11 @@ struct MpsocConfig {
   std::uint64_t heap_bytes = 8ULL * 1024 * 1024;
   bool stop_on_deadlock = true;
   rtos::RecoveryPolicy recovery = rtos::RecoveryPolicy::kNone;
+  /// Periodic wait-for-graph scan period (kWfgRecovery); 0 = no scans.
+  sim::Cycles detection_period = 0;
+  /// Banker's max-claims table (kBankers): claims[t] lists every
+  /// resource task t may ever request; empty inner list = claims all.
+  std::vector<std::vector<rtos::ResourceId>> claims;
   bool spin_short_locks = false;  ///< short-CS spin protocol (§2.3.1)
   sim::Cycles time_slice = 0;
   bool trace = true;

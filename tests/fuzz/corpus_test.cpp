@@ -38,7 +38,7 @@ std::string slurp(const std::filesystem::path& p) {
   return buf.str();
 }
 
-TEST(Corpus, HasSeeds) { EXPECT_GE(corpus_files().size(), 7u); }
+TEST(Corpus, HasSeeds) { EXPECT_GE(corpus_files().size(), 8u); }
 
 TEST(Corpus, EveryScenarioParsesAndRoundTrips) {
   for (const auto& path : corpus_files()) {
@@ -107,6 +107,37 @@ TEST(Corpus, KernelBugSeedsCompleteOnAvoidancePairs) {
       for (const RunOutcome& o : d.outcomes)
         EXPECT_TRUE(o.all_finished) << o.sut;
     }
+  }
+}
+
+TEST(Corpus, VictimRotationSeedRecoversOnTheZooPairs) {
+  // Shrunk repro of the recovery livelock: three tasks contend over two
+  // resources so the wait-for cycle re-forms after every restart. A
+  // lowest-cost victim policy that ignored prior rollbacks re-picked
+  // the freshly restarted task (pc back at 0) at each scan while the
+  // knot-holding task starved; with the rollback count dominating the
+  // cost the victims rotate and every task completes.
+  const auto files = corpus_files();
+  const auto it = std::find_if(files.begin(), files.end(), [](const auto& p) {
+    return p.filename() == "wfg_victim_rotation.json";
+  });
+  ASSERT_NE(it, files.end());
+  const Scenario s = scenario_from_json(slurp(*it));
+  const DiffResult wfg = run_pair(s, find_pair("wfg-recovery"));
+  EXPECT_FALSE(wfg.failed())
+      << (wfg.all_violations().empty() ? "?" : wfg.all_violations().front());
+  ASSERT_EQ(wfg.outcomes.size(), 2u);
+  EXPECT_TRUE(wfg.outcomes[0].all_finished);  // recovered, not livelocked
+  EXPECT_GE(wfg.outcomes[0].recoveries, 1u);
+  // A bounded number of rotations — not one recovery per scan tick.
+  EXPECT_LE(wfg.outcomes[0].recoveries, 8u);
+  // The Banker side refuses its way around the same knot entirely.
+  const DiffResult bank = run_pair(s, find_pair("bankers-vs-daa"));
+  EXPECT_FALSE(bank.failed())
+      << (bank.all_violations().empty() ? "?" : bank.all_violations().front());
+  for (const RunOutcome& o : bank.outcomes) {
+    EXPECT_TRUE(o.all_finished) << o.sut;
+    EXPECT_FALSE(o.deadlock_detected) << o.sut;
   }
 }
 

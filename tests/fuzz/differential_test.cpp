@@ -72,7 +72,7 @@ Scenario independent_tasks() {
 }
 
 TEST(Pairs, RegistryIsComplete) {
-  EXPECT_EQ(standard_pairs().size(), 7u);
+  EXPECT_EQ(standard_pairs().size(), 9u);
   EXPECT_EQ(find_pair("daa-dau").suts.size(), 2u);
   EXPECT_EQ(find_pair("presets").suts.size(), 7u);
   // The sharded triples run sw vs monolithic-hw vs sharded-hw, and stay
@@ -82,6 +82,14 @@ TEST(Pairs, RegistryIsComplete) {
   EXPECT_FALSE(find_pair("ddu-sharded").default_campaign);
   EXPECT_FALSE(find_pair("dau-sharded").default_campaign);
   EXPECT_TRUE(find_pair("daa-dau").default_campaign);
+  // The protocol-zoo pairs (ROADMAP item 3) are opt-in like the sharded
+  // triples: the committed default-campaign reports stay byte-stable.
+  EXPECT_EQ(find_pair("bankers-vs-daa").suts.size(), 2u);
+  EXPECT_EQ(find_pair("wfg-recovery").suts.size(), 2u);
+  EXPECT_FALSE(find_pair("bankers-vs-daa").default_campaign);
+  EXPECT_FALSE(find_pair("wfg-recovery").default_campaign);
+  EXPECT_EQ(find_pair("bankers-vs-daa").suts[0].protocol, "bankers");
+  EXPECT_EQ(find_pair("wfg-recovery").suts[0].protocol, "wfg");
   EXPECT_THROW((void)find_pair("bogus"), std::invalid_argument);
 }
 
@@ -119,6 +127,81 @@ TEST(Differential, CrossedRequestsRespectEachSemanticsClass) {
     EXPECT_TRUE(o.oracle_cycle) << o.sut;
     EXPECT_FALSE(o.victims.empty()) << o.sut;
   }
+}
+
+TEST(Differential, CrossedRequestsSplitTheZooPairs) {
+  const Scenario s = crossed_requests();
+
+  // Banker's refuses the unsafe inner grant, so both avoidance sides
+  // complete — and the Banker side must never report a detection.
+  const DiffResult bank = run_pair(s, find_pair("bankers-vs-daa"));
+  EXPECT_FALSE(bank.failed())
+      << (bank.all_violations().empty() ? "?"
+                                        : bank.all_violations().front());
+  for (const RunOutcome& o : bank.outcomes) {
+    EXPECT_TRUE(o.all_finished) << o.sut;
+    EXPECT_FALSE(o.deadlock_detected) << o.sut;
+  }
+
+  // The WFG side must find the cycle in a periodic scan, abort a victim
+  // and finish; the halting PDDA reference stops at the detection.
+  const DiffResult wfg = run_pair(s, find_pair("wfg-recovery"));
+  EXPECT_FALSE(wfg.failed())
+      << (wfg.all_violations().empty() ? "?"
+                                       : wfg.all_violations().front());
+  ASSERT_EQ(wfg.outcomes.size(), 2u);
+  EXPECT_TRUE(wfg.outcomes[0].all_finished);        // WFG recovered
+  EXPECT_GE(wfg.outcomes[0].recoveries, 1u);
+  EXPECT_TRUE(wfg.outcomes[0].deadlock_detected);
+  EXPECT_FALSE(wfg.outcomes[1].all_finished);       // PDDA halted
+  EXPECT_TRUE(wfg.outcomes[1].deadlock_detected);
+}
+
+TEST(Differential, GiveUpPingPongClassifiesAsRunLimitNotDeadlock) {
+  // Regression anchor for ROADMAP item 2 at the harness level: a
+  // scripted crossed-request workload mid give-up/re-request ping-pong
+  // terminates only at run_limit — the harness must classify it as a
+  // hit-limit run (the "livelock?" report), never as a halt or an
+  // oracle-confirmed deadlock — and the same workload settles when the
+  // limit gives the episodes room to resolve.
+  Scenario s;
+  s.name = "give_up_ping_pong";
+  s.pe_count = 2;
+  s.resource_count = 2;
+  ScenarioTask t0;
+  t0.name = "t0";
+  t0.pe = 0;
+  t0.priority = 1;
+  ScenarioTask t1;
+  t1.name = "t1";
+  t1.pe = 1;
+  t1.priority = 2;
+  for (int r = 0; r < 6; ++r) {
+    for (Step st : {request({0}), compute(1000), request({1}), compute(500),
+                    release({0, 1})})
+      t0.steps.push_back(st);
+    for (Step st : {request({1}), compute(3000), request({0}), compute(500),
+                    release({1, 0})})
+      t1.steps.push_back(st);
+  }
+  s.tasks = {t0, t1};
+  ASSERT_TRUE(s.validate().empty());
+  const SystemUnderTest daa{"DAA", soc::RtosPreset::kRtos3,
+                            Semantics::kAvoid};
+
+  s.run_limit = 30'000;  // mid-ping-pong
+  const RunOutcome cut = run_scenario(s, daa, "");
+  ASSERT_TRUE(cut.ok) << cut.error;
+  EXPECT_FALSE(cut.all_finished);
+  EXPECT_TRUE(cut.hit_limit);
+  EXPECT_FALSE(cut.halted);
+  EXPECT_FALSE(cut.oracle_cycle);
+
+  s.run_limit = 1'000'000;  // room to settle
+  const RunOutcome full = run_scenario(s, daa, "");
+  ASSERT_TRUE(full.ok) << full.error;
+  EXPECT_TRUE(full.all_finished);
+  EXPECT_FALSE(full.hit_limit);
 }
 
 TEST(Differential, InjectedDauGrantFaultIsCaught) {
@@ -170,6 +253,54 @@ TEST(Campaign, FaultCampaignFindsShrinksAndReplays) {
     EXPECT_TRUE(run_pair(f.shrunk, find_pair("daa-dau"), "dau-grant")
                     .failed());
     EXPECT_FALSE(run_pair(f.shrunk, find_pair("daa-dau")).failed());
+  }
+}
+
+TEST(Campaign, BankersUnsafeGrantFaultIsFoundAndShrunk) {
+  // A Banker's implementation whose safety probe always passes is the
+  // unmanaged grant policy in disguise: the campaign must catch it
+  // (avoidance runs that deadlock violate kAvoid) and shrink the repro
+  // to the acceptance bar of three tasks or fewer.
+  CampaignOptions opts;
+  opts.runs = 40;
+  opts.seed = 1;
+  opts.pairs = {"bankers-vs-daa"};
+  opts.fault = "bankers-unsafe-grant";
+  const CampaignReport r = run_campaign(opts);
+  ASSERT_FALSE(r.clean());
+  ASSERT_FALSE(r.failures.empty());
+  // The exported repro (the front failure) meets the three-task bar;
+  // later failures may plateau larger, but every shrunk scenario must
+  // still fail under the fault and replay clean without it.
+  EXPECT_LE(r.failures.front().shrunk.tasks.size(), 3u);
+  for (const CampaignFailure& f : r.failures) {
+    EXPECT_TRUE(f.shrunk.validate().empty());
+    EXPECT_TRUE(
+        run_pair(f.shrunk, find_pair("bankers-vs-daa"), "bankers-unsafe-grant")
+            .failed());
+    EXPECT_FALSE(run_pair(f.shrunk, find_pair("bankers-vs-daa")).failed());
+  }
+}
+
+TEST(Campaign, WfgMissCycleFaultIsFoundAndShrunk) {
+  // A scan that never reports its cycle leaves the system parked at the
+  // run limit: the kRecover invariants (every task completes) trip, and
+  // the shrunk repro replays clean without the fault.
+  CampaignOptions opts;
+  opts.runs = 40;
+  opts.seed = 3;
+  opts.pairs = {"wfg-recovery"};
+  opts.fault = "wfg-miss-cycle";
+  const CampaignReport r = run_campaign(opts);
+  ASSERT_FALSE(r.clean());
+  ASSERT_FALSE(r.failures.empty());
+  for (const CampaignFailure& f : r.failures) {
+    EXPECT_LE(f.shrunk.tasks.size(), 3u);
+    EXPECT_TRUE(f.shrunk.validate().empty());
+    EXPECT_TRUE(
+        run_pair(f.shrunk, find_pair("wfg-recovery"), "wfg-miss-cycle")
+            .failed());
+    EXPECT_FALSE(run_pair(f.shrunk, find_pair("wfg-recovery")).failed());
   }
 }
 

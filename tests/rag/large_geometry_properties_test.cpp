@@ -7,7 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <vector>
 
+#include "deadlock/bankers.h"
+#include "deadlock/wfg.h"
 #include "rag/generators.h"
 #include "rag/oracle.h"
 #include "rag/reduction.h"
@@ -88,6 +91,70 @@ TEST(LargeGeometry, WorstCaseIterationCountScalesAsTableOne) {
     if (k < 4) continue;
     EXPECT_EQ(reduce(worst_case_state(g.m, g.n)).steps, 2 * (k - 2))
         << g.m << "x" << g.n;
+  }
+}
+
+// Protocol-zoo properties at scale (ROADMAP item 3): the wait-for-graph
+// scan and the Banker's engine must keep their contracts on geometries
+// up to 64x64, where the matrices span several 64-bit words.
+const Geometry kZooGeometries[] = {{32, 32}, {48, 64}, {64, 48}, {64, 64}};
+
+TEST_P(LargeGeometryTest, WfgVerdictAgreesWithOracleAtScale) {
+  for (const Geometry& g : kZooGeometries) {
+    sim::Rng rng(GetParam() ^ (g.m * 271 + g.n));
+    for (int i = 0; i < 25; ++i) {
+      const StateMatrix s = random_state(g.m, g.n, rng, 0.5, 0.04);
+      const deadlock::WfgScan scan = deadlock::scan_wait_for_graph(s);
+      ASSERT_EQ(scan.deadlock, oracle_has_cycle(s))
+          << g.m << "x" << g.n << " trial " << i << "\n" << s.to_string();
+      ASSERT_EQ(scan.deadlock, !scan.deadlocked.empty());
+      // The trim residue only names processes the reduction also damns.
+      const auto all = deadlocked_processes(s);
+      for (ProcId p : scan.deadlocked)
+        ASSERT_TRUE(std::find(all.begin(), all.end(), p) != all.end())
+            << g.m << "x" << g.n << " trial " << i << " p" << p;
+    }
+  }
+}
+
+TEST_P(LargeGeometryTest, BankersKeepsLargeGeometriesSafe) {
+  // Random request/release traffic through the Banker's engine: the
+  // managed state must never contain a cycle and must always pass the
+  // engine's own safety probe, even at 64x64.
+  for (const Geometry& g : kZooGeometries) {
+    sim::Rng rng(GetParam() ^ (g.m * 613 + g.n));
+    deadlock::BankersEngine e(g.m, g.n);
+    // Honest claims: requests stay inside each process's declared set
+    // (an undeclared request widens the claim on the fly, voiding the
+    // safety guarantee by design — that path has its own test).
+    std::vector<std::vector<ResId>> reach(g.n);
+    for (ProcId p = 0; p < g.n; ++p) {
+      std::vector<ResId> claim;
+      for (ResId q = 0; q < g.m; ++q)
+        if (rng.below(4) == 0) claim.push_back(q);
+      e.declare_claims(p, claim);  // empty -> claims everything
+      if (claim.empty())
+        for (ResId q = 0; q < g.m; ++q) claim.push_back(q);
+      reach[p] = std::move(claim);
+    }
+    std::vector<std::vector<ResId>> held(g.n);
+    for (int step = 0; step < 400; ++step) {
+      const ProcId p = static_cast<ProcId>(rng.below(g.n));
+      if (!held[p].empty() && rng.below(3) == 0) {
+        const ResId q = held[p].back();
+        held[p].pop_back();
+        const auto rel = e.release(p, q);
+        for (const auto& [gp, gq] : rel.grants) held[gp].push_back(gq);
+      } else {
+        const ResId q = reach[p][rng.below(reach[p].size())];
+        if (e.state().at(q, p) != Edge::kNone) continue;
+        if (e.request(p, q).outcome ==
+            deadlock::BankersEngine::Outcome::kGranted)
+          held[p].push_back(q);
+      }
+    }
+    EXPECT_FALSE(oracle_has_cycle(e.state())) << g.m << "x" << g.n;
+    EXPECT_TRUE(e.is_safe()) << g.m << "x" << g.n;
   }
 }
 

@@ -102,5 +102,101 @@ TEST(ConfigIo, DeadlockClustersRoundTripsAndStaysOffMonolithicOutput) {
   EXPECT_EQ(read_config("deadlock_clusters = 4\n").deadlock_clusters, 4u);
 }
 
+TEST(ConfigIo, ZooConfigsRoundTrip) {
+  // Banker's with a claims table.
+  DeltaConfig bank = bankers_config();
+  bank.task_count = 3;
+  bank.claims = {{0, 1}, {1}, {}};  // t2 claims everything (default row)
+  ASSERT_TRUE(bank.validate().empty());
+  const std::string btxt = write_config(bank);
+  EXPECT_NE(btxt.find("deadlock = bankers"), std::string::npos);
+  EXPECT_NE(btxt.find("claims.t0 = 0,1"), std::string::npos);
+  EXPECT_NE(btxt.find("claims.t1 = 1"), std::string::npos);
+  EXPECT_EQ(btxt.find("claims.t2"), std::string::npos);  // empty = default
+  const DeltaConfig bparsed = read_config(btxt);
+  EXPECT_EQ(bparsed.deadlock, DeadlockComponent::kBankers);
+  EXPECT_EQ(bparsed.claims.size(), 2u);  // trailing claim-all row elided
+  EXPECT_EQ(bparsed.claims[0], (std::vector<rtos::ResourceId>{0, 1}));
+  EXPECT_EQ(bparsed.claims[1], (std::vector<rtos::ResourceId>{1}));
+  EXPECT_EQ(btxt, write_config(bparsed));
+
+  // WFG recovery with period and victim policy.
+  const DeltaConfig wfg = wfg_recovery_config();
+  ASSERT_TRUE(wfg.validate().empty());
+  const std::string wtxt = write_config(wfg);
+  EXPECT_NE(wtxt.find("deadlock = wfg-recovery"), std::string::npos);
+  EXPECT_NE(wtxt.find("detection_period = 5000"), std::string::npos);
+  EXPECT_NE(wtxt.find("victim = lowest-cost"), std::string::npos);
+  const DeltaConfig wparsed = read_config(wtxt);
+  EXPECT_EQ(wparsed.deadlock, DeadlockComponent::kWfgRecovery);
+  EXPECT_EQ(wparsed.detection_period, 5000u);
+  EXPECT_EQ(wparsed.recovery, rtos::RecoveryPolicy::kAbortLowestCost);
+  EXPECT_FALSE(wparsed.stop_on_deadlock);
+  EXPECT_EQ(wtxt, write_config(wparsed));
+}
+
+TEST(ConfigIo, ZooKeysStayOffPresetOutput) {
+  // The Table 3 presets never carry zoo keys: their serialized form —
+  // and with it every golden-pinned report — is unchanged.
+  for (int i = 1; i <= 7; ++i) {
+    const std::string txt = write_config(rtos_preset(rtos_preset_from_int(i)));
+    EXPECT_EQ(txt.find("detection_period"), std::string::npos) << i;
+    EXPECT_EQ(txt.find("victim"), std::string::npos) << i;
+    EXPECT_EQ(txt.find("claims."), std::string::npos) << i;
+  }
+}
+
+TEST(ConfigIo, ZooKeysRejectMalformedValues) {
+  // "banker" (singular) still fails exactly as before the zoo existed.
+  EXPECT_THROW(read_config("deadlock = banker\n"), std::invalid_argument);
+  EXPECT_THROW(read_config("victim = scapegoat\n"), std::invalid_argument);
+  EXPECT_THROW(read_config("detection_period = soon\n"),
+               std::invalid_argument);
+  EXPECT_THROW(read_config("claims.t0 = 1,,2\n"), std::invalid_argument);
+  EXPECT_THROW(read_config("claims.tx = 1\n"), std::invalid_argument);
+  EXPECT_THROW(read_config("claims.t99999 = 1\n"), std::invalid_argument);
+}
+
+TEST(ConfigIo, ZooValidationRejectsInconsistentConfigs) {
+  // WFG recovery needs a scan period.
+  DeltaConfig wfg = wfg_recovery_config();
+  wfg.detection_period = 0;
+  EXPECT_FALSE(wfg.validate().empty());
+  // A scan period without the wfg-recovery component is meaningless.
+  DeltaConfig stray = rtos_preset(RtosPreset::kRtos1);
+  stray.detection_period = 1000;
+  EXPECT_FALSE(stray.validate().empty());
+  // Claims require the bankers component.
+  DeltaConfig cl = rtos_preset(RtosPreset::kRtos3);
+  cl.claims = {{0}};
+  EXPECT_FALSE(cl.validate().empty());
+  // More claim rows than task slots.
+  DeltaConfig rows = bankers_config();
+  rows.task_count = 1;
+  rows.claims = {{0}, {1}};
+  EXPECT_FALSE(rows.validate().empty());
+  // Duplicate and out-of-range resource ids in a row.
+  DeltaConfig dup = bankers_config();
+  dup.claims = {{0, 0}};
+  EXPECT_FALSE(dup.validate().empty());
+  DeltaConfig oor = bankers_config();
+  oor.claims = {{DeltaConfig{}.resource_count}};
+  EXPECT_FALSE(oor.validate().empty());
+  // A victim policy needs a detection component behind it.
+  DeltaConfig av = rtos_preset(RtosPreset::kRtos3);
+  av.recovery = rtos::RecoveryPolicy::kAbortLowestCost;
+  EXPECT_FALSE(av.validate().empty());
+}
+
+TEST(ConfigIo, ZooConfigsGenerateTheirStrategies) {
+  DeltaConfig bank = bankers_config();
+  bank.claims = {{0, 1}};
+  const auto bsoc = generate(read_config(write_config(bank)));
+  EXPECT_NE(bsoc->kernel().strategy().name().find("bankers"),
+            std::string::npos);
+  const auto wsoc = generate(read_config(write_config(wfg_recovery_config())));
+  EXPECT_NE(wsoc->kernel().strategy().name().find("wfg"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace delta::soc

@@ -21,7 +21,7 @@
 namespace delta::tests {
 
 /// Which deadlock strategy the World's kernel runs.
-enum class StrategyKind { kNone, kPdda, kDdu, kDaa, kDau };
+enum class StrategyKind { kNone, kPdda, kDdu, kDaa, kDau, kBankers, kWfg };
 
 inline const char* strategy_kind_name(StrategyKind k) {
   switch (k) {
@@ -30,6 +30,8 @@ inline const char* strategy_kind_name(StrategyKind k) {
     case StrategyKind::kDdu: return "ddu";
     case StrategyKind::kDaa: return "daa";
     case StrategyKind::kDau: return "dau";
+    case StrategyKind::kBankers: return "bankers";
+    case StrategyKind::kWfg: return "wfg";
   }
   return "?";
 }
@@ -43,6 +45,12 @@ struct WorldConfig {
   std::size_t lock_count = 8;
   std::uint64_t heap_base = 0x1000;
   std::uint64_t heap_bytes = 1 << 20;
+  /// Periodic scan period for kWfg (KernelConfig::detection_period).
+  sim::Cycles detection_period = 0;
+  /// Banker's max-claims table for kBankers (KernelConfig::claims).
+  std::vector<std::vector<rtos::ResourceId>> claims;
+  /// Keep running after a detection (pair with a recovery policy).
+  bool stop_on_deadlock = true;
 };
 
 struct World {
@@ -57,6 +65,9 @@ struct World {
     cfg.resource_count = wc.resource_count;
     cfg.max_tasks = wc.max_tasks;
     cfg.recovery = wc.recovery;
+    cfg.detection_period = wc.detection_period;
+    cfg.claims = wc.claims;
+    cfg.stop_on_deadlock = wc.stop_on_deadlock;
     const std::size_t m = wc.resource_count;
     const std::size_t n = wc.max_tasks;
     // Hardware units answer requests from the PE that asked; map every
@@ -79,6 +90,12 @@ struct World {
         break;
       case StrategyKind::kDau:
         strategy = rtos::make_dau_strategy(m, n, cfg.costs, &bus, masters);
+        break;
+      case StrategyKind::kBankers:
+        strategy = rtos::make_bankers_strategy(m, n, cfg.costs);
+        break;
+      case StrategyKind::kWfg:
+        strategy = rtos::make_wfg_strategy(m, n, cfg.costs);
         break;
     }
     kernel = std::make_unique<rtos::Kernel>(
