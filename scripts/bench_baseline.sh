@@ -18,6 +18,10 @@
 # With `--throughput` the same modes operate on the host-throughput
 # baseline bench/BENCH_throughput.json produced by bench_throughput
 # (events/sec and simulated-cycles/sec per preset, tracing off).
+# `--throughput write` additionally records the observer-free build
+# (bench_throughput --no-observer) in
+# bench/BENCH_throughput_no_observer.json and rolls both up into the
+# root-level BENCH_summary.json (geomean + per-preset events/sec).
 # Host wall-clock is noisy, so the throughput compare only fails on a
 # *drop* beyond the tolerance (default 25%) — it is a regression tripwire,
 # not an exact pin like the cycle-count baseline.
@@ -84,6 +88,8 @@ fi
 if [[ "$THROUGHPUT" == 1 ]]; then
   TOL="${3:-25}"
   BASELINE=bench/BENCH_throughput.json
+  NOOBS_BASELINE=bench/BENCH_throughput_no_observer.json
+  SUMMARY=BENCH_summary.json
   BENCH="$BUILD/bench/bench_throughput"
 
   if [[ ! -x "$BENCH" ]]; then
@@ -95,11 +101,43 @@ if [[ "$THROUGHPUT" == 1 ]]; then
     "$BENCH" --min-seconds 0.5 --min-runs 2 --out "$1"
   }
 
+  # Roll the two per-preset baselines up into the root-level summary:
+  # geomean events/sec per variant plus the per-preset rates, so a reader
+  # (or CI artifact diff) gets the headline number without parsing the
+  # full baselines.
+  write_summary() {
+    python3 - "$BASELINE" "$NOOBS_BASELINE" "$SUMMARY" <<'EOF'
+import json, math, sys
+
+def load(path):
+    with open(path) as f:
+        d = json.load(f)
+    presets = {k: v["events_per_sec"] for k, v in d["presets"].items()}
+    geo = math.exp(sum(math.log(v) for v in presets.values()) / len(presets))
+    return {"geomean_events_per_sec": int(geo), "presets": presets}
+
+summary = {
+    "schema": "delta.bench.summary.v1",
+    "clock": "process_cpu_best_run",
+    "observer": load(sys.argv[1]),
+    "no_observer": load(sys.argv[2]),
+}
+with open(sys.argv[3], "w") as f:
+    json.dump(summary, f, indent=2, sort_keys=False)
+    f.write("\n")
+print(f"summary written to {sys.argv[3]}")
+EOF
+  }
+
   case "$MODE" in
     write)
       mkdir -p bench
       run_throughput "$BASELINE"
       echo "throughput baseline written to $BASELINE"
+      "$BENCH" --min-seconds 0.5 --min-runs 2 --no-observer \
+        --out "$NOOBS_BASELINE"
+      echo "no-observer baseline written to $NOOBS_BASELINE"
+      write_summary
       ;;
     compare)
       if [[ ! -f "$BASELINE" ]]; then

@@ -36,11 +36,6 @@ sim::Cycles DeviceManager::start_job(ResourceId dev, PeId pe,
   return done;
 }
 
-void DeviceManager::set_masked(PeId pe, bool masked) {
-  masked_[pe] = masked;
-  if (!masked && !pending_[pe].empty()) drain(pe);
-}
-
 void DeviceManager::deliver(PeId pe, sim::SmallFn handler) {
   if (masked_[pe]) {
     ++deferred_;

@@ -32,8 +32,13 @@ class DeviceManager {
                         sim::SmallFn on_complete);
 
   /// Mask/unmask a PE's interrupt intake (kernel services run masked).
-  /// Pending interrupts deliver right after unmasking.
-  void set_masked(PeId pe, bool masked);
+  /// Pending interrupts deliver right after unmasking. Called twice per
+  /// kernel service, so the flag flip stays header-inline; the rare
+  /// drain of deferred interrupts is the out-of-line path.
+  void set_masked(PeId pe, bool masked) {
+    masked_[pe] = masked;
+    if (!masked && !pending_[pe].empty()) drain(pe);
+  }
   [[nodiscard]] bool masked(PeId pe) const { return masked_.at(pe); }
 
   /// Statistics.

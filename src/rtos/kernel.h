@@ -14,11 +14,11 @@
 // constructor arguments.
 #pragma once
 
+#include <cassert>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -30,6 +30,7 @@
 #include "rtos/memory_manager.h"
 #include "rtos/program.h"
 #include "rtos/resource_manager.h"
+#include "rtos/service_cost_table.h"
 #include "rtos/service_costs.h"
 #include "rtos/task.h"
 #include "rtos/types.h"
@@ -79,14 +80,29 @@ struct KernelConfig {
   /// that run billions of cycles and never read it (the differential
   /// fuzzer) turn it off.
   bool record_transitions = true;
+  /// Debug mode: replay the pre-fusion service-chain event shape (an
+  /// extra event marks the kernel-entry boundary inside every fused
+  /// service window and re-asserts the in-service state). Reports must
+  /// stay byte-identical with this flag on — the fused/unfused
+  /// differential test pins that invariant.
+  bool unfused_services = false;
 };
 
-class Kernel {
+/// The kernel, templated on a compile-time observer policy
+/// (rtos/observer_policy.h). `Kernel` (= BasicKernel<ObserveAll>) is
+/// the fully-observing instantiation every report/test uses;
+/// `FastKernel` (= BasicKernel<ObserveNone>) compiles the kernel-side
+/// observability sites out of the instruction stream for benches,
+/// sweeps and fuzz drivers. Both instantiations live in kernel.cpp
+/// (definitions in kernel_impl.h) and produce identical simulated
+/// behaviour — only the metrics/trace side channels differ.
+template <class ObserverPolicy>
+class BasicKernel {
  public:
-  Kernel(sim::Simulator& sim, bus::SharedBus& bus, KernelConfig cfg,
-         std::unique_ptr<DeadlockStrategy> strategy,
-         std::unique_ptr<LockBackend> locks,
-         std::unique_ptr<MemoryBackend> memory);
+  BasicKernel(sim::Simulator& sim, bus::SharedBus& bus, KernelConfig cfg,
+              std::unique_ptr<DeadlockStrategy> strategy,
+              std::unique_ptr<LockBackend> locks,
+              std::unique_ptr<MemoryBackend> memory);
 
   // ------------------------------------------------------------ tasks --
   TaskId create_task(std::string name, PeId pe, Priority priority,
@@ -101,8 +117,16 @@ class Kernel {
                               Program program, sim::Cycles period,
                               std::uint32_t activations,
                               sim::Cycles first_release = 0);
-  [[nodiscard]] Task& task(TaskId id) { return *tasks_.at(id); }
-  [[nodiscard]] const Task& task(TaskId id) const { return *tasks_.at(id); }
+  /// TaskIds are dense kernel-assigned indices; the unchecked index is
+  /// deliberate — task() sits on every hot path (asserted in debug).
+  [[nodiscard]] Task& task(TaskId id) {
+    assert(id < tasks_.size());
+    return *tasks_[id];
+  }
+  [[nodiscard]] const Task& task(TaskId id) const {
+    assert(id < tasks_.size());
+    return *tasks_[id];
+  }
   [[nodiscard]] std::size_t task_count() const { return tasks_.size(); }
 
   /// Task management API (§2.1): suspension and resumption.
@@ -152,6 +176,11 @@ class Kernel {
   [[nodiscard]] MemoryBackend& memory() { return *memory_; }
   [[nodiscard]] DeviceManager& devices() { return devices_; }
   [[nodiscard]] const KernelConfig& config() const { return cfg_; }
+  /// Fused service-chain cycle totals, folded once at construction from
+  /// ServiceCosts + the active lock/memory backends.
+  [[nodiscard]] const ServiceCostTable& cost_table() const {
+    return cost_table_;
+  }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
   /// Lock metrics for Table 10: latency = uncontended acquire service
@@ -201,6 +230,7 @@ class Kernel {
   sim::Simulator& sim_;
   bus::SharedBus& bus_;
   KernelConfig cfg_;
+  ServiceCostTable cost_table_;
   std::unique_ptr<DeadlockStrategy> strategy_;
   std::unique_ptr<LockBackend> locks_;
   std::unique_ptr<MemoryBackend> memory_;
@@ -226,7 +256,7 @@ class Kernel {
   std::vector<LockId> pending_lock_grant_;
   std::vector<sim::Cycles> lock_requested_at_;  ///< kNeverCycles = none
   std::vector<std::vector<std::pair<LockId, Priority>>> ceiling_stack_;
-  std::vector<std::set<LockId>> held_locks_;
+  std::vector<FlatSet<LockId>> held_locks_;
   std::vector<std::uint64_t> queue_send_payload_;
 
   // Observability. All pointers below index into obs_->metrics and are
@@ -255,8 +285,13 @@ class Kernel {
   std::map<TaskId, std::uint64_t> restarts_;
   std::vector<StateTransition> transitions_;
 
-  std::set<ResourceId> starved_;  ///< livelock-idled resources to retry
-  std::uint64_t sched_seq_ = 0;   ///< round-robin rotation counter
+  FlatSet<ResourceId> starved_;  ///< livelock-idled resources to retry
+  std::uint64_t sched_seq_ = 0;  ///< round-robin rotation counter
+  /// Per-PE count of tasks in TaskState::kReady, maintained by
+  /// set_state(). Lets reschedule()/dispatch()/arm_time_slice() skip
+  /// their O(tasks) scans on the (dominant) idle-PE case and bound the
+  /// scan otherwise.
+  std::vector<std::uint32_t> ready_count_;
 
   // ------------------------------------------------------- internals --
   /// Lazy trace: `make_text` (returning something convertible to
@@ -336,5 +371,13 @@ class Kernel {
 
   void arm_time_slice(PeId pe);
 };
+
+/// The two supported instantiations (explicitly instantiated in
+/// kernel.cpp; `Kernel` itself is aliased in program.h so op::Call can
+/// name it). FastKernel is the compile-time no-observer core.
+using FastKernel = BasicKernel<obs_policy::ObserveNone>;
+
+extern template class BasicKernel<obs_policy::ObserveAll>;
+extern template class BasicKernel<obs_policy::ObserveNone>;
 
 }  // namespace delta::rtos

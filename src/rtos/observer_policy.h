@@ -1,0 +1,28 @@
+// Compile-time observer policies for the kernel hot path.
+//
+// The kernel is templated as BasicKernel<ObserverPolicy>. With
+// ObserveAll (the default `Kernel` alias) every observability site —
+// structured-trace records, metric counter increments, histogram
+// samples, wait-for edges — compiles in exactly as before. With
+// ObserveNone (`FastKernel`) those sites are discarded by
+// `if constexpr`, so benches, sweeps and fuzz drivers that never read
+// the metrics run a kernel whose instruction stream contains no
+// observer checks at all, instead of branching past them per event.
+//
+// Scope: the policy governs the *kernel-side* observability sites.
+// Backends (bus, devices, strategy/lock/memory units) keep their
+// runtime observer pointers; attach_observer() remains a no-op-by-null
+// at run time for them.
+#pragma once
+
+namespace delta::rtos::obs_policy {
+
+struct ObserveAll {
+  static constexpr bool kEnabled = true;
+};
+
+struct ObserveNone {
+  static constexpr bool kEnabled = false;
+};
+
+}  // namespace delta::rtos::obs_policy

@@ -1,0 +1,77 @@
+// Precomputed kernel service-chain costs.
+//
+// Every kernel service historically summed its cycle budget at the call
+// site (cfg_.costs.kernel_entry + cfg_.costs.sem_service, ...). Those
+// sums are invariants of the configuration: ServiceCosts never changes
+// after construction, and each backend's static contribution is fixed at
+// backend choice. ServiceCostTable folds every chain's total once, at
+// kernel construction, so the hot path reads one field per service
+// instead of re-adding constants on every event — and so tests can
+// assert the fused totals against the legacy per-site arithmetic for
+// every preset/backend combination (service_cost_table_test.cpp).
+#pragma once
+
+#include "rtos/locks.h"
+#include "rtos/memory_manager.h"
+#include "rtos/service_costs.h"
+#include "sim/sim_time.h"
+
+namespace delta::rtos {
+
+struct ServiceCostTable {
+  /// Direct copies, so service call sites read one cache-warm struct.
+  sim::Cycles kernel_entry = 0;
+  sim::Cycles context_switch = 0;
+
+  /// Fused IPC chain totals: kernel entry + service body.
+  sim::Cycles sem_op = 0;
+  sim::Cycles mailbox_op = 0;
+  sim::Cycles queue_op = 0;
+  sim::Cycles event_op = 0;
+
+  /// Resource-manager entry charged before the per-resource strategy
+  /// cycles accumulate onto the cursor.
+  sim::Cycles resmgr_entry = 0;
+
+  /// Device-job start service (entry only; the job runs on the device).
+  sim::Cycles device_start = 0;
+
+  /// Lock chains' static part: entry + backend body for the uncontended
+  /// acquire / no-hand-off release case. Contention and hand-off add
+  /// dynamic cycles on top; the kernel adds the backend-reported dynamic
+  /// remainder per call.
+  sim::Cycles lock_acquire_uncontended = 0;
+  sim::Cycles lock_release_min = 0;
+
+  /// Memory chain's static part: entry + API wrapper. The allocator's
+  /// dynamic cycles (search, queueing) add on top per call.
+  sim::Cycles mem_service_min = 0;
+
+  sim::Cycles give_up_delay = 0;
+
+  /// Post-recovery restart back-off (four context switches).
+  sim::Cycles recovery_backoff = 0;
+
+  static ServiceCostTable build(const ServiceCosts& c,
+                                const LockBackend& locks,
+                                const MemoryBackend& memory) {
+    ServiceCostTable t;
+    t.kernel_entry = c.kernel_entry;
+    t.context_switch = c.context_switch;
+    t.sem_op = c.kernel_entry + c.sem_service;
+    t.mailbox_op = c.kernel_entry + c.mailbox_service;
+    t.queue_op = c.kernel_entry + c.queue_service;
+    t.event_op = c.kernel_entry + c.event_service;
+    t.resmgr_entry = c.kernel_entry;
+    t.device_start = c.kernel_entry;
+    t.lock_acquire_uncontended =
+        c.kernel_entry + locks.uncontended_acquire_cycles();
+    t.lock_release_min = c.kernel_entry + locks.uncontended_release_cycles();
+    t.mem_service_min = c.kernel_entry + memory.wrapper_cycles();
+    t.give_up_delay = c.give_up_delay;
+    t.recovery_backoff = c.context_switch * 4;
+    return t;
+  }
+};
+
+}  // namespace delta::rtos

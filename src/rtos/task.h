@@ -1,10 +1,9 @@
 // Task control block.
 #pragma once
 
-#include <map>
-#include <set>
 #include <string>
 
+#include "rtos/flat_containers.h"
 #include "rtos/program.h"
 #include "rtos/types.h"
 #include "sim/event_queue.h"
@@ -54,15 +53,15 @@ struct Task {
   sim::Cycles worst_response = 0;  ///< max observed activation response
 
   /// Deadlock-managed resources.
-  std::set<ResourceId> held;
-  std::set<ResourceId> waiting_for;
+  FlatSet<ResourceId> held;
+  FlatSet<ResourceId> waiting_for;
 
   /// Give-up demand raised by the avoidance strategy: resources this task
   /// must release (and then re-request, since it still needs them).
-  std::set<ResourceId> must_give_up;
+  FlatSet<ResourceId> must_give_up;
 
   /// Named allocation slots (op::Alloc/op::Free).
-  std::map<std::string, std::uint64_t> allocations;
+  FlatMap<std::string, std::uint64_t> allocations;
 
   /// Last message received from a mailbox/queue (op::Recv/op::QueueRecv).
   std::uint64_t last_message = 0;

@@ -1,72 +1,19 @@
 #include "sim/event_queue.h"
 
 #include <algorithm>
-#include <bit>
-#include <cassert>
 #include <functional>
 
 namespace delta::sim {
 
 EventQueue::EventQueue() : buckets_(kBuckets) {}
 
-std::uint32_t EventQueue::alloc_node(Cycles at) {
-  std::uint32_t slot;
-  if (free_head_ != kNil) {
-    slot = free_head_;
-    free_head_ = slab_[slot].next;
-  } else {
-    slot = static_cast<std::uint32_t>(slab_.size());
-    slab_.emplace_back();
-  }
-  Node& n = slab_[slot];
-  n.at = at;
-  n.seq = next_seq_++;
-  n.next = kNil;
-  n.prev = kNil;
-  return slot;
-}
-
-void EventQueue::free_node(std::uint32_t slot) {
-  Node& n = slab_[slot];
-  n.fn.reset();  // destroy the closure (and its captures) eagerly
-  ++n.gen;       // invalidate every outstanding EventId for this slot
-  n.next = free_head_;
-  free_head_ = slot;
-}
-
-void EventQueue::link_into_bucket(std::uint32_t slot) {
-  Node& n = slab_[slot];
-  const std::size_t b = n.at & kMask;
-  Bucket& bucket = buckets_[b];
-  n.next = kNil;
-  n.prev = bucket.tail;
-  if (bucket.tail == kNil) {
-    bucket.head = slot;
-    occupied_[b >> 6] |= 1ULL << (b & 63);
-  } else {
-    slab_[bucket.tail].next = slot;
-  }
-  bucket.tail = slot;
-}
-
-EventId EventQueue::schedule(Cycles at, EventFn fn) {
-  assert(fn && "scheduling an empty callback");
-  assert(at >= base_ && "scheduling into the past");
-  if (at < base_) at = base_;  // release-mode safety: never lose an event
-  const std::uint32_t slot = alloc_node(at);
-  Node& n = slab_[slot];
-  n.fn = std::move(fn);
-  if (at - base_ < kBuckets) {
-    link_into_bucket(slot);
-    ++ring_live_;
-  } else {
-    overflow_.push_back(OverflowEntry{at, n.seq, slot, n.gen});
-    std::push_heap(overflow_.begin(), overflow_.end(),
-                   std::greater<OverflowEntry>{});
-    ++heap_live_;
-    if (at < overflow_min_) overflow_min_ = at;
-  }
-  return (static_cast<EventId>(slot) << 32) | n.gen;
+void EventQueue::schedule_overflow(Cycles at, std::uint32_t slot) {
+  const Node& n = slab_[slot];
+  overflow_.push_back(OverflowEntry{at, n.seq, slot, n.gen});
+  std::push_heap(overflow_.begin(), overflow_.end(),
+                 std::greater<OverflowEntry>{});
+  ++heap_live_;
+  if (at < overflow_min_) overflow_min_ = at;
 }
 
 bool EventQueue::cancel(EventId id) {
@@ -143,25 +90,6 @@ void EventQueue::drain_overflow() {
   overflow_min_ = overflow_.empty() ? kNeverCycles : overflow_.front().at;
 }
 
-std::size_t EventQueue::next_ring_offset() const {
-  const std::size_t start = base_ & kMask;
-  std::size_t w = start >> 6;
-  std::uint64_t word = occupied_[w] & (~0ULL << (start & 63));
-  // <= kWords iterations: the start word is revisited once in full to
-  // pick up wrapped-around bits below the start position.
-  for (std::size_t i = 0; i <= kWords; ++i) {
-    if (word != 0) {
-      const std::size_t idx =
-          (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
-      return (idx - start) & kMask;
-    }
-    w = (w + 1) & (kWords - 1);
-    word = occupied_[w];
-  }
-  assert(false && "next_ring_offset: occupancy bitmap empty");
-  return 0;
-}
-
 Cycles EventQueue::next_time() const {
   if (ring_live_ > 0) return base_ + next_ring_offset();
   if (heap_live_ > 0) {
@@ -169,26 +97,6 @@ Cycles EventQueue::next_time() const {
     return overflow_.front().at;
   }
   return kNeverCycles;
-}
-
-void EventQueue::pop_at(Cycles t, Fired& out) {
-  base_ = t;
-  // overflow_min_ never undershoots base_ (time does not run backwards),
-  // so this test alone decides ripeness; drain re-tightens the bound.
-  if (overflow_min_ < t + kBuckets) drain_overflow();
-  Bucket& bucket = buckets_[t & kMask];
-  const std::uint32_t slot = bucket.head;
-  Node& n = slab_[slot];
-  assert(n.at == t && "bucket head time mismatch");
-  bucket.head = n.next;
-  if (n.next != kNil) slab_[n.next].prev = kNil;
-  else bucket.tail = kNil;
-  if (bucket.head == kNil)
-    occupied_[(t & kMask) >> 6] &= ~(1ULL << (t & 63));
-  --ring_live_;
-  out.at = t;
-  out.fn = std::move(n.fn);
-  free_node(slot);
 }
 
 Fired EventQueue::pop() {
@@ -204,22 +112,6 @@ Fired EventQueue::pop() {
   Fired f;
   pop_at(t, f);
   return f;
-}
-
-bool EventQueue::pop_if_at_most(Cycles limit, Fired& out) {
-  // One scan finds the next time; pop_at then extracts without
-  // re-deriving it.
-  Cycles t;
-  if (ring_live_ > 0) {
-    t = base_ + next_ring_offset();
-  } else {
-    if (heap_live_ == 0) return false;
-    prune_overflow_top();
-    t = overflow_.front().at;
-  }
-  if (t > limit) return false;
-  pop_at(t, out);
-  return true;
 }
 
 std::size_t EventQueue::footprint_bytes() const {

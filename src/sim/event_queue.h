@@ -19,8 +19,9 @@
 //     the tier crossing.
 //   - Event payloads live in a slab of fixed-size nodes (a freelist
 //     recycles slots), and callbacks are sim::SmallFn, so schedule()
-//     never heap-allocates on the hot path: the closure is constructed
-//     inline at the call site and relocated into the node.
+//     never heap-allocates on the hot path: the closure is emplaced
+//     directly into the node — the caller's lambda captures materialise
+//     straight into queue-owned storage, no temporary, no relocation.
 //   - cancel() is O(1) and eager: the node is unlinked (ring) or its
 //     generation invalidated (overflow), the closure destroyed on the
 //     spot — cancelled captures never linger until pop — and the slot
@@ -29,6 +30,8 @@
 #pragma once
 
 #include <array>
+#include <bit>
+#include <cassert>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -75,8 +78,26 @@ class EventQueue {
 
   /// Schedule `fn` to fire at absolute time `at`. Returns a
   /// cancellation id. Never heap-allocates unless the closure exceeds
-  /// SmallFn::kInlineBytes or the slab must grow.
-  EventId schedule(Cycles at, EventFn fn);
+  /// SmallFn::kInlineBytes or the slab must grow. The closure is
+  /// constructed directly inside the slab node (no SmallFn temporary,
+  /// no relocation), so a lambda at the call site materialises its
+  /// captures straight into queue-owned storage.
+  template <typename F>
+  EventId schedule(Cycles at, F&& fn) {
+    assert(at >= base_ && "scheduling into the past");
+    if (at < base_) at = base_;  // release-mode safety: never lose an event
+    const std::uint32_t slot = alloc_node(at);
+    Node& n = slab_[slot];
+    n.fn.emplace(std::forward<F>(fn));
+    assert(n.fn && "scheduling an empty callback");
+    if (at - base_ < kBuckets) {
+      link_into_bucket(slot);
+      ++ring_live_;
+    } else {
+      schedule_overflow(at, slot);
+    }
+    return (static_cast<EventId>(slot) << 32) | n.gen;
+  }
 
   /// Cancel a previously scheduled event. Returns false if the event
   /// already fired, was already cancelled, or the id is unknown. The
@@ -98,8 +119,23 @@ class EventQueue {
   /// Pop the earliest live event only if it fires at or before `limit`.
   /// Returns false (leaving the queue untouched) when the queue is
   /// empty or the next event is later. Single-scan fast path for the
-  /// simulator's step loop.
-  bool pop_if_at_most(Cycles limit, Fired& out);
+  /// simulator's step loop; inline so the step loop folds the scan,
+  /// the bucket unlink and the closure relocation into one frame.
+  bool pop_if_at_most(Cycles limit, Fired& out) {
+    // One scan finds the next time; pop_at then extracts without
+    // re-deriving it.
+    Cycles t;
+    if (ring_live_ > 0) {
+      t = base_ + next_ring_offset();
+    } else {
+      if (heap_live_ == 0) return false;
+      prune_overflow_top();
+      t = overflow_.front().at;
+    }
+    if (t > limit) return false;
+    pop_at(t, out);
+    return true;
+  }
 
   /// Bytes of heap memory retained by the queue (slab, calendar,
   /// overflow tier). Exposed so regression tests can bound the memory
@@ -140,9 +176,48 @@ class EventQueue {
     }
   };
 
-  [[nodiscard]] std::uint32_t alloc_node(Cycles at);
-  void free_node(std::uint32_t slot);
-  void link_into_bucket(std::uint32_t slot);
+  [[nodiscard]] std::uint32_t alloc_node(Cycles at) {
+    std::uint32_t slot;
+    if (free_head_ != kNil) {
+      slot = free_head_;
+      free_head_ = slab_[slot].next;
+    } else {
+      slot = static_cast<std::uint32_t>(slab_.size());
+      slab_.emplace_back();
+    }
+    Node& n = slab_[slot];
+    n.at = at;
+    n.seq = next_seq_++;
+    n.next = kNil;
+    n.prev = kNil;
+    return slot;
+  }
+
+  void free_node(std::uint32_t slot) {
+    Node& n = slab_[slot];
+    n.fn.reset();  // destroy the closure (and its captures) eagerly
+    ++n.gen;       // invalidate every outstanding EventId for this slot
+    n.next = free_head_;
+    free_head_ = slot;
+  }
+
+  void link_into_bucket(std::uint32_t slot) {
+    Node& n = slab_[slot];
+    const std::size_t b = n.at & kMask;
+    Bucket& bucket = buckets_[b];
+    n.next = kNil;
+    n.prev = bucket.tail;
+    if (bucket.tail == kNil) {
+      bucket.head = slot;
+      occupied_[b >> 6] |= 1ULL << (b & 63);
+    } else {
+      slab_[bucket.tail].next = slot;
+    }
+    bucket.tail = slot;
+  }
+
+  /// Out-of-line slow half of schedule(): push into the overflow heap.
+  void schedule_overflow(Cycles at, std::uint32_t slot);
   /// Migrate every ripe overflow event into the calendar (call after
   /// every base_ advance), dropping cancelled entries on the way.
   void drain_overflow();
@@ -151,12 +226,50 @@ class EventQueue {
   /// Rebuild the overflow heap once stale (cancelled) entries outnumber
   /// live ones, so cancel storms cannot grow it without bound.
   void compact_overflow_if_mostly_stale();
+
   /// Ring distance from base_ to the next occupied bucket.
   /// Precondition: ring_live_ > 0.
-  [[nodiscard]] std::size_t next_ring_offset() const;
+  [[nodiscard]] std::size_t next_ring_offset() const {
+    const std::size_t start = base_ & kMask;
+    std::size_t w = start >> 6;
+    std::uint64_t word = occupied_[w] & (~0ULL << (start & 63));
+    // <= kWords iterations: the start word is revisited once in full to
+    // pick up wrapped-around bits below the start position.
+    for (std::size_t i = 0; i <= kWords; ++i) {
+      if (word != 0) {
+        const std::size_t idx =
+            (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+        return (idx - start) & kMask;
+      }
+      w = (w + 1) & (kWords - 1);
+      word = occupied_[w];
+    }
+    assert(false && "next_ring_offset: occupancy bitmap empty");
+    return 0;
+  }
+
   /// Advance base_ to `t` (the pre-computed next live time) and move
   /// that cycle's FIFO head into `out`.
-  void pop_at(Cycles t, Fired& out);
+  void pop_at(Cycles t, Fired& out) {
+    base_ = t;
+    // overflow_min_ never undershoots base_ (time does not run
+    // backwards), so this test alone decides ripeness; drain re-tightens
+    // the bound.
+    if (overflow_min_ < t + kBuckets) drain_overflow();
+    Bucket& bucket = buckets_[t & kMask];
+    const std::uint32_t slot = bucket.head;
+    Node& n = slab_[slot];
+    assert(n.at == t && "bucket head time mismatch");
+    bucket.head = n.next;
+    if (n.next != kNil) slab_[n.next].prev = kNil;
+    else bucket.tail = kNil;
+    if (bucket.head == kNil)
+      occupied_[(t & kMask) >> 6] &= ~(1ULL << (t & 63));
+    --ring_live_;
+    out.at = t;
+    out.fn = std::move(n.fn);
+    free_node(slot);
+  }
 
   std::vector<Node> slab_;
   std::uint32_t free_head_ = kNil;

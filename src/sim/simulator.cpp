@@ -1,13 +1,11 @@
 #include "sim/simulator.h"
 
-#include <cassert>
 #include <stdexcept>
 
 namespace delta::sim {
 
-EventId Simulator::schedule_at(Cycles at, EventFn fn) {
-  if (at < now_) throw std::invalid_argument("schedule_at: time in the past");
-  return queue_.schedule(at, std::move(fn));
+void Simulator::throw_past_schedule() {
+  throw std::invalid_argument("schedule_at: time in the past");
 }
 
 Cycles Simulator::run(Cycles limit) {
@@ -18,16 +16,6 @@ Cycles Simulator::run(Cycles limit) {
   // (tests, REPL-style drivers) observe wall-clock-consistent time.
   if (limit != kNeverCycles && now_ < limit) now_ = limit;
   return now_;
-}
-
-bool Simulator::step(Cycles limit) {
-  Fired f;
-  if (!queue_.pop_if_at_most(limit, f)) return false;
-  assert(f.at >= now_ && "event queue went backwards");
-  now_ = f.at;
-  ++dispatched_;
-  f.fn();
-  return true;
 }
 
 }  // namespace delta::sim

@@ -6,6 +6,7 @@
 // order. There is deliberately no threading — determinism is a feature.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -26,13 +27,20 @@ class Simulator {
   /// Current simulation time in bus clock cycles.
   [[nodiscard]] Cycles now() const { return now_; }
 
-  /// Schedule `fn` to run `delay` cycles from now.
-  EventId schedule_in(Cycles delay, EventFn fn) {
-    return queue_.schedule(now_ + delay, std::move(fn));
+  /// Schedule `fn` to run `delay` cycles from now. Forwards the closure
+  /// into the event queue's slab node unconstructed — captures are built
+  /// in place, never relocated.
+  template <typename F>
+  EventId schedule_in(Cycles delay, F&& fn) {
+    return queue_.schedule(now_ + delay, std::forward<F>(fn));
   }
 
   /// Schedule `fn` at absolute cycle `at` (must be >= now()).
-  EventId schedule_at(Cycles at, EventFn fn);
+  template <typename F>
+  EventId schedule_at(Cycles at, F&& fn) {
+    if (at < now_) throw_past_schedule();
+    return queue_.schedule(at, std::forward<F>(fn));
+  }
 
   /// Cancel a scheduled event; returns false if it already fired.
   bool cancel(EventId id) { return queue_.cancel(id); }
@@ -42,8 +50,17 @@ class Simulator {
   Cycles run(Cycles limit = kNeverCycles);
 
   /// Execute exactly one event if any is pending before `limit`.
-  /// Returns true if an event fired.
-  bool step(Cycles limit = kNeverCycles);
+  /// Returns true if an event fired. Inline: the queue's single-scan
+  /// pop and the callback dispatch fold into the caller's loop.
+  bool step(Cycles limit = kNeverCycles) {
+    Fired f;
+    if (!queue_.pop_if_at_most(limit, f)) return false;
+    assert(f.at >= now_ && "event queue went backwards");
+    now_ = f.at;
+    ++dispatched_;
+    f.fn();
+    return true;
+  }
 
   /// True when no further events are pending.
   [[nodiscard]] bool idle() const { return queue_.empty(); }
@@ -56,6 +73,8 @@ class Simulator {
   const Trace& trace() const { return trace_; }
 
  private:
+  [[noreturn]] static void throw_past_schedule();
+
   Cycles now_ = 0;
   EventQueue queue_;
   Trace trace_;

@@ -32,6 +32,15 @@ class SmallFn {
   /// capture ~88 bytes).
   static constexpr std::size_t kInlineBytes = 88;
 
+  /// True when closures of type `Fn` live in the inline buffer; false
+  /// when they would box (heap-allocate). Public so hot-path call sites
+  /// can static_assert their captures never silently start allocating.
+  template <typename Fn>
+  static constexpr bool fits_inline_v =
+      sizeof(std::decay_t<Fn>) <= kInlineBytes &&
+      alignof(std::decay_t<Fn>) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<std::decay_t<Fn>>;
+
   SmallFn() = default;
 
   template <typename F,
@@ -41,6 +50,20 @@ class SmallFn {
   SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
                     // std::function at ~50 schedule_in call sites.
     construct(std::forward<F>(f));
+  }
+
+  /// Construct a closure directly into this object's storage, replacing
+  /// any current one. Used by EventQueue to build callbacks in place
+  /// inside slab nodes, skipping the construct-then-relocate round trip
+  /// a SmallFn temporary would cost. Accepts a SmallFn too (relocates).
+  template <typename F>
+  void emplace(F&& f) {
+    reset();
+    if constexpr (std::is_same_v<std::decay_t<F>, SmallFn>) {
+      move_from(f);
+    } else {
+      construct(std::forward<F>(f));
+    }
   }
 
   SmallFn(SmallFn&& o) noexcept { move_from(o); }
@@ -79,9 +102,7 @@ class SmallFn {
 
   template <typename Fn>
   static constexpr bool fits_inline() {
-    return sizeof(Fn) <= kInlineBytes &&
-           alignof(Fn) <= alignof(std::max_align_t) &&
-           std::is_nothrow_move_constructible_v<Fn>;
+    return fits_inline_v<Fn>;
   }
 
   template <typename Fn>

@@ -1,0 +1,118 @@
+// ServiceCostTable vs the legacy per-site arithmetic.
+//
+// Before the table existed, every kernel service summed its chain at the
+// call site (cfg_.costs.kernel_entry + cfg_.costs.sem_service, ...).
+// This suite re-derives those legacy sums for every op kind, for every
+// Table 3 preset, and for both the software and hardware lock/memory
+// backends, and asserts the folded table matches — so the fusion can
+// never silently drift from the historical cost model.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "rtos/locks.h"
+#include "rtos/memory_manager.h"
+#include "rtos/service_cost_table.h"
+#include "soc/delta_framework.h"
+#include "soc/mpsoc.h"
+
+namespace delta {
+namespace {
+
+using rtos::ServiceCostTable;
+using rtos::ServiceCosts;
+
+/// The chain totals the pre-table kernel computed inline, written out
+/// the long way on purpose: this is the reference the table must match.
+void expect_matches_legacy_arithmetic(const ServiceCostTable& t,
+                                      const ServiceCosts& c,
+                                      sim::Cycles lock_acquire_body,
+                                      sim::Cycles lock_release_body,
+                                      sim::Cycles mem_wrapper_body) {
+  EXPECT_EQ(t.kernel_entry, c.kernel_entry);
+  EXPECT_EQ(t.context_switch, c.context_switch);
+  EXPECT_EQ(t.sem_op, c.kernel_entry + c.sem_service);
+  EXPECT_EQ(t.mailbox_op, c.kernel_entry + c.mailbox_service);
+  EXPECT_EQ(t.queue_op, c.kernel_entry + c.queue_service);
+  EXPECT_EQ(t.event_op, c.kernel_entry + c.event_service);
+  EXPECT_EQ(t.resmgr_entry, c.kernel_entry);
+  EXPECT_EQ(t.device_start, c.kernel_entry);
+  EXPECT_EQ(t.lock_acquire_uncontended, c.kernel_entry + lock_acquire_body);
+  EXPECT_EQ(t.lock_release_min, c.kernel_entry + lock_release_body);
+  EXPECT_EQ(t.mem_service_min, c.kernel_entry + mem_wrapper_body);
+  EXPECT_EQ(t.give_up_delay, c.give_up_delay);
+  EXPECT_EQ(t.recovery_backoff, c.context_switch * 4);
+}
+
+TEST(ServiceCostTable, SoftwareBackendsFoldSwLockAndSwWrapperCosts) {
+  const ServiceCosts c;
+  rtos::SoftwarePiLockBackend locks(8, c, 4);
+  rtos::SoftwareHeapBackend memory(0x0080'0000, 1 << 20, c);
+  const ServiceCostTable t = ServiceCostTable::build(c, locks, memory);
+  expect_matches_legacy_arithmetic(t, c, c.sw_lock_acquire,
+                                   c.sw_lock_release, c.mem_wrapper_sw);
+}
+
+TEST(ServiceCostTable, HardwareBackendsFoldHwLockAndHwWrapperCosts) {
+  const ServiceCosts c;
+  hw::SoclcConfig sc;
+  rtos::SoclcLockBackend locks(sc, c, {});
+  hw::SocdmmuConfig dc;
+  dc.pe_count = 4;
+  rtos::SocdmmuBackend memory(dc, c, nullptr);
+  const ServiceCostTable t = ServiceCostTable::build(c, locks, memory);
+  // The SoCLC body includes the lock-cache port access on both sides.
+  expect_matches_legacy_arithmetic(
+      t, c, c.hw_lock_acquire + sc.access_cycles,
+      c.hw_lock_release + sc.access_cycles, c.mem_wrapper_hw);
+}
+
+/// Every Table 3 preset: assemble the real system and check the
+/// kernel-held table against the preset's own costs and backend choice.
+TEST(ServiceCostTable, MatchesLegacyArithmeticForEveryPreset) {
+  for (const soc::RtosPreset p : soc::kAllRtosPresets) {
+    SCOPED_TRACE(soc::to_string(p));
+    const soc::MpsocConfig mc = soc::rtos_preset(p).to_mpsoc_config();
+    soc::Mpsoc soc(mc);
+    const ServiceCostTable& t = soc.kernel().cost_table();
+    const ServiceCosts& c = mc.costs;
+
+    sim::Cycles acq = c.sw_lock_acquire;
+    sim::Cycles rel = c.sw_lock_release;
+    if (mc.lock == soc::LockComponent::kSoclc) {
+      acq = c.hw_lock_acquire + mc.soclc.access_cycles;
+      rel = c.hw_lock_release + mc.soclc.access_cycles;
+    }
+    const sim::Cycles wrapper =
+        mc.memory == soc::MemoryComponent::kSocdmmu ? c.mem_wrapper_hw
+                                                    : c.mem_wrapper_sw;
+    expect_matches_legacy_arithmetic(t, c, acq, rel, wrapper);
+  }
+}
+
+/// The backend accessors the table folds must agree with what the
+/// backends actually charge — pin the advertised values directly.
+TEST(ServiceCostTable, BackendAdvertisedCyclesMatchTheirCostFields) {
+  const ServiceCosts c;
+  rtos::SoftwarePiLockBackend sw_locks(8, c, 4);
+  EXPECT_EQ(sw_locks.uncontended_acquire_cycles(), c.sw_lock_acquire);
+  EXPECT_EQ(sw_locks.uncontended_release_cycles(), c.sw_lock_release);
+
+  hw::SoclcConfig sc;
+  rtos::SoclcLockBackend hw_locks(sc, c, {});
+  EXPECT_EQ(hw_locks.uncontended_acquire_cycles(),
+            c.hw_lock_acquire + sc.access_cycles);
+  EXPECT_EQ(hw_locks.uncontended_release_cycles(),
+            c.hw_lock_release + sc.access_cycles);
+
+  rtos::SoftwareHeapBackend sw_mem(0x0080'0000, 1 << 20, c);
+  EXPECT_EQ(sw_mem.wrapper_cycles(), c.mem_wrapper_sw);
+
+  hw::SocdmmuConfig dc;
+  dc.pe_count = 2;
+  rtos::SocdmmuBackend hw_mem(dc, c, nullptr);
+  EXPECT_EQ(hw_mem.wrapper_cycles(), c.mem_wrapper_hw);
+}
+
+}  // namespace
+}  // namespace delta

@@ -1,0 +1,135 @@
+// FastMpsoc (compile-time no-observer core) equivalence.
+//
+// soc::FastMpsoc assembles BasicKernel<ObserveNone>, whose kernel-side
+// observability sites are discarded by `if constexpr`. The contract:
+// the *simulation* is identical to the observing system — same end
+// time, same task outcomes, same host event count, same transition
+// log — while kernel-side metrics simply stay at zero. This suite pins
+// both directions, plus the two deliberate restrictions (no sampler,
+// no op::Call).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "obs/observer.h"
+#include "soc/delta_framework.h"
+#include "soc/mpsoc.h"
+
+namespace delta {
+namespace {
+
+constexpr sim::Cycles kLimit = 3'000'000;
+
+/// Small cross-backend workload: both PE parity classes contend for a
+/// device and the same lock, and churn the allocator — every backend the
+/// cost table folds gets exercised.
+template <class Soc>
+void build_workload(Soc& soc) {
+  auto& k = soc.kernel();
+  const rtos::ResourceId idct = soc.resource("IDCT");
+  const rtos::ResourceId dsp = soc.resource("DSP");
+  const std::size_t pes = k.config().pe_count;
+  for (std::size_t t = 0; t < pes; ++t) {
+    rtos::Program p;
+    p.alloc(2048, "buf")
+        .request({t % 2 ? dsp : idct})
+        .lock(0)
+        .compute(800 + 100 * t)
+        .unlock(0)
+        .use_device(t % 2 ? dsp : idct, 4000)
+        .release({t % 2 ? dsp : idct})
+        .free("buf");
+    k.create_periodic_task("t" + std::to_string(t + 1),
+                           static_cast<rtos::PeId>(t),
+                           static_cast<rtos::Priority>(t + 1), std::move(p),
+                           25'000, 20, static_cast<sim::Cycles>(150 * t));
+  }
+}
+
+struct Outcome {
+  sim::Cycles end = 0;
+  sim::Cycles last_finish = 0;
+  std::uint64_t events = 0;
+  std::vector<std::tuple<sim::Cycles, rtos::TaskId, rtos::TaskState>>
+      transitions;
+  std::vector<sim::Cycles> finished_at;
+};
+
+template <class Soc>
+Outcome run_on(const soc::MpsocConfig& mc) {
+  Soc soc(mc);
+  build_workload(soc);
+  Outcome o;
+  o.end = soc.run(kLimit);
+  o.events = soc.simulator().events_dispatched();
+  auto& k = soc.kernel();
+  o.last_finish = k.last_finish_time();
+  for (const auto& tr : k.transitions())
+    o.transitions.emplace_back(tr.time, tr.task, tr.to);
+  for (rtos::TaskId id = 0; id < k.task_count(); ++id)
+    o.finished_at.push_back(k.task(id).finished_at);
+  return o;
+}
+
+TEST(FastMpsoc, SimulatesIdenticallyToTheObservingSystem) {
+  for (const soc::RtosPreset p : soc::kAllRtosPresets) {
+    SCOPED_TRACE(soc::to_string(p));
+    const soc::MpsocConfig mc = soc::rtos_preset(p).to_mpsoc_config();
+    const Outcome full = run_on<soc::Mpsoc>(mc);
+    const Outcome fast = run_on<soc::FastMpsoc>(mc);
+    EXPECT_EQ(full.end, fast.end);
+    EXPECT_EQ(full.last_finish, fast.last_finish);
+    EXPECT_EQ(full.events, fast.events);
+    EXPECT_EQ(full.transitions, fast.transitions);
+    EXPECT_EQ(full.finished_at, fast.finished_at);
+    EXPECT_GT(full.events, 0u);
+  }
+}
+
+TEST(FastMpsoc, KernelSideMetricsAreCompiledOut) {
+  const soc::MpsocConfig mc =
+      soc::rtos_preset(soc::RtosPreset::kRtos5).to_mpsoc_config();
+  soc::FastMpsoc soc(mc);
+  build_workload(soc);
+  soc.run(kLimit);
+  const obs::MetricsSnapshot snap = soc.observer().metrics.snapshot();
+  // Exactly the counters the kernel's own hot path increments (backends
+  // keep their runtime observers, e.g. lock.sw.* stays live).
+  const std::vector<std::string> kernel_side = {
+      "kernel.context_switches", "kernel.preemptions", "lock.acquires",
+      "lock.releases",           "lock.contended",     "deadlock.requests",
+      "deadlock.releases",       "mem.allocs",         "mem.alloc_failures",
+      "mem.frees"};
+  for (const auto& [name, value] : snap.counters)
+    for (const std::string& k : kernel_side)
+      if (name == k) EXPECT_EQ(value, 0u) << name;
+  for (const auto& [name, h] : snap.histograms)
+    if (name == "lock.latency" || name == "lock.delay" ||
+        name == "mem.alloc_latency")
+      EXPECT_EQ(h.count, 0u) << name;
+}
+
+TEST(FastMpsoc, SampledRunIsAConfigurationError) {
+  soc::MpsocConfig mc =
+      soc::rtos_preset(soc::RtosPreset::kRtos5).to_mpsoc_config();
+  mc.sample_period = 10'000;
+  soc::FastMpsoc soc(mc);
+  build_workload(soc);
+  EXPECT_THROW(soc.run(kLimit), std::logic_error);
+}
+
+TEST(FastMpsoc, OpCallRequiresTheObservingKernel) {
+  const soc::MpsocConfig mc =
+      soc::rtos_preset(soc::RtosPreset::kRtos5).to_mpsoc_config();
+  soc::FastMpsoc soc(mc);
+  rtos::Program p;
+  p.call([](rtos::Kernel&, rtos::Task&) {});
+  soc.kernel().create_task("caller", 0, 1, std::move(p), 0);
+  EXPECT_THROW(soc.run(kLimit), std::logic_error);
+}
+
+}  // namespace
+}  // namespace delta

@@ -1,0 +1,129 @@
+// Fused vs unfused service-chain differential.
+//
+// Every RTOS operation schedules ONE fused event whose delay is the
+// precomputed chain total (rtos::ServiceCostTable). With
+// MpsocConfig::unfused_services the kernel replays the pre-fusion event
+// shape — a separate no-op event at the kernel-entry boundary of each
+// long service — which changes the host event count but must not change
+// anything observable: task outcomes, the state-transition log, every
+// metric counter and histogram. This suite pins that contract across
+// the seven Table 3 presets plus the Banker's-avoidance and
+// WFG-detection-and-recovery configurations.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exp/workloads.h"
+#include "obs/observer.h"
+#include "soc/delta_framework.h"
+#include "soc/mpsoc.h"
+
+namespace delta {
+namespace {
+
+constexpr sim::Cycles kLimit = 2'000'000;
+
+struct TaskOutcome {
+  std::string name;
+  rtos::TaskState state;
+  std::size_t pc;
+  sim::Cycles finished_at;
+  std::uint64_t preemptions;
+  sim::Cycles blocked_cycles;
+
+  bool operator==(const TaskOutcome& o) const {
+    return name == o.name && state == o.state && pc == o.pc &&
+           finished_at == o.finished_at && preemptions == o.preemptions &&
+           blocked_cycles == o.blocked_cycles;
+  }
+};
+
+struct RunSignature {
+  sim::Cycles end = 0;
+  sim::Cycles last_finish = 0;
+  std::uint64_t events = 0;  ///< compared loosely: unfused adds hops
+  std::vector<TaskOutcome> tasks;
+  std::vector<std::tuple<sim::Cycles, rtos::TaskId, rtos::TaskState>>
+      transitions;
+  obs::MetricsSnapshot metrics;
+};
+
+RunSignature run_once(const soc::DeltaConfig& cfg, const exp::Workload& w,
+                      bool unfused) {
+  soc::MpsocConfig mc = cfg.to_mpsoc_config();
+  if (w.tune) w.tune(mc);
+  mc.unfused_services = unfused;
+  mc.record_transitions = true;
+  soc::Mpsoc soc(mc);
+  sim::Rng rng(7);
+  w.build(soc, rng);
+
+  RunSignature sig;
+  sig.end = soc.run(kLimit);
+  sig.events = soc.simulator().events_dispatched();
+  rtos::Kernel& k = soc.kernel();
+  sig.last_finish = k.last_finish_time();
+  for (rtos::TaskId id = 0; id < k.task_count(); ++id) {
+    const rtos::Task& t = k.task(id);
+    sig.tasks.push_back({t.name, t.state, t.pc, t.finished_at, t.preemptions,
+                         t.blocked_cycles});
+  }
+  for (const auto& tr : k.transitions())
+    sig.transitions.emplace_back(tr.time, tr.task, tr.to);
+  sig.metrics = soc.observer().metrics.snapshot();
+  return sig;
+}
+
+void expect_identical(const soc::DeltaConfig& cfg, const exp::Workload& w,
+                      const std::string& label) {
+  SCOPED_TRACE(label);
+  const RunSignature fused = run_once(cfg, w, /*unfused=*/false);
+  const RunSignature unfused = run_once(cfg, w, /*unfused=*/true);
+
+  EXPECT_EQ(fused.end, unfused.end);
+  EXPECT_EQ(fused.last_finish, unfused.last_finish);
+  EXPECT_EQ(fused.tasks, unfused.tasks);
+  EXPECT_EQ(fused.transitions, unfused.transitions);
+  EXPECT_EQ(fused.metrics.counters, unfused.metrics.counters);
+  ASSERT_EQ(fused.metrics.histograms.size(),
+            unfused.metrics.histograms.size());
+  for (std::size_t i = 0; i < fused.metrics.histograms.size(); ++i) {
+    const auto& [fn, fh] = fused.metrics.histograms[i];
+    const auto& [un, uh] = unfused.metrics.histograms[i];
+    EXPECT_EQ(fn, un);
+    EXPECT_EQ(fh.count, uh.count) << fn;
+    EXPECT_EQ(fh.mean, uh.mean) << fn;
+    EXPECT_EQ(fh.min, uh.min) << fn;
+    EXPECT_EQ(fh.max, uh.max) << fn;
+    EXPECT_EQ(fh.p95, uh.p95) << fn;
+  }
+  // The mode is not a no-op: the unfused replay schedules the extra
+  // boundary hop per long service, so it must dispatch MORE host events
+  // while changing nothing above. Equal counts would mean the flag never
+  // reached the kernel.
+  EXPECT_GT(unfused.events, fused.events);
+}
+
+TEST(FusedUnfused, ByteIdenticalAcrossAllRtosPresets) {
+  const exp::Workload w = exp::find_workload("mixed");
+  for (const soc::RtosPreset p : soc::kAllRtosPresets)
+    expect_identical(soc::rtos_preset(p), w, soc::to_string(p));
+}
+
+TEST(FusedUnfused, ByteIdenticalUnderBankersAvoidance) {
+  expect_identical(soc::bankers_config(), exp::find_workload("mixed"),
+                   "bankers/mixed");
+}
+
+TEST(FusedUnfused, ByteIdenticalUnderWfgDetectionAndRecovery) {
+  expect_identical(soc::wfg_recovery_config(), exp::find_workload("mixed"),
+                   "wfg/mixed");
+  // The grand-deadlock app actually deadlocks, so this also covers the
+  // detection-scan and recovery paths in unfused mode.
+  expect_identical(soc::wfg_recovery_config(), exp::find_workload("gdl"),
+                   "wfg/gdl");
+}
+
+}  // namespace
+}  // namespace delta
