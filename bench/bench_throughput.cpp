@@ -49,6 +49,10 @@ struct PresetResult {
   double cpu_seconds = 0.0;      ///< process CPU time, all runs
   double best_events_per_sec = 0.0;      ///< fastest single run
   double best_sim_cycles_per_sec = 0.0;  ///< same run's cycle rate
+  /// --engine-stats: introspection from one extra run that is never
+  /// counted into the timing above (collection is cheap but not free).
+  soc::EngineReport engine;
+  double engine_cpu_seconds = 0.0;  ///< host cost of the instrumented run
 };
 
 /// Process CPU time in seconds — immune to preemption by co-tenant
@@ -73,6 +77,9 @@ int usage(const char* argv0) {
       "  --no-observer     run the observer-free FastMpsoc build of the\n"
       "                    stress scenario (kernel observability sites\n"
       "                    compiled out); only --workload stress\n"
+      "  --engine-stats    one extra, untimed instrumented run per preset;\n"
+      "                    adds an \"engine\" block (queue/kernel counters\n"
+      "                    and the run's host cost) to each preset's JSON\n"
       "  --out FILE        JSON output path (default '-' for stdout)\n",
       argv0);
   return 2;
@@ -136,15 +143,18 @@ void apply_bench_flags(soc::MpsocConfig& mc) {
 /// events dispatched and adds the covered simulated cycles.
 std::uint64_t one_run(const exp::Workload& w, const soc::DeltaConfig& cfg,
                       std::uint64_t seed, sim::Cycles limit,
-                      std::uint64_t* sim_cycles) {
+                      std::uint64_t* sim_cycles,
+                      soc::EngineReport* engine = nullptr) {
   soc::MpsocConfig mc = cfg.to_mpsoc_config();
   if (w.tune) w.tune(mc);
   apply_bench_flags(mc);
+  mc.engine_stats = engine != nullptr;
 
   soc::Mpsoc soc(mc);
   sim::Rng rng(seed);
   w.build(soc, rng);
   *sim_cycles += soc.run(limit);
+  if (engine != nullptr) *engine = soc.engine_report();
   return soc.simulator().events_dispatched();
 }
 
@@ -154,14 +164,20 @@ std::uint64_t one_run(const exp::Workload& w, const soc::DeltaConfig& cfg,
 /// the observing run — only host-side instrumentation work differs, so
 /// the delta between the two JSONs *is* the residual observer cost.
 std::uint64_t one_run_fast(const soc::DeltaConfig& cfg, std::uint64_t seed,
-                           sim::Cycles limit, std::uint64_t* sim_cycles) {
+                           sim::Cycles limit, std::uint64_t* sim_cycles,
+                           soc::EngineReport* engine = nullptr) {
   soc::MpsocConfig mc = cfg.to_mpsoc_config();
   apply_bench_flags(mc);
+  // Queue stats are runtime-gated, so they work even here; the kernel
+  // counters are compiled out with the rest of the observer sites and
+  // stay zero.
+  mc.engine_stats = engine != nullptr;
 
   soc::FastMpsoc soc(mc);
   sim::Rng rng(seed);
   build_stress(soc, rng, limit);
   *sim_cycles += soc.run(limit);
+  if (engine != nullptr) *engine = soc.engine_report();
   return soc.simulator().events_dispatched();
 }
 
@@ -175,6 +191,7 @@ int main(int argc, char** argv) {
   double min_seconds = 0.5;
   std::uint64_t min_runs = 3;
   bool no_observer = false;
+  bool engine_stats = false;
   std::string out_path = "-";
 
   for (int i = 1; i < argc; ++i) {
@@ -193,6 +210,7 @@ int main(int argc, char** argv) {
     else if (arg == "--min-seconds") min_seconds = std::atof(next());
     else if (arg == "--min-runs") min_runs = std::strtoull(next(), nullptr, 10);
     else if (arg == "--no-observer") no_observer = true;
+    else if (arg == "--engine-stats") engine_stats = true;
     else if (arg == "--out") out_path = next();
     else return usage(argv[0]);
   }
@@ -259,6 +277,18 @@ int main(int argc, char** argv) {
       }
       if (r.runs >= min_runs && r.cpu_seconds >= min_seconds) break;
     }
+    if (engine_stats) {
+      // One instrumented run outside the timed loop: the throughput
+      // figures above stay collection-free, while the engine block
+      // attributes where those events actually went.
+      const double t0 = cpu_now();
+      std::uint64_t scratch = 0;
+      if (no_observer)
+        (void)one_run_fast(cfg, seed, limit, &scratch, &r.engine);
+      else
+        (void)one_run(w, cfg, seed, limit, &scratch, &r.engine);
+      r.engine_cpu_seconds = cpu_now() - t0;
+    }
     std::fprintf(stderr,
                  "%-6s %3llu runs  %.2f cpu-s  best %llu events/s  "
                  "mean %llu events/s  %llu simcycles/s\n",
@@ -293,6 +323,11 @@ int main(int argc, char** argv) {
                                           r.cpu_seconds));
     jw.key("sim_cycles_per_sec")
         .value(static_cast<std::uint64_t>(r.best_sim_cycles_per_sec));
+    if (r.engine.enabled) {
+      jw.key("engine");
+      exp::write_engine_report(jw, r.engine, obs::TimeSeries{});
+      jw.key("engine_host_cpu_seconds").value(r.engine_cpu_seconds);
+    }
     jw.end_object();
   }
   jw.end_object();

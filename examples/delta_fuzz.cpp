@@ -100,7 +100,11 @@ int main(int argc, char** argv) {
       .opt("limit", "CYCLES", "per-run simulation cap (default 50000000)")
       .opt("shrink-attempts", "N",
            "shrinker budget per failure (default 2000)")
-      .opt("out", "FILE", "campaign report JSON ('-' for stdout)");
+      .opt("out", "FILE", "campaign report JSON ('-' for stdout)")
+      .flag("engine-stats",
+            "collect engine introspection on every primary\nexecution and "
+            "append an \"engine\" roll-up to the\nreport; deterministic, "
+            "other bytes unchanged");
   args.parse(argc, argv);
 
   fuzz::CampaignOptions opts;
@@ -122,6 +126,7 @@ int main(int argc, char** argv) {
   if (args.on("limit")) opts.generator.run_limit = args.u64("limit");
   if (args.on("shrink-attempts"))
     opts.shrink_attempts = args.size("shrink-attempts");
+  opts.engine_stats = args.on("engine-stats");
   const std::string repro_path = args.str("repro");
   const std::string replay_path = args.str("replay");
   const std::string out_path = args.str("out");
@@ -138,6 +143,14 @@ int main(int argc, char** argv) {
                 opts.fault.empty()
                     ? ""
                     : (" [fault: " + opts.fault + "]").c_str());
+    if (opts.engine_stats)
+      std::printf("delta_fuzz: engine stats over %llu executions: %llu "
+                  "events dispatched, peak queue footprint %llu bytes\n",
+                  static_cast<unsigned long long>(report.engine_suts),
+                  static_cast<unsigned long long>(
+                      report.engine.events_dispatched),
+                  static_cast<unsigned long long>(
+                      report.engine.queue_footprint_bytes));
     if (!out_path.empty() &&
         !write_file(out_path, fuzz::campaign_report_json(report)))
       return 2;

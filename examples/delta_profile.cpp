@@ -106,6 +106,10 @@ int main(int argc, char** argv) {
       .opt("chrome", "FILE", "Chrome trace-event JSON (Perfetto)")
       .opt("baseline-out", "FILE",
            "flat per-run cycle baseline for\nscripts/bench_baseline.sh")
+      .flag("engine-stats",
+            "append an \"engine\" introspection block to each\nrun "
+            "(event-queue + kernel-service counters);\ndeterministic, other "
+            "bytes unchanged")
       .footer(workloads_footer());
   args.parse(argc, argv);
 
@@ -157,6 +161,7 @@ int main(int argc, char** argv) {
   spec.profile = true;
   spec.sample_period = sample_period;
   spec.trace_capacity = trace_capacity;
+  spec.engine_stats = args.on("engine-stats");
 
   exp::RunnerOptions opt;
   opt.threads = threads;
@@ -198,6 +203,12 @@ int main(int argc, char** argv) {
     w.key("deadlock_detected").value(r.deadlock_detected);
     w.key("profile");
     exp::write_profile(w, r.profile, r.timeseries);
+    // The engine block rides after "profile" (never the first key), so
+    // stripping it restores pre-flag bytes exactly.
+    if (r.engine.enabled) {
+      w.key("engine");
+      exp::write_engine_report(w, r.engine, r.engine_timeseries);
+    }
     w.end_object();
   }
   w.end_array();

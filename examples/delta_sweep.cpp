@@ -58,6 +58,14 @@ int main(int argc, char** argv) {
            "per-run trace ring size (default 65536;\noldest events drop "
            "first)",
            "65536")
+      .flag("engine-stats",
+            "collect engine introspection (event-queue and\nkernel-service "
+            "counters) into per-run \"engine\"\nblocks plus a campaign "
+            "roll-up; deterministic,\nreport bytes unchanged elsewhere")
+      .flag("engine-host-times",
+            "with --engine-stats: also serialize per-run host\nCPU time and "
+            "the p50/p99/slowest roll-up\n(nondeterministic; never for "
+            "goldens)")
       .flag("metrics", "print the summed metrics registry after the run")
       .flag("quiet", "no per-run progress lines")
       .footer(workloads_footer());
@@ -73,6 +81,12 @@ int main(int argc, char** argv) {
   exp::SweepSpec spec;
   if (args.on("limit")) spec.run_limit = args.u64("limit");
   if (args.on("base-seed")) spec.base_seed = args.u64("base-seed");
+  spec.engine_stats = args.on("engine-stats");
+  spec.engine_host_times = args.on("engine-host-times");
+  if (spec.engine_host_times && !spec.engine_stats) {
+    std::fprintf(stderr, "--engine-host-times requires --engine-stats\n");
+    return 2;
+  }
   if (seeds < 1) {
     std::fprintf(stderr, "--seeds must be >= 1\n");
     return 2;

@@ -89,8 +89,31 @@ if [[ "$THROUGHPUT" == 1 ]]; then
   TOL="${3:-25}"
   BASELINE=bench/BENCH_throughput.json
   NOOBS_BASELINE=bench/BENCH_throughput_no_observer.json
+  ENGINE_BASELINE=bench/BENCH_engine_stats.json
   SUMMARY=BENCH_summary.json
   BENCH="$BUILD/bench/bench_throughput"
+
+  # Extract only the deterministic engine blocks from a
+  # `bench_throughput --engine-stats` JSON: every counter inside
+  # "engine" is derived from simulated state, so the result is
+  # bit-identical on any host — unlike the surrounding timing figures.
+  extract_engine() {
+    python3 - "$1" "$2" <<'EOF'
+import json, sys
+
+d = json.load(open(sys.argv[1]))
+out = {
+    "schema": "delta.bench.engine.v1",
+    "workload": d["workload"],
+    "seed": d["seed"],
+    "limit": d["limit"],
+    "presets": {k: v["engine"] for k, v in d["presets"].items()},
+}
+with open(sys.argv[2], "w") as f:
+    json.dump(out, f, indent=2, sort_keys=False)
+    f.write("\n")
+EOF
+  }
 
   if [[ ! -x "$BENCH" ]]; then
     echo "error: $BENCH not built (cmake --build $BUILD -j)" >&2
@@ -104,10 +127,37 @@ if [[ "$THROUGHPUT" == 1 ]]; then
   # Roll the two per-preset baselines up into the root-level summary:
   # geomean events/sec per variant plus the per-preset rates, so a reader
   # (or CI artifact diff) gets the headline number without parsing the
-  # full baselines.
+  # full baselines. The "host" stamp records what produced the numbers —
+  # throughput figures are meaningless without the compiler, flags and
+  # core count that measured them (compare only reads "presets", so the
+  # stamp never fails a comparison).
   write_summary() {
+    local cache="$BUILD/CMakeCache.txt"
+    local compiler="" flags="" build_type=""
+    if [[ -f "$cache" ]]; then
+      compiler=$(sed -n 's/^CMAKE_CXX_COMPILER:[^=]*=//p' "$cache" | head -1)
+      build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$cache" | head -1)
+      flags=$(sed -n 's/^CMAKE_CXX_FLAGS:[^=]*=//p' "$cache" | head -1)
+      local rel_var="CMAKE_CXX_FLAGS_$(echo "${build_type:-Release}" \
+          | tr '[:lower:]' '[:upper:]')"
+      local rel_flags
+      rel_flags=$(sed -n "s/^${rel_var}:[^=]*=//p" "$cache" | head -1)
+      flags=$(echo "$flags $rel_flags" | xargs || true)
+    fi
+    local compiler_version=""
+    if [[ -n "$compiler" && -x "$compiler" ]]; then
+      compiler_version=$("$compiler" --version 2>/dev/null | head -1)
+    fi
+    local cores commit dirty
+    cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)
+    commit=$(git rev-parse HEAD 2>/dev/null || echo unknown)
+    dirty=$(git status --porcelain 2>/dev/null | grep -q . && echo true \
+        || echo false)
+    HOST_COMPILER="$compiler" HOST_COMPILER_VERSION="$compiler_version" \
+    HOST_FLAGS="$flags" HOST_BUILD_TYPE="$build_type" HOST_CORES="$cores" \
+    HOST_COMMIT="$commit" HOST_DIRTY="$dirty" \
     python3 - "$BASELINE" "$NOOBS_BASELINE" "$SUMMARY" <<'EOF'
-import json, math, sys
+import json, math, os, sys
 
 def load(path):
     with open(path) as f:
@@ -117,8 +167,17 @@ def load(path):
     return {"geomean_events_per_sec": int(geo), "presets": presets}
 
 summary = {
-    "schema": "delta.bench.summary.v1",
+    "schema": "delta.bench.summary.v2",
     "clock": "process_cpu_best_run",
+    "host": {
+        "compiler": os.environ.get("HOST_COMPILER", ""),
+        "compiler_version": os.environ.get("HOST_COMPILER_VERSION", ""),
+        "cxx_flags": os.environ.get("HOST_FLAGS", ""),
+        "build_type": os.environ.get("HOST_BUILD_TYPE", ""),
+        "cores": int(os.environ.get("HOST_CORES", "0") or 0),
+        "commit": os.environ.get("HOST_COMMIT", "unknown"),
+        "dirty": os.environ.get("HOST_DIRTY", "false") == "true",
+    },
     "observer": load(sys.argv[1]),
     "no_observer": load(sys.argv[2]),
 }
@@ -137,7 +196,36 @@ EOF
       "$BENCH" --min-seconds 0.5 --min-runs 2 --no-observer \
         --out "$NOOBS_BASELINE"
       echo "no-observer baseline written to $NOOBS_BASELINE"
+      ENGINE_TMP="$(mktemp)"
+      "$BENCH" --min-seconds 0 --min-runs 1 --engine-stats \
+        --out "$ENGINE_TMP"
+      extract_engine "$ENGINE_TMP" "$ENGINE_BASELINE"
+      rm -f "$ENGINE_TMP"
+      echo "engine-stats baseline written to $ENGINE_BASELINE"
       write_summary
+      ;;
+    engine-compare)
+      # Deterministic drift note: re-collect the engine counters and
+      # diff them against the committed baseline. Any diff means the
+      # bench scenario's simulated event mix changed — the committed
+      # throughput numbers then describe a different workload and
+      # should be refreshed alongside the intended change.
+      if [[ ! -f "$ENGINE_BASELINE" ]]; then
+        echo "error: $ENGINE_BASELINE missing (run: $0 --throughput write $BUILD)" >&2
+        exit 2
+      fi
+      CURRENT_RAW="$(mktemp)"
+      CURRENT="$(mktemp)"
+      trap 'rm -f "$CURRENT_RAW" "$CURRENT"' EXIT
+      "$BENCH" --min-seconds 0 --min-runs 1 --engine-stats \
+        --out "$CURRENT_RAW" 2>/dev/null
+      extract_engine "$CURRENT_RAW" "$CURRENT"
+      if ! cmp -s "$ENGINE_BASELINE" "$CURRENT"; then
+        echo "engine-stats drift: counters differ from $ENGINE_BASELINE" >&2
+        diff "$ENGINE_BASELINE" "$CURRENT" | head -40 >&2 || true
+        exit 1
+      fi
+      echo "engine-stats comparison OK (byte-identical counters)"
       ;;
     compare)
       if [[ ! -f "$BASELINE" ]]; then
@@ -175,7 +263,7 @@ print(f"throughput comparison OK (tolerance -{tol}%)")
 EOF
       ;;
     *)
-      echo "usage: $0 --throughput {write|compare} [build-dir] [tolerance-%]" >&2
+      echo "usage: $0 --throughput {write|compare|engine-compare} [build-dir] [tolerance-%]" >&2
       exit 2
       ;;
   esac

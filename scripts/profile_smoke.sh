@@ -33,6 +33,35 @@ echo "== presets through the profiler =="
 cmp "$OUT/presets_t1.json" "$OUT/presets_t4.json"
 echo "profile bytes identical at 1 and 4 threads"
 
+echo "== engine stats: neutrality + counter tracks =="
+"$PROFILE" --preset kRtos4,kRtos6 --workload mixed --seed 1 \
+  --threads 1 --sample-period 10000 --engine-stats \
+  --out "$OUT/presets_es.json" --chrome "$OUT/presets_es.chrome.json" \
+  >/dev/null
+python3 scripts/strip_engine_stats.py "$OUT/presets_es.json" \
+  | cmp "$OUT/presets_t1.json" -
+grep -q '"engine.queue_depth"' "$OUT/presets_es.chrome.json"
+grep -q '"engine.footprint_bytes"' "$OUT/presets_es.chrome.json"
+python3 - "$OUT/presets_es.json" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+for run in doc["runs"]:
+    e = run["engine"]
+    assert e["events_dispatched"] > 0, "no events attributed"
+    q = e["queue"]
+    assert q["pops"] > 0 and q["scheduled_ring"] > 0
+    assert q["scan_distance"]["count"] > 0, "scan histogram idle"
+    k = e["kernel"]
+    assert k["service_windows"] > 0, "no service windows"
+    r = k["reschedule"]
+    assert r["calls"] == (r["fastout_in_service"] + r["fastout_idle"]
+                          + r["scans"]), "reschedule outcomes leak"
+    assert e["timeseries"]["samples"] > 0, "engine sampler idle"
+print("engine blocks: OK")
+EOF
+echo "engine stats neutral; counter tracks present"
+
 echo "== corpus scenario through the profiler =="
 "$PROFILE" --scenario tests/fuzz/corpus/contention_chain.json \
   --sample-period 1000 --out "$OUT/scenario.json" \

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Strip engine-introspection blocks from a delta JSON report.
+
+Usage: strip_engine_stats.py [FILE]   (default stdin; writes stdout)
+
+Removes every `"engine": {...}` member and every `"host_cpu_ns": N`
+member, together with the separating comma/indent that precedes it.
+The writers guarantee those keys are never the first member of their
+object (exp/json.cpp, fuzz/campaign.cpp), so the result is exactly the
+bytes the same invocation produces with --engine-stats off — which is
+what scripts/check_goldens.sh pins: introspection must be strictly
+report-neutral.
+
+Deliberately not a JSON round-trip: a parse + re-serialize would have
+to reproduce the C++ writer's formatting bit-for-bit to be a fair
+comparison. Splicing byte ranges out of the original document instead
+leaves every byte we did not remove untouched.
+"""
+import sys
+
+
+def skip_string(doc: str, i: int) -> int:
+    """i points at an opening quote; return the index one past the
+    closing quote."""
+    i += 1
+    while i < len(doc):
+        if doc[i] == "\\":
+            i += 2
+            continue
+        if doc[i] == '"':
+            return i + 1
+        i += 1
+    raise ValueError("unterminated string")
+
+
+def skip_value(doc: str, i: int) -> int:
+    """i points at the first byte of a JSON value; return the index one
+    past its last byte."""
+    c = doc[i]
+    if c == '"':
+        return skip_string(doc, i)
+    if c in "{[":
+        close = "}" if c == "{" else "]"
+        depth = 0
+        while i < len(doc):
+            if doc[i] == '"':
+                i = skip_string(doc, i)
+                continue
+            if doc[i] == c:
+                depth += 1
+            elif doc[i] == close:
+                depth -= 1
+                if depth == 0:
+                    return i + 1
+            i += 1
+        raise ValueError("unterminated %s" % c)
+    # number / true / false / null
+    j = i
+    while j < len(doc) and doc[j] not in ",}]\n":
+        j += 1
+    return j
+
+
+def strip_members(doc: str, keys: tuple) -> str:
+    out = []
+    i = 0
+    kept = 0  # start of the unemitted tail
+    while i < len(doc):
+        c = doc[i]
+        if c != '"':
+            i += 1
+            continue
+        end = skip_string(doc, i)
+        name = doc[i + 1 : end - 1]
+        # Only object members ("key": value), not string values.
+        if name not in keys or not doc[end:].lstrip().startswith(":"):
+            i = end
+            continue
+        # Walk back over the separating ",\n<indent>" the writer put
+        # before this member. The writers never emit these keys first in
+        # an object, so the comma is always there.
+        back = i
+        while back > kept and doc[back - 1] in " \n\t":
+            back -= 1
+        if back == kept or doc[back - 1] != ",":
+            raise ValueError('"%s" member without a preceding comma' % name)
+        value = end + doc[end:].index(":") + 1
+        while doc[value] in " \n\t":
+            value += 1
+        out.append(doc[kept : back - 1])
+        i = kept = skip_value(doc, value)
+    out.append(doc[kept:])
+    return "".join(out)
+
+
+def main() -> int:
+    if len(sys.argv) > 2:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    if len(sys.argv) == 2 and sys.argv[1] != "-":
+        with open(sys.argv[1], "r", encoding="utf-8") as f:
+            doc = f.read()
+    else:
+        doc = sys.stdin.read()
+    sys.stdout.write(strip_members(doc, ("engine", "host_cpu_ns")))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,19 @@ grep -q '"cat": "lock"' build-smoke/trace_t1.json
 grep -q '"cat": "deadlock"' build-smoke/trace_t1.json
 echo "reports and traces identical"
 
+echo "== engine stats: determinism + report neutrality =="
+"$SWEEP" --presets RTOS4,RTOS6 --seeds 2 --limit 5000000 \
+  --threads 1 --engine-stats --out build-smoke/sweep_es_t1.json --quiet
+"$SWEEP" --presets RTOS4,RTOS6 --seeds 2 --limit 5000000 \
+  --threads 2 --engine-stats --out build-smoke/sweep_es_t2.json --quiet
+cmp build-smoke/sweep_es_t1.json build-smoke/sweep_es_t2.json
+grep -q '"engine"' build-smoke/sweep_es_t1.json
+"$SWEEP" --presets RTOS4,RTOS6 --seeds 2 --limit 5000000 \
+  --threads 1 --out build-smoke/sweep_plain.json --quiet
+python3 scripts/strip_engine_stats.py build-smoke/sweep_es_t1.json \
+  | cmp build-smoke/sweep_plain.json -
+echo "engine blocks identical across threads and strictly report-neutral"
+
 echo "== TSan build + 2-thread sweep =="
 cmake -B build-tsan "${GEN[@]}" -DDELTA_TSAN=ON >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target delta_sweep exp_runner_test

@@ -1,5 +1,6 @@
 #include "exp/json.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <map>
@@ -165,6 +166,20 @@ void write_accumulator(JsonWriter& w, const sim::Accumulator& a) {
   w.end_object();
 }
 
+void write_log2_histogram(JsonWriter& w, const sim::Log2Histogram& h) {
+  w.begin_object();
+  w.key("count").value(h.count);
+  w.key("sum").value(h.sum);
+  w.key("max").value(h.max);
+  // Power-of-two buckets, trimmed to the used prefix: buckets[0] holds
+  // zeros, buckets[i] holds [2^(i-1), 2^i).
+  w.key("buckets").begin_array();
+  const std::size_t used = h.used();
+  for (std::size_t i = 0; i < used; ++i) w.value(h.buckets[i]);
+  w.end_array();
+  w.end_object();
+}
+
 /// Labels for wait-span objects, recovered from the contention table
 /// (which aggregates every annotated span, so every (kind, object) pair
 /// a span can mention is present).
@@ -254,9 +269,84 @@ void write_profile(JsonWriter& w, const obs::ProfileReport& p,
   w.end_object();
 }
 
+void write_engine_report(JsonWriter& w, const soc::EngineReport& e,
+                         const obs::TimeSeries& series) {
+  w.begin_object();
+  w.key("events_dispatched").value(e.events_dispatched);
+  const sim::EngineStats& q = e.queue;
+  w.key("queue").begin_object();
+  w.key("scheduled_ring").value(q.scheduled_ring);
+  w.key("scheduled_overflow").value(q.scheduled_overflow);
+  w.key("pops").value(q.pops);
+  w.key("dispatch_inline").value(q.dispatch_inline);
+  w.key("dispatch_boxed").value(q.dispatch_boxed);
+  w.key("cancels").begin_object();
+  w.key("ring").value(q.cancels_ring);
+  w.key("overflow").value(q.cancels_overflow);
+  w.key("dead").value(q.cancels_dead);
+  w.end_object();
+  w.key("overflow").begin_object();
+  w.key("migrations").value(q.overflow_migrations);
+  w.key("prunes").value(q.overflow_prunes);
+  w.key("compactions").value(q.overflow_compactions);
+  w.key("peak").value(q.overflow_peak);
+  w.end_object();
+  w.key("memory").begin_object();
+  w.key("slab_peak").value(q.slab_peak);
+  w.key("freelist_peak").value(q.freelist_peak);
+  w.key("footprint_peak").value(q.footprint_peak);
+  w.key("footprint_bytes").value(e.queue_footprint_bytes);
+  w.end_object();
+  w.key("scan_distance");
+  write_log2_histogram(w, q.scan_distance);
+  w.key("bucket_occupancy");
+  write_log2_histogram(w, q.bucket_occupancy);
+  w.key("batch_size");
+  write_log2_histogram(w, q.batch_size);
+  w.end_object();
+  const rtos::EngineCounters& k = e.kernel;
+  w.key("kernel").begin_object();
+  w.key("service_windows").value(k.service_windows);
+  w.key("service_window_cycles");
+  write_log2_histogram(w, k.service_window_cycles);
+  w.key("reschedule").begin_object();
+  w.key("calls").value(k.resched_calls);
+  w.key("fastout_in_service").value(k.resched_fastout_in_service);
+  w.key("fastout_idle").value(k.resched_fastout_idle);
+  w.key("scans").value(k.resched_scans);
+  w.end_object();
+  w.key("give_up").begin_object();
+  w.key("events").value(k.give_up_events);
+  w.key("resources").value(k.give_up_resources);
+  w.key("episodes").value(k.give_up_episodes);
+  w.key("episode_len");
+  write_log2_histogram(w, k.give_up_episode_len);
+  w.end_object();
+  w.end_object();
+  if (!series.empty()) {
+    // The engine gauge tracks are instantaneous (queue depth, overflow
+    // depth, footprint), so summarize with per-track peaks; the full
+    // resolution lives in the Chrome export's counter tracks.
+    w.key("timeseries").begin_object();
+    w.key("period").value(static_cast<std::uint64_t>(series.period()));
+    w.key("samples")
+        .value(static_cast<std::uint64_t>(series.samples().size()));
+    w.key("peaks").begin_object();
+    for (std::size_t i = 0; i < series.tracks().size(); ++i) {
+      std::uint64_t peak = 0;
+      for (const obs::TimeSeries::Sample& s : series.samples())
+        peak = std::max(peak, s.values[i]);
+      w.key(series.tracks()[i]).value(peak);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_object();
+}
+
 namespace {
 
-void write_run(JsonWriter& w, const RunResult& r) {
+void write_run(JsonWriter& w, const RunResult& r, bool host_times) {
   w.begin_object();
   w.key("config").value(r.config);
   w.key("workload").value(r.workload);
@@ -312,6 +402,15 @@ void write_run(JsonWriter& w, const RunResult& r) {
   }
   w.end_object();
   w.end_object();
+  // The engine block sits after "metrics" — never first in the run
+  // object — so stripping it (with its preceding comma) restores the
+  // stats-off bytes exactly; scripts/strip_engine_stats.py relies on
+  // that for the golden neutrality check.
+  if (r.engine.enabled) {
+    w.key("engine");
+    write_engine_report(w, r.engine, r.engine_timeseries);
+    if (host_times) w.key("host_cpu_ns").value(r.host_cpu_ns);
+  }
   if (r.has_profile) {
     w.key("profile");
     write_profile(w, r.profile, r.timeseries);
@@ -351,7 +450,8 @@ std::string report_to_json(const SweepSpec& spec,
   w.end_object();
 
   w.key("runs").begin_array();
-  for (const RunResult& r : report.runs) write_run(w, r);
+  for (const RunResult& r : report.runs)
+    write_run(w, r, spec.engine_host_times);
   w.end_array();
 
   // Aggregates across seeds, keyed by (config, workload) in expansion
@@ -405,6 +505,57 @@ std::string report_to_json(const SweepSpec& spec,
     w.end_object();
   }
   w.end_array();
+
+  // Campaign-level engine roll-up: merged queue/kernel counters over
+  // every ok run, plus (opt-in, nondeterministic) the host-time
+  // distribution and slowest-run ranking. Placed after "aggregates" so
+  // the strip script can remove it and recover the stats-off bytes.
+  if (spec.engine_stats) {
+    soc::EngineReport total;
+    std::uint64_t with_stats = 0;
+    for (const RunResult& r : report.runs) {
+      if (!r.ok || !r.engine.enabled) continue;
+      ++with_stats;
+      total.merge(r.engine);
+    }
+    w.key("engine").begin_object();
+    w.key("runs").value(with_stats);
+    w.key("totals");
+    write_engine_report(w, total, obs::TimeSeries{});
+    if (spec.engine_host_times) {
+      sim::SampleSet times;
+      std::vector<const RunResult*> ranked;
+      for (const RunResult& r : report.runs) {
+        if (!r.ok || !r.engine.enabled) continue;
+        times.add(static_cast<double>(r.host_cpu_ns));
+        ranked.push_back(&r);
+      }
+      std::sort(ranked.begin(), ranked.end(),
+                [](const RunResult* a, const RunResult* b) {
+                  if (a->host_cpu_ns != b->host_cpu_ns)
+                    return a->host_cpu_ns > b->host_cpu_ns;
+                  return a->index < b->index;  // stable tie-break
+                });
+      if (ranked.size() > 5) ranked.resize(5);
+      w.key("host").begin_object();
+      w.key("cpu_ns_p50").value(times.percentile(0.50));
+      w.key("cpu_ns_p99").value(times.percentile(0.99));
+      w.key("cpu_ns_mean").value(times.mean());
+      w.key("cpu_ns_max").value(times.max());
+      w.key("slowest").begin_array();
+      for (const RunResult* r : ranked) {
+        w.begin_object();
+        w.key("config").value(r->config);
+        w.key("workload").value(r->workload);
+        w.key("seed").value(r->seed);
+        w.key("host_cpu_ns").value(r->host_cpu_ns);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_object();
+  }
 
   w.end_object();
   std::string out = w.str();

@@ -63,4 +63,13 @@ void write_profile(JsonWriter& w, const obs::ProfileReport& profile,
 [[nodiscard]] std::string profile_to_json(const obs::ProfileReport& profile,
                                           const obs::TimeSeries& series);
 
+/// Write one engine-introspection block (soc/engine_report.h: event
+/// queue stats + kernel service counters, plus per-track peaks of the
+/// engine gauge series when non-empty) as a JSON value. All-integer and
+/// derived from simulated state, so the bytes are deterministic. Reports
+/// emit it only when the producing spec asked for engine stats; without
+/// it the document is byte-identical to a pre-introspection report.
+void write_engine_report(JsonWriter& w, const soc::EngineReport& engine,
+                         const obs::TimeSeries& engine_series);
+
 }  // namespace delta::exp

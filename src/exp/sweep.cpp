@@ -1,5 +1,6 @@
 #include "exp/sweep.h"
 
+#include <ctime>
 #include <stdexcept>
 
 #include "soc/profile.h"
@@ -14,6 +15,16 @@ std::uint64_t mix(std::uint64_t x) {
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   return x ^ (x >> 31);
+}
+
+/// Host CPU time of the calling thread in nanoseconds. Used to cost
+/// individual runs: each run executes on exactly one worker thread, so
+/// the thread clock isolates it from its pool neighbours.
+std::uint64_t thread_cpu_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
 }
 
 }  // namespace
@@ -84,6 +95,7 @@ RunResult execute_run(const RunSpec& rs, const SweepSpec& spec) {
   r.workload = rs.workload->name;
   r.seed = rs.seed;
   r.run_seed = rs.run_seed;
+  const std::uint64_t host_t0 = spec.engine_stats ? thread_cpu_ns() : 0;
   try {
     soc::MpsocConfig mc = rs.config->config.to_mpsoc_config();
     if (rs.workload->tune) rs.workload->tune(mc);
@@ -91,6 +103,7 @@ RunResult execute_run(const RunSpec& rs, const SweepSpec& spec) {
     mc.trace = spec.trace;
     mc.trace_capacity = spec.trace_capacity;
     mc.sample_period = spec.sample_period;
+    mc.engine_stats = spec.engine_stats;
 
     soc::Mpsoc soc(mc);
     sim::Rng rng(rs.run_seed);
@@ -124,11 +137,16 @@ RunResult execute_run(const RunSpec& rs, const SweepSpec& spec) {
       r.has_profile = true;
       r.timeseries = soc.time_series();
     }
+    if (spec.engine_stats) {
+      r.engine = soc.engine_report();
+      r.engine_timeseries = soc.engine_time_series();
+    }
     r.ok = true;
   } catch (const std::exception& e) {
     r.ok = false;
     r.error = e.what();
   }
+  if (spec.engine_stats) r.host_cpu_ns = thread_cpu_ns() - host_t0;
   return r;
 }
 

@@ -23,6 +23,7 @@
 #include "sim/random.h"
 #include "sim/stats.h"
 #include "soc/delta_framework.h"
+#include "soc/engine_report.h"
 
 namespace delta::exp {
 
@@ -81,6 +82,18 @@ struct SweepSpec {
   /// Windowed-sampler period forwarded to MpsocConfig::sample_period;
   /// 0 disables sampling. Samples land in RunResult::timeseries.
   sim::Cycles sample_period = 0;
+  /// Collect engine introspection (MpsocConfig::engine_stats) into
+  /// RunResult::engine; serialized as each run's "engine" block and a
+  /// campaign-level roll-up. Everything emitted is derived from
+  /// simulated state, so reports stay byte-identical across thread
+  /// counts; with the flag off the bytes match a pre-flag report
+  /// exactly (strict report neutrality).
+  bool engine_stats = false;
+  /// Additionally serialize per-run host CPU time and the p50/p99 /
+  /// slowest-run roll-up. Host time is measured whenever engine_stats
+  /// is on, but writing it is opt-in because wall-clock is
+  /// nondeterministic — never enable in a golden flow.
+  bool engine_host_times = false;
 };
 
 /// Derive the seed for one cell. Pure function of the cell coordinates
@@ -152,6 +165,14 @@ struct RunResult {
   obs::ProfileReport profile;
   /// Windowed samples (non-empty when SweepSpec::sample_period > 0).
   obs::TimeSeries timeseries;
+
+  /// Engine introspection (enabled only when SweepSpec::engine_stats).
+  soc::EngineReport engine;
+  /// Engine gauge samples (engine_stats with sample_period > 0).
+  obs::TimeSeries engine_timeseries;
+  /// Host CPU nanoseconds this run cost its worker thread
+  /// (CLOCK_THREAD_CPUTIME_ID); 0 unless SweepSpec::engine_stats.
+  std::uint64_t host_cpu_ns = 0;
 };
 
 /// Execute one cell: build the Mpsoc, instantiate the workload, run the

@@ -11,7 +11,9 @@ std::string report_trace_to_chrome_json(const SweepReport& report) {
   std::vector<obs::ProcessTrace> processes;
   for (const RunResult& r : report.runs) {
     if (!r.ok) continue;
-    if (r.trace_events.empty() && r.timeseries.empty()) continue;
+    if (r.trace_events.empty() && r.timeseries.empty() &&
+        r.engine_timeseries.empty())
+      continue;
     obs::ProcessTrace pt;
     pt.pid = static_cast<std::uint32_t>(r.index);
     pt.name = r.config + "/" + r.workload + "/s" + std::to_string(r.seed);
@@ -19,6 +21,7 @@ std::string report_trace_to_chrome_json(const SweepReport& report) {
     pt.dropped = r.trace_dropped;
     pt.pe_count = r.pe_count;
     pt.series = r.timeseries;
+    pt.engine_series = r.engine_timeseries;
     if (r.has_profile) {
       // Wait-for spans with a known holder become flow arrows between
       // the waiter's and the holder's PE rows.

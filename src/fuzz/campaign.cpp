@@ -51,6 +51,9 @@ CampaignReport run_campaign(const CampaignOptions& opts) {
   std::atomic<std::uint64_t> failing_runs{0};
   std::mutex failures_mu;
   std::vector<CampaignFailure> failures;
+  std::mutex engine_mu;
+  soc::EngineReport engine_total;
+  std::uint64_t engine_suts = 0;
 
   auto worker = [&] {
     while (true) {
@@ -68,7 +71,19 @@ CampaignReport run_campaign(const CampaignOptions& opts) {
       bool run_failed = false;
       for (const std::string& pair_name : report.pairs) {
         const BackendPair& pair = find_pair(pair_name);
-        DiffResult d = run_pair(scenario, pair, opts.fault);
+        DiffResult d = run_pair(scenario, pair, opts.fault,
+                                opts.engine_stats);
+        if (opts.engine_stats) {
+          // Primary executions only (shrink probes are excluded): the
+          // merge is commutative, so any completion order yields the
+          // same roll-up.
+          std::lock_guard<std::mutex> lock(engine_mu);
+          for (const RunOutcome& o : d.outcomes) {
+            if (!o.ok || !o.engine.enabled) continue;
+            engine_total.merge(o.engine);
+            ++engine_suts;
+          }
+        }
         if (!d.failed()) continue;
         run_failed = true;
 
@@ -117,6 +132,8 @@ CampaignReport run_campaign(const CampaignOptions& opts) {
     failures.resize(opts.max_failures);
   }
   report.failures = std::move(failures);
+  report.engine = engine_total;
+  report.engine_suts = engine_suts;
   return report;
 }
 
@@ -150,6 +167,16 @@ std::string campaign_report_json(const CampaignReport& r) {
     w.end_object();
   }
   w.end_array();
+  // Trailing key, only when collection was on: stripping it (with its
+  // preceding comma) restores the stats-off bytes exactly, which is how
+  // the neutrality check compares campaign reports.
+  if (r.engine.enabled) {
+    w.key("engine").begin_object();
+    w.key("suts").value(r.engine_suts);
+    w.key("totals");
+    exp::write_engine_report(w, r.engine, obs::TimeSeries{});
+    w.end_object();
+  }
   w.end_object();
   return w.str() + "\n";
 }

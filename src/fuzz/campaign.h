@@ -33,6 +33,12 @@ struct CampaignOptions {
   /// run indices win — deterministic at any thread count).
   std::size_t max_failures = 8;
   std::size_t shrink_attempts = 2000;
+  /// Collect engine introspection on every primary (non-shrink)
+  /// execution and roll it up into CampaignReport::engine. Aggregation
+  /// is a commutative merge of per-run counters, so the roll-up — like
+  /// the rest of the report — is identical at any thread count. Off by
+  /// default: the report then stays byte-identical to a pre-flag report.
+  bool engine_stats = false;
 };
 
 /// One failing (scenario, pair) cell, shrunk.
@@ -54,6 +60,11 @@ struct CampaignReport {
   std::uint64_t failing_runs = 0;  ///< runs with >= 1 failing pair
   std::vector<CampaignFailure> failures;  ///< sorted (run_index, pair)
   std::uint64_t failures_truncated = 0;   ///< dropped past max_failures
+
+  /// Engine-introspection roll-up over every primary SUT execution
+  /// (CampaignOptions::engine_stats). engine.enabled mirrors the option.
+  soc::EngineReport engine;
+  std::uint64_t engine_suts = 0;  ///< SUT executions merged into `engine`
 
   [[nodiscard]] bool clean() const { return failing_runs == 0; }
 };

@@ -208,7 +208,7 @@ void check_invariants(const Scenario& s, const SystemUnderTest& sut,
 }  // namespace
 
 RunOutcome run_scenario(const Scenario& s, const SystemUnderTest& sut,
-                        const std::string& fault) {
+                        const std::string& fault, bool engine_stats) {
   RunOutcome o;
   o.sut = sut.name;
   try {
@@ -247,6 +247,7 @@ RunOutcome run_scenario(const Scenario& s, const SystemUnderTest& sut,
     // run long enough (run_limit up to 2e9 cycles) for its unbounded
     // growth to exhaust memory.
     mc.record_transitions = false;
+    mc.engine_stats = engine_stats;
     const auto mpsoc = std::make_unique<soc::Mpsoc>(mc);
     rtos::Kernel& k = mpsoc->kernel();
     if (!fault.empty()) o.fault_armed = k.strategy().enable_fault(fault);
@@ -283,6 +284,7 @@ RunOutcome run_scenario(const Scenario& s, const SystemUnderTest& sut,
     o.allocs = counter_value(*mpsoc, "mem.allocs");
     o.alloc_failures = counter_value(*mpsoc, "mem.alloc_failures");
     o.frees = counter_value(*mpsoc, "mem.frees");
+    if (engine_stats) o.engine = mpsoc->engine_report();
     o.ok = true;
   } catch (const std::exception& e) {
     o.ok = false;
@@ -311,11 +313,11 @@ std::vector<std::string> DiffResult::all_violations() const {
 }
 
 DiffResult run_pair(const Scenario& s, const BackendPair& pair,
-                    const std::string& fault) {
+                    const std::string& fault, bool engine_stats) {
   DiffResult r;
   r.pair = pair.name;
   for (const SystemUnderTest& sut : pair.suts)
-    r.outcomes.push_back(run_scenario(s, sut, fault));
+    r.outcomes.push_back(run_scenario(s, sut, fault, engine_stats));
 
   auto cross = [&](const std::string& m) { r.cross_violations.push_back(m); };
   for (std::size_t i = 0; i < r.outcomes.size(); ++i) {

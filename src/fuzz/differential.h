@@ -32,6 +32,7 @@
 
 #include "fuzz/scenario.h"
 #include "soc/delta_framework.h"
+#include "soc/engine_report.h"
 
 namespace delta::fuzz {
 
@@ -111,6 +112,10 @@ struct RunOutcome {
   std::uint64_t allocs = 0, alloc_failures = 0, frees = 0;
   sim::Cycles sim_cycles = 0;  ///< diagnostic only
 
+  /// Engine introspection (enabled only when the caller asked for it;
+  /// diagnostic — checks never compare it).
+  soc::EngineReport engine;
+
   /// Per-run invariant breaches (empty == this configuration held its
   /// behavioural contract on its own).
   std::vector<std::string> violations;
@@ -131,14 +136,18 @@ struct DiffResult {
 /// Run one scenario on one configuration and evaluate its per-run
 /// invariants. `fault` (optional) names a strategy fault to enable
 /// (DeadlockStrategy::enable_fault); configurations that do not
-/// recognize it run unfaulted.
+/// recognize it run unfaulted. `engine_stats` additionally collects
+/// engine introspection into RunOutcome::engine (pure observation —
+/// simulated behaviour, and hence every check, is identical either way).
 [[nodiscard]] RunOutcome run_scenario(const Scenario& s,
                                       const SystemUnderTest& sut,
-                                      const std::string& fault = "");
+                                      const std::string& fault = "",
+                                      bool engine_stats = false);
 
 /// Run one scenario across every configuration of `pair` and apply the
 /// cross-configuration checks.
 [[nodiscard]] DiffResult run_pair(const Scenario& s, const BackendPair& pair,
-                                  const std::string& fault = "");
+                                  const std::string& fault = "",
+                                  bool engine_stats = false);
 
 }  // namespace delta::fuzz

@@ -178,19 +178,22 @@ std::string chrome_trace_json(const std::vector<ProcessTrace>& processes) {
       }
       out += "}";
     }
-    // Windowed samples as one counter track per series track.
-    for (const TimeSeries::Sample& s : p.series.samples()) {
-      for (std::size_t t = 0; t < p.series.tracks().size(); ++t) {
-        sep();
-        out += "{\"ph\": \"C\", \"pid\": ";
-        append_u64(out, p.pid);
-        out += ", \"ts\": ";
-        append_u64(out, static_cast<std::uint64_t>(s.t));
-        out += ", \"name\": \"";
-        append_escaped(out, p.series.tracks()[t]);
-        out += "\", \"args\": {\"value\": ";
-        append_u64(out, s.values[t]);
-        out += "}}";
+    // Windowed samples as one counter track per series track (the
+    // engine gauges ride along as extra tracks when present).
+    for (const TimeSeries* ts : {&p.series, &p.engine_series}) {
+      for (const TimeSeries::Sample& s : ts->samples()) {
+        for (std::size_t t = 0; t < ts->tracks().size(); ++t) {
+          sep();
+          out += "{\"ph\": \"C\", \"pid\": ";
+          append_u64(out, p.pid);
+          out += ", \"ts\": ";
+          append_u64(out, static_cast<std::uint64_t>(s.t));
+          out += ", \"name\": \"";
+          append_escaped(out, ts->tracks()[t]);
+          out += "\", \"args\": {\"value\": ";
+          append_u64(out, s.values[t]);
+          out += "}}";
+        }
       }
     }
     // Wait-for arrows: a flow start on the waiter's thread bound to its

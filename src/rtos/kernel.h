@@ -25,6 +25,7 @@
 #include "bus/bus.h"
 #include "obs/observer.h"
 #include "rtos/devices.h"
+#include "rtos/engine_counters.h"
 #include "rtos/ipc.h"
 #include "rtos/locks.h"
 #include "rtos/memory_manager.h"
@@ -209,6 +210,15 @@ class BasicKernel {
   void set_observer(obs::Observer* o);
   [[nodiscard]] obs::Observer& observer() { return *obs_; }
 
+  /// Start collecting host-side engine counters on the service path
+  /// (rtos/engine_counters.h). Idempotent; a no-op for the no-observer
+  /// instantiation, whose recording sites are compiled out.
+  void enable_engine_counters();
+
+  /// Snapshot of the engine counters with any open give-up episode
+  /// folded in. Zeroed when collection is off (always for FastKernel).
+  [[nodiscard]] EngineCounters engine_counters_snapshot() const;
+
   [[nodiscard]] TaskId running_on(PeId pe) const { return running_.at(pe); }
 
   /// Structured task-state transition log (drives rtos/timeline.h).
@@ -285,6 +295,14 @@ class BasicKernel {
   std::map<TaskId, std::uint64_t> restarts_;
   std::vector<StateTransition> transitions_;
 
+  /// Host-side engine counters; null = collection off (the default).
+  /// Only the observing instantiation ever allocates or updates this.
+  std::unique_ptr<EngineCounters> engine_;
+  /// Open give-up episode (maximal same-victim run); folded into the
+  /// histogram on victim change and by engine_counters_snapshot().
+  TaskId giveup_episode_victim_ = kNoTask;
+  std::uint64_t giveup_episode_len_ = 0;
+
   FlatSet<ResourceId> starved_;  ///< livelock-idled resources to retry
   std::uint64_t sched_seq_ = 0;  ///< round-robin rotation counter
   /// Per-PE count of tasks in TaskState::kReady, maintained by
@@ -353,6 +371,9 @@ class BasicKernel {
   void grant_resource(TaskId to, ResourceId res);
   void maybe_wake_resource_waiter(TaskId id);
   void schedule_give_up(TaskId victim, std::vector<ResourceId> resources);
+  /// Engine-counter bookkeeping for one give-up request (episode
+  /// detection). Only called with engine_ non-null.
+  void note_give_up(TaskId victim, std::size_t resources);
   void note_detection(const ResourceEvent& ev, sim::Cycles at);
   /// Arm the next periodic wait-for-graph scan (detection_period > 0).
   void schedule_scan();

@@ -286,6 +286,14 @@ sim::Cycles BasicKernel<ObserverPolicy>::last_finish_time() const {
 template <class ObserverPolicy>
 void BasicKernel<ObserverPolicy>::reschedule(PeId pe) {
   if (halted_) return;
+  if constexpr (ObserverPolicy::kEnabled) {
+    if (engine_ != nullptr) {
+      ++engine_->resched_calls;
+      if (in_service_[pe]) ++engine_->resched_fastout_in_service;
+      else if (ready_count_[pe] == 0) ++engine_->resched_fastout_idle;
+      else ++engine_->resched_scans;
+    }
+  }
   if (in_service_[pe]) return;  // service completion re-enters here
   // Nothing ready on this PE: no arbitration can change anything. This
   // is the dominant case (most reschedules fire on busy PEs whose peers
@@ -618,6 +626,10 @@ void BasicKernel<ObserverPolicy>::service(PeId pe, sim::Cycles cycles,
   // lets obs/critpath charge these cycles to the overhead bucket of the
   // task being serviced.
   if constexpr (ObserverPolicy::kEnabled) {
+    if (engine_ != nullptr) {
+      ++engine_->service_windows;
+      engine_->service_window_cycles.add(cycles);
+    }
     obs_->trace.record(obs::EventKind::kKernelService,
                        static_cast<std::uint16_t>(pe), sim_.now(), cycles,
                        running_[pe] == kNoTask ? ~std::uint64_t{0}
@@ -870,6 +882,46 @@ void BasicKernel<ObserverPolicy>::grant_resource(TaskId to, ResourceId res) {
 }
 
 template <class ObserverPolicy>
+void BasicKernel<ObserverPolicy>::enable_engine_counters() {
+  if constexpr (ObserverPolicy::kEnabled) {
+    if (engine_ == nullptr) engine_ = std::make_unique<EngineCounters>();
+  }
+}
+
+template <class ObserverPolicy>
+EngineCounters BasicKernel<ObserverPolicy>::engine_counters_snapshot() const {
+  EngineCounters c;
+  if constexpr (ObserverPolicy::kEnabled) {
+    if (engine_ != nullptr) {
+      c = *engine_;
+      if (giveup_episode_len_ != 0) {
+        ++c.give_up_episodes;
+        c.give_up_episode_len.add(giveup_episode_len_);
+      }
+    }
+  }
+  return c;
+}
+
+template <class ObserverPolicy>
+void BasicKernel<ObserverPolicy>::note_give_up(TaskId victim,
+                                               std::size_t resources) {
+  EngineCounters& c = *engine_;
+  ++c.give_up_events;
+  c.give_up_resources += resources;
+  if (victim == giveup_episode_victim_) {
+    ++giveup_episode_len_;
+  } else {
+    if (giveup_episode_len_ != 0) {
+      ++c.give_up_episodes;
+      c.give_up_episode_len.add(giveup_episode_len_);
+    }
+    giveup_episode_victim_ = victim;
+    giveup_episode_len_ = 1;
+  }
+}
+
+template <class ObserverPolicy>
 void BasicKernel<ObserverPolicy>::maybe_wake_resource_waiter(TaskId id) {
   Task& t = task(id);
   if (t.state == TaskState::kBlocked && t.wait_kind == WaitKind::kResources &&
@@ -882,6 +934,9 @@ void BasicKernel<ObserverPolicy>::maybe_wake_resource_waiter(TaskId id) {
 template <class ObserverPolicy>
 void BasicKernel<ObserverPolicy>::schedule_give_up(
     TaskId victim, std::vector<ResourceId> rs) {
+  if constexpr (ObserverPolicy::kEnabled) {
+    if (engine_ != nullptr) note_give_up(victim, rs.size());
+  }
   trace("RM", [&] {
     return "asking " + task(victim).name + " to give up " +
            kernel_detail::join_names(

@@ -19,7 +19,10 @@ void EventQueue::schedule_overflow(Cycles at, std::uint32_t slot) {
 bool EventQueue::cancel(EventId id) {
   const auto slot = static_cast<std::uint32_t>(id >> 32);
   const auto gen = static_cast<std::uint32_t>(id);
-  if (slot >= slab_.size() || slab_[slot].gen != gen) return false;
+  if (slot >= slab_.size() || slab_[slot].gen != gen) {
+    if (stats_ != nullptr) ++stats_->cancels_dead;
+    return false;
+  }
   Node& n = slab_[slot];
   if (n.at - base_ < kBuckets) {
     // Calendar event: unlink in O(1).
@@ -32,13 +35,20 @@ bool EventQueue::cancel(EventId id) {
     if (bucket.head == kNil)
       occupied_[b >> 6] &= ~(1ULL << (b & 63));
     --ring_live_;
+    if (stats_ != nullptr) ++stats_->cancels_ring;
   } else {
     // Overflow event: the heap entry goes stale (gen mismatch) and is
     // dropped when it reaches the top; the payload dies right now.
     --heap_live_;
+    if (stats_ != nullptr) ++stats_->cancels_overflow;
     compact_overflow_if_mostly_stale();
   }
   free_node(slot);
+  if (stats_ != nullptr) {
+    const auto free_nodes =
+        static_cast<std::uint64_t>(slab_.size() - ring_live_ - heap_live_);
+    if (free_nodes > stats_->freelist_peak) stats_->freelist_peak = free_nodes;
+  }
   return true;
 }
 
@@ -49,6 +59,7 @@ void EventQueue::prune_overflow_top() const {
     std::pop_heap(overflow_.begin(), overflow_.end(),
                   std::greater<OverflowEntry>{});
     overflow_.pop_back();
+    if (stats_ != nullptr) ++stats_->overflow_prunes;
   }
 }
 
@@ -63,6 +74,10 @@ void EventQueue::compact_overflow_if_mostly_stale() {
   std::erase_if(overflow_, [this](const OverflowEntry& e) {
     return slab_[e.slot].gen != e.gen;
   });
+  if (stats_ != nullptr) {
+    ++stats_->overflow_compactions;
+    stats_->overflow_prunes += stale;
+  }
   std::make_heap(overflow_.begin(), overflow_.end(),
                  std::greater<OverflowEntry>{});
   overflow_min_ = overflow_.empty() ? kNeverCycles : overflow_.front().at;
@@ -80,10 +95,14 @@ void EventQueue::drain_overflow() {
     std::pop_heap(overflow_.begin(), overflow_.end(),
                   std::greater<OverflowEntry>{});
     overflow_.pop_back();
-    if (!live) continue;  // cancelled; payload already reclaimed
+    if (!live) {
+      if (stats_ != nullptr) ++stats_->overflow_prunes;
+      continue;  // cancelled; payload already reclaimed
+    }
     link_into_bucket(top.slot);
     ++ring_live_;
     --heap_live_;
+    if (stats_ != nullptr) ++stats_->overflow_migrations;
   }
   // The surviving front (live or stale) still lower-bounds every live
   // entry's time, since the heap min is the min over both kinds.
@@ -102,13 +121,15 @@ Cycles EventQueue::next_time() const {
 Fired EventQueue::pop() {
   assert(!empty() && "pop() on empty event queue");
   Cycles t;
-  if (ring_live_ > 0) {
+  const bool from_ring = ring_live_ > 0;
+  if (from_ring) {
     t = base_ + next_ring_offset();
   } else {
     prune_overflow_top();
     assert(!overflow_.empty() && "pop() on empty event queue");
     t = overflow_.front().at;
   }
+  if (stats_ != nullptr) note_pop(t, from_ring);
   Fired f;
   pop_at(t, f);
   return f;
@@ -118,6 +139,78 @@ std::size_t EventQueue::footprint_bytes() const {
   return slab_.capacity() * sizeof(Node) +
          buckets_.capacity() * sizeof(Bucket) +
          overflow_.capacity() * sizeof(OverflowEntry) + sizeof(occupied_);
+}
+
+void EventQueue::enable_stats() {
+  if (stats_ == nullptr) stats_ = std::make_unique<EngineStats>();
+}
+
+EngineStats EventQueue::stats_snapshot() const {
+  if (stats_ == nullptr) return {};
+  EngineStats s = *stats_;
+  if (s.batch_open != 0) {
+    s.batch_size.add(s.batch_open);
+    s.batch_open = 0;
+    s.batch_time = kNeverCycles;
+  }
+  s.occupancy_pending = false;
+  // Capacities never shrink, so "now" is also the high-water mark.
+  s.slab_peak = std::max(s.slab_peak, static_cast<std::uint64_t>(slab_.size()));
+  s.footprint_peak =
+      std::max(s.footprint_peak, static_cast<std::uint64_t>(footprint_bytes()));
+  return s;
+}
+
+void EventQueue::note_schedule(bool ring) {
+  EngineStats& s = *stats_;
+  if (ring) {
+    ++s.scheduled_ring;
+  } else {
+    ++s.scheduled_overflow;
+    if (heap_live_ > s.overflow_peak)
+      s.overflow_peak = static_cast<std::uint64_t>(heap_live_);
+  }
+  if (slab_.size() > s.slab_peak)
+    s.slab_peak = static_cast<std::uint64_t>(slab_.size());
+  const auto fp = static_cast<std::uint64_t>(footprint_bytes());
+  if (fp > s.footprint_peak) s.footprint_peak = fp;
+}
+
+void EventQueue::note_pop(Cycles t, bool from_ring) {
+  EngineStats& s = *stats_;
+  ++s.pops;
+  if (from_ring) s.scan_distance.add(t - base_);
+  if (t == s.batch_time) {
+    ++s.batch_open;
+  } else {
+    if (s.batch_open != 0) s.batch_size.add(s.batch_open);
+    s.batch_time = t;
+    s.batch_open = 1;
+    // Occupancy is sampled in pop_at, after any overflow migration has
+    // filled the bucket, so the histogram sees the full chain.
+    s.occupancy_pending = true;
+  }
+}
+
+void EventQueue::note_occupancy(Cycles t) {
+  EngineStats& s = *stats_;
+  if (!s.occupancy_pending) return;
+  s.occupancy_pending = false;
+  // The calendar window is exactly kBuckets cycles wide, so every node
+  // chained in this bucket fires at t — the chain length is the
+  // bucket's occupancy.
+  std::uint64_t occ = 0;
+  for (std::uint32_t i = buckets_[t & kMask].head; i != kNil; i = slab_[i].next)
+    ++occ;
+  s.bucket_occupancy.add(occ);
+}
+
+void EventQueue::note_dispatched(const Fired& out) {
+  EngineStats& s = *stats_;
+  ++(out.fn.is_boxed() ? s.dispatch_boxed : s.dispatch_inline);
+  const auto free_nodes =
+      static_cast<std::uint64_t>(slab_.size() - ring_live_ - heap_live_);
+  if (free_nodes > s.freelist_peak) s.freelist_peak = free_nodes;
 }
 
 }  // namespace delta::sim

@@ -33,9 +33,11 @@
 #include <bit>
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "sim/engine_stats.h"
 #include "sim/sim_time.h"
 #include "sim/small_fn.h"
 
@@ -90,12 +92,14 @@ class EventQueue {
     Node& n = slab_[slot];
     n.fn.emplace(std::forward<F>(fn));
     assert(n.fn && "scheduling an empty callback");
-    if (at - base_ < kBuckets) {
+    const bool ring = at - base_ < kBuckets;
+    if (ring) {
       link_into_bucket(slot);
       ++ring_live_;
     } else {
       schedule_overflow(at, slot);
     }
+    if (stats_ != nullptr) [[unlikely]] note_schedule(ring);
     return (static_cast<EventId>(slot) << 32) | n.gen;
   }
 
@@ -125,7 +129,8 @@ class EventQueue {
     // One scan finds the next time; pop_at then extracts without
     // re-deriving it.
     Cycles t;
-    if (ring_live_ > 0) {
+    const bool from_ring = ring_live_ > 0;
+    if (from_ring) {
       t = base_ + next_ring_offset();
     } else {
       if (heap_live_ == 0) return false;
@@ -133,6 +138,7 @@ class EventQueue {
       t = overflow_.front().at;
     }
     if (t > limit) return false;
+    if (stats_ != nullptr) [[unlikely]] note_pop(t, from_ring);
     pop_at(t, out);
     return true;
   }
@@ -141,6 +147,22 @@ class EventQueue {
   /// overflow tier). Exposed so regression tests can bound the memory
   /// of schedule/cancel storms.
   [[nodiscard]] std::size_t footprint_bytes() const;
+
+  /// Start collecting EngineStats (idempotent). Off by default: the
+  /// hot paths then pay one predictable null test per site.
+  void enable_stats();
+
+  /// True once enable_stats() has been called.
+  [[nodiscard]] bool stats_enabled() const { return stats_ != nullptr; }
+
+  /// Copy of the collected stats with any open same-cycle batch folded
+  /// into the batch_size histogram and the memory peaks refreshed.
+  /// Zeroed stats when collection was never enabled.
+  [[nodiscard]] EngineStats stats_snapshot() const;
+
+  /// Live events currently parked in the overflow heap (gauge for
+  /// engine time-series tracks).
+  [[nodiscard]] std::size_t overflow_live() const { return heap_live_; }
 
  private:
   static constexpr std::size_t kMask = kBuckets - 1;
@@ -227,6 +249,13 @@ class EventQueue {
   /// live ones, so cancel storms cannot grow it without bound.
   void compact_overflow_if_mostly_stale();
 
+  // EngineStats recorders — out of line, called only behind a
+  // `stats_ != nullptr` test so the default path stays branch-per-site.
+  void note_schedule(bool ring);
+  void note_pop(Cycles t, bool from_ring);
+  void note_occupancy(Cycles t);
+  void note_dispatched(const Fired& out);
+
   /// Ring distance from base_ to the next occupied bucket.
   /// Precondition: ring_live_ > 0.
   [[nodiscard]] std::size_t next_ring_offset() const {
@@ -256,6 +285,7 @@ class EventQueue {
     // backwards), so this test alone decides ripeness; drain re-tightens
     // the bound.
     if (overflow_min_ < t + kBuckets) drain_overflow();
+    if (stats_ != nullptr) [[unlikely]] note_occupancy(t);
     Bucket& bucket = buckets_[t & kMask];
     const std::uint32_t slot = bucket.head;
     Node& n = slab_[slot];
@@ -269,6 +299,7 @@ class EventQueue {
     out.at = t;
     out.fn = std::move(n.fn);
     free_node(slot);
+    if (stats_ != nullptr) [[unlikely]] note_dispatched(out);
   }
 
   std::vector<Node> slab_;
@@ -288,6 +319,10 @@ class EventQueue {
   std::uint64_t next_seq_ = 0;
   std::size_t ring_live_ = 0;    ///< live events in the calendar
   std::size_t heap_live_ = 0;    ///< live events in the overflow tier
+  /// Engine introspection sink; null (collection off) by default. The
+  /// pointee is mutated from const observers too (prune counts), which
+  /// is fine: like `overflow_`, stats never alter the live-event set.
+  std::unique_ptr<EngineStats> stats_;
 };
 
 }  // namespace delta::sim

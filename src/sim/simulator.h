@@ -68,6 +68,30 @@ class Simulator {
   /// Number of events dispatched since construction.
   [[nodiscard]] std::uint64_t events_dispatched() const { return dispatched_; }
 
+  /// Start collecting host-side engine statistics on the event queue
+  /// (idempotent; off by default so the hot path stays a null test).
+  void enable_engine_stats() { queue_.enable_stats(); }
+
+  /// True once enable_engine_stats() has been called.
+  [[nodiscard]] bool engine_stats_enabled() const {
+    return queue_.stats_enabled();
+  }
+
+  /// Snapshot of the queue's engine stats (zeroed when disabled).
+  [[nodiscard]] EngineStats engine_stats() const {
+    return queue_.stats_snapshot();
+  }
+
+  /// Gauges for engine time-series tracks: pending events, events
+  /// parked in the overflow tier, and retained queue memory.
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] std::size_t queue_overflow_depth() const {
+    return queue_.overflow_live();
+  }
+  [[nodiscard]] std::size_t queue_footprint_bytes() const {
+    return queue_.footprint_bytes();
+  }
+
   /// Event/timeline trace shared by all components of this simulation.
   Trace& trace() { return trace_; }
   const Trace& trace() const { return trace_; }

@@ -83,6 +83,13 @@ class SmallFn {
 
   [[nodiscard]] explicit operator bool() const { return vt_ != nullptr; }
 
+  /// True when the stored closure was too large for the inline buffer
+  /// and lives behind a heap allocation; false for inline closures and
+  /// for the empty state. Used by engine introspection to count boxed
+  /// dispatches — a non-zero count means a capture block outgrew
+  /// kInlineBytes somewhere without a fits_inline_v static_assert.
+  [[nodiscard]] bool is_boxed() const { return vt_ != nullptr && vt_->boxed; }
+
   /// Destroy the stored closure (eagerly releasing its captures).
   void reset() {
     if (vt_ != nullptr) {
@@ -98,6 +105,7 @@ class SmallFn {
     /// `src` copy (relocation).
     void (*relocate)(void* dst, void* src);
     void (*destroy)(void* self);
+    bool boxed;  ///< closure lives behind a heap allocation
   };
 
   template <typename Fn>
@@ -115,6 +123,7 @@ class SmallFn {
           s->~Fn();
         },
         [](void* self) { static_cast<Fn*>(self)->~Fn(); },
+        /*boxed=*/false,
     };
     return &vt;
   }
@@ -127,6 +136,7 @@ class SmallFn {
           ::new (dst) Fn*(*static_cast<Fn**>(src));
         },
         [](void* self) { delete *static_cast<Fn**>(self); },
+        /*boxed=*/true,
     };
     return &vt;
   }

@@ -20,6 +20,7 @@
 #include "obs/timeseries.h"
 #include "rtos/kernel.h"
 #include "sim/simulator.h"
+#include "soc/engine_report.h"
 
 namespace delta::soc {
 
@@ -113,6 +114,12 @@ struct MpsocConfig {
   /// spinning, ready-queue depth and heap bytes at every period boundary
   /// into time_series().
   sim::Cycles sample_period = 0;
+  /// Collect host-side engine introspection (sim/engine_stats.h +
+  /// rtos/engine_counters.h), harvested via engine_report(). Strictly
+  /// report-neutral: nothing here feeds the observer's metrics, so all
+  /// existing report bytes are unchanged. With sample_period > 0 the
+  /// sampler additionally fills engine_time_series() gauges.
+  bool engine_stats = false;
 };
 
 /// The live system, templated over the kernel's observer policy (see
@@ -146,6 +153,18 @@ class BasicMpsoc {
   /// ready-depth and heap-bytes tracks are instantaneous gauges.
   [[nodiscard]] const obs::TimeSeries& time_series() const { return series_; }
 
+  /// Engine gauge samples (queue depth, overflow depth, queue
+  /// footprint) collected by sampled runs when cfg.engine_stats is on.
+  /// Kept separate from time_series() so profile reports — which fold
+  /// every time_series() track — stay byte-identical with stats on.
+  [[nodiscard]] const obs::TimeSeries& engine_time_series() const {
+    return engine_series_;
+  }
+
+  /// Snapshot of the run's engine introspection. `enabled` is false
+  /// (and everything zero) unless cfg.engine_stats was set.
+  [[nodiscard]] EngineReport engine_report() const;
+
   /// Resource index by name ("IDCT" -> 1). Throws when unknown.
   [[nodiscard]] rtos::ResourceId resource(const std::string& name) const;
 
@@ -167,6 +186,8 @@ class BasicMpsoc {
   std::vector<mem::L1Cache> l1_;
   std::unique_ptr<KernelType> kernel_;
   obs::TimeSeries series_;  ///< filled by run() when sample_period > 0
+  /// Engine gauges; filled only when sample_period > 0 && engine_stats.
+  obs::TimeSeries engine_series_;
 
   /// Mirror the trace ring's drop count into the "trace.dropped" counter.
   void stamp_trace_dropped();

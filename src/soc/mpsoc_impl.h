@@ -132,6 +132,10 @@ BasicMpsoc<ObserverPolicy>::BasicMpsoc(MpsocConfig cfg)
   if (cfg_.trace_capacity > 0) obs_.trace.enable(cfg_.trace_capacity);
   bus_->set_observer(&obs_);
   kernel_->set_observer(&obs_);
+  if (cfg_.engine_stats) {
+    sim_.enable_engine_stats();
+    kernel_->enable_engine_counters();  // no-op for the FastMpsoc kernel
+  }
 }
 
 template <class ObserverPolicy>
@@ -140,6 +144,19 @@ rtos::ResourceId BasicMpsoc<ObserverPolicy>::resource(
   for (std::size_t i = 0; i < cfg_.resources.size(); ++i)
     if (cfg_.resources[i].name == name) return i;
   throw std::invalid_argument("unknown resource: " + name);
+}
+
+template <class ObserverPolicy>
+EngineReport BasicMpsoc<ObserverPolicy>::engine_report() const {
+  EngineReport r;
+  if (!cfg_.engine_stats) return r;
+  r.enabled = true;
+  r.events_dispatched = sim_.events_dispatched();
+  r.queue_footprint_bytes =
+      static_cast<std::uint64_t>(sim_.queue_footprint_bytes());
+  r.queue = sim_.engine_stats();
+  r.kernel = kernel_->engine_counters_snapshot();
+  return r;
 }
 
 template <class ObserverPolicy>
@@ -174,6 +191,10 @@ sim::Cycles BasicMpsoc<ObserverPolicy>::run(sim::Cycles limit) {
     tracks.push_back("sched.ready_depth");
     tracks.push_back("mem.heap_bytes");
     series_ = obs::TimeSeries(cfg_.sample_period, std::move(tracks));
+    if (cfg_.engine_stats)
+      engine_series_ = obs::TimeSeries(
+          cfg_.sample_period, {"engine.queue_depth", "engine.overflow_depth",
+                               "engine.footprint_bytes"});
 
     WindowedPeBusy busy(*kernel_);
     std::uint64_t prev_bus_busy = 0;
@@ -201,6 +222,11 @@ sim::Cycles BasicMpsoc<ObserverPolicy>::run(sim::Cycles limit) {
       v.push_back(ready);
       v.push_back(kernel_->memory().bytes_in_use());
       series_.append(t, std::move(v));
+      if (cfg_.engine_stats)
+        engine_series_.append(
+            t, {static_cast<std::uint64_t>(sim_.queue_depth()),
+                static_cast<std::uint64_t>(sim_.queue_overflow_depth()),
+                static_cast<std::uint64_t>(sim_.queue_footprint_bytes())});
     };
 
     // Drive the simulator in period-sized chunks: step() never advances

@@ -114,6 +114,65 @@ TEST(SampleSet, PercentileOnEmpty) {
   EXPECT_EQ(s.percentile(0.5), 0.0);
 }
 
+TEST(SampleSet, PercentileSingleSample) {
+  // One sample is every percentile: rank ceil(p*1) is 0 or 1, both of
+  // which must resolve to the only element.
+  SampleSet s;
+  s.add(42.0);
+  for (const double p : {0.0, 0.01, 0.5, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(s.percentile(p), 42.0) << "p=" << p;
+}
+
+TEST(SampleSet, PercentileClampsOutOfRangeP) {
+  SampleSet s;
+  for (int i = 1; i <= 10; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(-0.5), s.percentile(0.0));
+  EXPECT_DOUBLE_EQ(s.percentile(1.5), s.percentile(1.0));
+}
+
+TEST(SampleSet, PercentileNearestRankTwoSamples) {
+  // Nearest-rank on {1, 2}: rank ceil(0.5 * 2) = 1 -> the first
+  // element, not an interpolation between the two.
+  SampleSet s;
+  s.add(2.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.51), 2.0);
+}
+
+TEST(Accumulator, EmptyIsAllZero) {
+  // min()/max() guard the +/-infinity init values; a report must never
+  // serialize an infinity for "no samples".
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+}
+
+TEST(Accumulator, SingleSampleHasZeroSpread) {
+  Accumulator a;
+  a.add(-7.5);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), -7.5);
+  EXPECT_DOUBLE_EQ(a.min(), -7.5);
+  EXPECT_DOUBLE_EQ(a.max(), -7.5);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+}
+
+TEST(Accumulator, NegativeValuesTrackMinMax) {
+  Accumulator a;
+  a.add(-3.0);
+  a.add(-1.0);
+  a.add(-2.0);
+  EXPECT_DOUBLE_EQ(a.min(), -3.0);
+  EXPECT_DOUBLE_EQ(a.max(), -1.0);
+  EXPECT_DOUBLE_EQ(a.mean(), -2.0);
+}
+
 TEST(Speedup, MatchesPaperFormulas) {
   // Table 5: (40523 - 27714) / 27714 = 46%.
   EXPECT_NEAR(speedup_percent(40523, 27714), 46.2, 0.1);
